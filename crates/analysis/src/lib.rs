@@ -1,0 +1,20 @@
+//! # ldcf-analysis — statistics, series and parallel sweeps
+//!
+//! Support crate for the experiment harness: summary statistics
+//! ([`stats`]), labelled numeric series with markdown/CSV rendering
+//! ([`series`]), ASCII line charts for terminal output ([`plot`]), and
+//! rayon-powered parameter sweeps with Monte-Carlo
+//! averaging ([`sweep`]) — the figures of §V average over seeds and
+//! sweep duty cycles, which is embarrassingly parallel.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod series;
+pub mod stats;
+pub mod sweep;
+
+pub use plot::{ascii_chart, PlotOptions};
+pub use series::{Series, Table};
+pub use stats::Summary;
+pub use sweep::{monte_carlo_mean, parallel_sweep};

@@ -1,0 +1,192 @@
+//! Terminal (ASCII) line charts for experiment output.
+//!
+//! The experiment harness prints each figure's series as a table *and*
+//! as a rough line chart, so the shape comparisons recorded in
+//! EXPERIMENTS.md (knees, orderings, crossovers) can be eyeballed
+//! directly in the terminal without external plotting.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Rendering options for [`ascii_chart`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlotOptions {
+    /// Chart body width in characters.
+    pub width: usize,
+    /// Chart body height in rows.
+    pub height: usize,
+    /// Force the y axis to start at zero.
+    pub zero_based: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        Self {
+            width: 64,
+            height: 16,
+            zero_based: true,
+        }
+    }
+}
+
+/// Marker glyphs assigned to series, in order.
+const MARKS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+/// Render several series into one ASCII chart with a shared scale and a
+/// legend. Series may have different x grids. Returns an empty string
+/// for empty input.
+pub fn ascii_chart(series: &[Series], opts: &PlotOptions) -> String {
+    let points: usize = series.iter().map(|s| s.points.len()).sum();
+    if series.is_empty() || points == 0 {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if opts.zero_based {
+        y_min = y_min.min(0.0);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let w = opts.width.max(8);
+    let h = opts.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (w - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy; // y grows upward
+            let cell = &mut grid[row][cx];
+            // Overlaps render as '?' so they are visibly ambiguous.
+            *cell = if *cell == ' ' || *cell == mark { mark } else { '?' };
+        }
+    }
+
+    let mut out = String::new();
+    let y_label_w = 10;
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * i as f64 / (h - 1) as f64;
+        let label = if i == 0 || i == h - 1 || i == h / 2 {
+            format!("{y_here:>9.1}")
+        } else {
+            " ".repeat(9)
+        };
+        writeln!(out, "{label} |{}", row.iter().collect::<String>()).unwrap();
+    }
+    writeln!(
+        out,
+        "{} +{}",
+        " ".repeat(y_label_w - 1),
+        "-".repeat(w)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{} {:<w$.1}{:>rest$.1}",
+        " ".repeat(y_label_w - 1),
+        x_min,
+        x_max,
+        w = w / 2,
+        rest = w - w / 2
+    )
+    .unwrap();
+    for (si, s) in series.iter().enumerate() {
+        writeln!(out, "{} {} = {}", " ".repeat(y_label_w - 1), MARKS[si % MARKS.len()], s.name)
+            .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, pts: &[(f64, f64)]) -> Series {
+        let mut s = Series::new(name);
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_input_renders_nothing() {
+        assert_eq!(ascii_chart(&[], &PlotOptions::default()), "");
+        assert_eq!(
+            ascii_chart(&[Series::new("e")], &PlotOptions::default()),
+            ""
+        );
+    }
+
+    #[test]
+    fn single_series_has_marks_and_legend() {
+        let s = line("delay", &[(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)]);
+        let out = ascii_chart(&[s], &PlotOptions::default());
+        assert!(out.contains('o'), "marker present");
+        assert!(out.contains("o = delay"), "legend present");
+        assert!(out.contains("10.0"), "max y label present");
+    }
+
+    #[test]
+    fn increasing_series_puts_later_points_higher() {
+        let s = line("up", &[(0.0, 0.0), (10.0, 100.0)]);
+        let out = ascii_chart(
+            &[s],
+            &PlotOptions {
+                width: 20,
+                height: 10,
+                zero_based: true,
+            },
+        );
+        let rows: Vec<&str> = out.lines().collect();
+        // Last point (x=10,y=100) is on the top row, first on the bottom
+        // body row.
+        assert!(rows[0].contains('o'), "top row holds the max point");
+        assert!(rows[9].contains('o'), "bottom body row holds the min point");
+    }
+
+    #[test]
+    fn two_series_get_distinct_markers() {
+        let a = line("a", &[(0.0, 1.0), (1.0, 2.0)]);
+        let b = line("b", &[(0.0, 3.0), (1.0, 4.0)]);
+        let out = ascii_chart(&[a, b], &PlotOptions::default());
+        assert!(out.contains("o = a"));
+        assert!(out.contains("x = b"));
+        assert!(out.contains('o') && out.contains('x'));
+    }
+
+    #[test]
+    fn overlapping_points_become_question_marks() {
+        let a = line("a", &[(0.0, 1.0)]);
+        let b = line("b", &[(0.0, 1.0)]);
+        let out = ascii_chart(&[a, b], &PlotOptions::default());
+        assert!(out.contains('?'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = line("flat", &[(0.0, 5.0), (1.0, 5.0)]);
+        let out = ascii_chart(
+            &[s],
+            &PlotOptions {
+                zero_based: false,
+                ..PlotOptions::default()
+            },
+        );
+        assert!(out.contains('o'));
+    }
+}

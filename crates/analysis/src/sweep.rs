@@ -1,0 +1,87 @@
+//! Parallel parameter sweeps (rayon).
+//!
+//! The §V experiments sweep duty cycles and average over random seeds —
+//! independent simulation runs, perfect for data parallelism. Per the
+//! hpc-parallel guides, we expose rayon-style helpers rather than
+//! hand-rolled thread pools.
+
+use rayon::prelude::*;
+
+/// Evaluate `f` at every parameter value in parallel, preserving order.
+pub fn parallel_sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    params.par_iter().map(|p| f(p)).collect()
+}
+
+/// Monte-Carlo mean of `f(seed)` over `seeds`, computed in parallel.
+pub fn monte_carlo_mean<F>(seeds: &[u64], f: F) -> f64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    assert!(!seeds.is_empty());
+    let total: f64 = seeds.par_iter().map(|&s| f(s)).sum();
+    total / seeds.len() as f64
+}
+
+/// Monte-Carlo means for several seeds per parameter: the cross product
+/// `(param, seed)` is flattened for maximal parallelism, then reduced
+/// per parameter.
+pub fn sweep_with_seeds<P, F>(params: &[P], seeds: &[u64], f: F) -> Vec<f64>
+where
+    P: Sync,
+    F: Fn(&P, u64) -> f64 + Sync,
+{
+    assert!(!seeds.is_empty());
+    let jobs: Vec<(usize, u64)> = (0..params.len())
+        .flat_map(|i| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let results: Vec<(usize, f64)> = jobs
+        .par_iter()
+        .map(|&(i, s)| (i, f(&params[i], s)))
+        .collect();
+    let mut sums = vec![0.0; params.len()];
+    for (i, v) in results {
+        sums[i] += v;
+    }
+    sums.iter().map(|s| s / seeds.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_order() {
+        let params = [1u64, 2, 3, 4];
+        let out = parallel_sweep(&params, |&p| p * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn monte_carlo_averages() {
+        let seeds: Vec<u64> = (0..100).collect();
+        let m = monte_carlo_mean(&seeds, |s| s as f64);
+        assert!((m - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_with_seeds_reduces_per_param() {
+        let params = [0.0f64, 100.0];
+        let seeds = [1u64, 2, 3];
+        let out = sweep_with_seeds(&params, &seeds, |&p, s| p + s as f64);
+        assert!((out[0] - 2.0).abs() < 1e-12);
+        assert!((out[1] - 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let params: Vec<u32> = (0..64).collect();
+        let par = parallel_sweep(&params, |&p| (p as f64).sqrt());
+        let ser: Vec<f64> = params.iter().map(|&p| (p as f64).sqrt()).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -1,0 +1,62 @@
+//! Engine throughput benchmarks: cost of one simulated slot and of a
+//! complete small flood, plus the ablation of the queue-pruning
+//! optimisation's workload (long vs short queues).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ldcf_net::{LinkQuality, Topology};
+use ldcf_protocols::Dbao;
+use ldcf_sim::{Engine, SimConfig};
+use std::hint::black_box;
+
+fn cfg(m: u32) -> SimConfig {
+    SimConfig {
+        period: 10,
+        active_per_period: 1,
+        n_packets: m,
+        coverage: 1.0,
+        max_slots: 500_000,
+        seed: 9,
+        mistiming_prob: 0.0,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    let grid = Topology::grid(8, 8, LinkQuality::new(0.85));
+
+    g.bench_function("flood_grid8x8_m4_dbao", |b| {
+        b.iter_batched(
+            || Engine::new(grid.clone(), cfg(4), Dbao::new()),
+            |engine| black_box(engine.run()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("step_grid8x8_m4_dbao", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new(grid.clone(), cfg(4), Dbao::new());
+                // Warm the flood up so queues are non-trivial.
+                for _ in 0..50 {
+                    e.step();
+                }
+                e
+            },
+            |mut engine| {
+                for _ in 0..100 {
+                    black_box(engine.step());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

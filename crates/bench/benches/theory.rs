@@ -1,0 +1,58 @@
+//! Benchmarks for the analytical kernels: the eigen-equation solver, the
+//! closed-form FDL evaluation, Algorithm 1, and Galton–Watson simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldcf_core::algorithm1::MatrixFlood;
+use ldcf_core::galton_watson::GaltonWatson;
+use ldcf_core::{fdl, link_loss};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_theory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    g.bench_function("largest_root_kt100", |b| {
+        b.iter(|| black_box(link_loss::largest_root(black_box(100.0))))
+    });
+
+    g.bench_function("fig7_full_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=10 {
+                for q in [0.5, 0.6, 0.7, 0.8] {
+                    acc += link_loss::fig7_delay(298, 0.02 * i as f64, q);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("fdl_theorem1_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in 1..=20 {
+                acc += fdl::fdl_expected(m, black_box(1024), 20);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("algorithm1_n256_m16", |b| {
+        b.iter(|| black_box(MatrixFlood::new(256, 16).run()))
+    });
+
+    g.bench_function("galton_watson_to_4096", |b| {
+        let gw = GaltonWatson::new(0.7);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(gw.slots_to_reach(4096, &mut rng)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_theory);
+criterion_main!(benches);

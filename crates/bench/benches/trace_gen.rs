@@ -1,0 +1,55 @@
+//! Trace-generation benchmarks: clustered deployment + propagation +
+//! long-term PRR averaging, and the serialisation round-trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldcf_trace::deploy::DeployConfig;
+use ldcf_trace::{generate, GreenOrbsConfig, TraceFile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn small_cfg(n: usize) -> GreenOrbsConfig {
+    GreenOrbsConfig {
+        deploy: DeployConfig {
+            n_nodes: n,
+            width: 200.0,
+            height: 160.0,
+            n_clusters: 8,
+            ..DeployConfig::default()
+        },
+        ..GreenOrbsConfig::default()
+    }
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    g.bench_function("generate_100_nodes", |b| {
+        let cfg = small_cfg(100);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(generate(&cfg, &mut rng))
+        })
+    });
+
+    g.bench_function("json_roundtrip_100_nodes", |b| {
+        let cfg = small_cfg(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let topo = generate(&cfg, &mut rng);
+        let tf = TraceFile::from_topology(&topo, "bench", 5);
+        b.iter(|| {
+            let json = tf.to_json();
+            black_box(TraceFile::from_json(&json).unwrap().to_topology())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <artefact> [--quick] [--out DIR]
+//!
+//! artefacts:
+//!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
+//!   fig9 | fig10 | fig11                          (trace-driven sims)
+//!   ablation-overhearing | ablation-opportunistic (ablations)
+//!   lifetime-gain | theorem1-check                (extensions)
+//!   analytical                                    (all instant artefacts)
+//!   all                                           (everything)
+//! ```
+//!
+//! `--quick` shrinks the trace-driven runs (fewer packets/seeds, coarser
+//! duty grid) so the full suite completes in minutes on one core.
+//! `--out DIR` additionally writes each artefact to `DIR/<name>.md`.
+
+use ldcf_bench::{experiments, ExpOptions};
+use std::path::PathBuf;
+
+struct Cli {
+    artefact: String,
+    opts: ExpOptions,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Cli {
+    let mut artefact = None;
+    let mut quick = false;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => usage(""),
+            other if artefact.is_none() => artefact = Some(other.to_string()),
+            other => usage(&format!("unexpected argument '{other}'")),
+        }
+    }
+    Cli {
+        artefact: artefact.unwrap_or_else(|| usage("missing artefact name")),
+        opts: if quick {
+            ExpOptions::quick()
+        } else {
+            ExpOptions::full()
+        },
+        out,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: experiments <artefact> [--quick] [--out DIR]\n\
+         artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
+         \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
+         \u{20}          lifetime-gain theorem1-check cross-layer sync-error analytical all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Markdown table followed by its ASCII chart (fenced for markdown).
+fn with_chart(table: &ldcf_analysis::Table) -> String {
+    format!("{}\n```text\n{}```\n", table.to_markdown(), table.to_chart())
+}
+
+fn emit(out: &Option<PathBuf>, name: &str, body: &str) {
+    println!("\n## {name}\n\n{body}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        std::fs::write(dir.join(format!("{name}.md")), body).expect("write artefact");
+    }
+}
+
+fn main() {
+    let cli = parse_args();
+    let names: Vec<&str> = match cli.artefact.as_str() {
+        "analytical" => vec![
+            "table1",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "theorem1-check",
+            "lifetime-gain",
+            "ablation-policy",
+        ],
+        "all" => vec![
+            "table1",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "theorem1-check",
+            "lifetime-gain",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablation-overhearing",
+            "ablation-opportunistic",
+            "ablation-policy",
+            "cross-layer",
+            "sync-error",
+        ],
+        single => vec![single],
+    };
+
+    // fig10 and fig11 share one sweep: compute lazily, cache.
+    let mut sweep_cache: Option<(String, String)> = None;
+    let mut fig10_11 = |opts: &ExpOptions| -> (String, String) {
+        if sweep_cache.is_none() {
+            let (f10, f11) = experiments::fig10_fig11(opts);
+            sweep_cache = Some((with_chart(&f10), with_chart(&f11)));
+        }
+        sweep_cache.clone().expect("just set")
+    };
+
+    for name in names {
+        let t0 = std::time::Instant::now();
+        let body = match name {
+            "table1" => experiments::table1(1024),
+            "fig3" => experiments::fig3(),
+            "fig5" => {
+                let (l, r) = experiments::fig5();
+                format!(
+                    "Left panel (N = 1024):\n\n{}\nRight panel (T = 5):\n\n{}",
+                    with_chart(&l),
+                    with_chart(&r)
+                )
+            }
+            "fig6" => with_chart(&experiments::fig6()),
+            "fig7" => with_chart(&experiments::fig7(298)),
+            "fig9" => with_chart(&experiments::fig9(&cli.opts)),
+            "fig10" => fig10_11(&cli.opts).0,
+            "fig11" => fig10_11(&cli.opts).1,
+            "ablation-overhearing" => experiments::ablation_overhearing(&cli.opts).to_markdown(),
+            "ablation-opportunistic" => {
+                experiments::ablation_opportunistic(&cli.opts).to_markdown()
+            }
+            "lifetime-gain" => experiments::lifetime_gain(298, 0.75),
+            "theorem1-check" => experiments::theorem1_check(),
+            "ablation-policy" => experiments::ablation_policy(),
+            "cross-layer" => experiments::cross_layer(&cli.opts),
+            "sync-error" => with_chart(&experiments::sync_error(&cli.opts)),
+            other => usage(&format!("unknown artefact '{other}'")),
+        };
+        emit(&cli.out, name, &body);
+        eprintln!("[{name}] done in {:?}", t0.elapsed());
+    }
+}

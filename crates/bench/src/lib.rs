@@ -1,0 +1,16 @@
+//! # ldcf-bench — experiment implementations
+//!
+//! One function per table/figure of the paper; the `experiments` binary
+//! dispatches to these and prints the resulting markdown tables. Each
+//! function documents the paper artefact it regenerates and the expected
+//! shape (EXPERIMENTS.md records paper-vs-measured).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod options;
+pub mod runner;
+
+pub use experiments::*;
+pub use options::ExpOptions;
+pub use runner::{run_flood, ProtocolKind};

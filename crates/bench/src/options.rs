@@ -1,0 +1,75 @@
+//! Experiment options shared across figures.
+
+/// Knobs for the trace-driven experiments (Figs. 9–11 and ablations).
+#[derive(Clone, Debug)]
+pub struct ExpOptions {
+    /// Seed of the GreenOrbs-style trace.
+    pub trace_seed: u64,
+    /// Packets per flood (`M`; the paper uses 100).
+    pub m: u32,
+    /// Simulation seeds averaged per sweep point.
+    pub seeds: Vec<u64>,
+    /// Duty cycles for the Fig. 10/11 sweeps (the paper uses 2–20 %).
+    pub duties: Vec<f64>,
+    /// Coverage target (paper: 0.99).
+    pub coverage: f64,
+    /// Hard stop per run.
+    pub max_slots: u64,
+}
+
+impl ExpOptions {
+    /// The paper's configuration: `M = 100`, duty 2–20 % in 2 % steps,
+    /// three seeds per point.
+    pub fn full() -> Self {
+        Self {
+            trace_seed: 7,
+            m: 100,
+            seeds: vec![1, 2, 3],
+            duties: (1..=10).map(|i| 0.02 * i as f64).collect(),
+            coverage: 0.99,
+            max_slots: 3_000_000,
+        }
+    }
+
+    /// A fast smoke configuration for development machines: fewer
+    /// packets, one seed, a coarse duty grid. Shapes (orderings, knees)
+    /// are preserved; absolute numbers are noisier.
+    pub fn quick() -> Self {
+        Self {
+            trace_seed: 7,
+            m: 30,
+            seeds: vec![1],
+            duties: vec![0.02, 0.05, 0.10, 0.20],
+            coverage: 0.99,
+            max_slots: 1_500_000,
+        }
+    }
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_defaults() {
+        let o = ExpOptions::full();
+        assert_eq!(o.m, 100);
+        assert_eq!(o.duties.len(), 10);
+        assert!((o.duties[0] - 0.02).abs() < 1e-12);
+        assert!((o.duties[9] - 0.20).abs() < 1e-12);
+        assert!((o.coverage - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = ExpOptions::quick();
+        assert!(q.m < ExpOptions::full().m);
+        assert!(q.seeds.len() <= ExpOptions::full().seeds.len());
+    }
+}

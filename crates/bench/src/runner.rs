@@ -1,0 +1,101 @@
+//! Protocol dispatch for the trace-driven experiments.
+
+use ldcf_net::Topology;
+use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
+use ldcf_sim::energy::EnergyLedger;
+use ldcf_sim::{Engine, SimConfig, SimReport};
+
+/// The protocols under evaluation (§V-A) plus ablation variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Oracle-optimal flooding.
+    Opt,
+    /// Deterministic back-off assignment + overhearing.
+    Dbao,
+    /// DBAO with overhearing disabled (ablation).
+    DbaoNoOverhear,
+    /// Opportunistic Flooding.
+    Of,
+    /// OF restricted to pure tree forwarding (ablation).
+    OfPureTree,
+    /// Naive forward-to-everyone baseline.
+    Naive,
+}
+
+impl ProtocolKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Opt => "OPT",
+            ProtocolKind::Dbao => "DBAO",
+            ProtocolKind::DbaoNoOverhear => "DBAO-no-overhear",
+            ProtocolKind::Of => "OF",
+            ProtocolKind::OfPureTree => "OF-pure-tree",
+            ProtocolKind::Naive => "NAIVE",
+        }
+    }
+
+    /// The three protocols of the paper's evaluation.
+    pub fn paper_set() -> [ProtocolKind; 3] {
+        [ProtocolKind::Of, ProtocolKind::Dbao, ProtocolKind::Opt]
+    }
+}
+
+/// Run one flood of `cfg.n_packets` packets over `topo` with the given
+/// protocol; returns the report and energy ledger.
+pub fn run_flood(topo: &Topology, cfg: &SimConfig, kind: ProtocolKind) -> (SimReport, EnergyLedger) {
+    match kind {
+        ProtocolKind::Opt => Engine::new(topo.clone(), cfg.clone(), Opt::new()).run(),
+        ProtocolKind::Dbao => Engine::new(topo.clone(), cfg.clone(), Dbao::new()).run(),
+        ProtocolKind::DbaoNoOverhear => Engine::new(
+            topo.clone(),
+            cfg.clone(),
+            Dbao::with_config(DbaoConfig { overhearing: false }),
+        )
+        .run(),
+        ProtocolKind::Of => {
+            Engine::new(topo.clone(), cfg.clone(), OpportunisticFlooding::new()).run()
+        }
+        ProtocolKind::OfPureTree => Engine::new(
+            topo.clone(),
+            cfg.clone(),
+            OpportunisticFlooding::with_config(OfConfig {
+                opportunistic: false,
+                ..OfConfig::default()
+            }),
+        )
+        .run(),
+        ProtocolKind::Naive => Engine::new(topo.clone(), cfg.clone(), NaiveFlood::new()).run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldcf_net::LinkQuality;
+
+    #[test]
+    fn all_kinds_run_and_cover_a_grid() {
+        let topo = Topology::grid(3, 3, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 4,
+            active_per_period: 1,
+            n_packets: 2,
+            coverage: 1.0,
+            max_slots: 100_000,
+            seed: 2,
+            mistiming_prob: 0.0,
+        };
+        for kind in [
+            ProtocolKind::Opt,
+            ProtocolKind::Dbao,
+            ProtocolKind::DbaoNoOverhear,
+            ProtocolKind::Of,
+            ProtocolKind::OfPureTree,
+            ProtocolKind::Naive,
+        ] {
+            let (r, _) = run_flood(&topo, &cfg, kind);
+            assert!(r.all_covered(), "{} failed to cover", kind.name());
+        }
+    }
+}

@@ -1,0 +1,452 @@
+//! Algorithm 1 — matrix-based multi-packet flooding (paper §IV-A-1/2,
+//! Fig. 3, Fig. 4, Eq. 2).
+//!
+//! The dissemination of packet `p` is the matrix evolution
+//!
+//! ```text
+//! X_p^{(c+1)} = X_p^{(c)} + S_p^{(c)} · I          (Eq. 2)
+//! ```
+//!
+//! over nodes `{0 (source), 1..N}`. Algorithm 1 realises the flooding
+//! waiting limit on the compact time scale for `N = 2^n` under reliable
+//! links and full-duplex radios:
+//!
+//! * the source injects packet `p = c` at compact slot `c` (while `p <
+//!   M`);
+//! * every node transmits its **newest non-expired packet** (`f(i,c)`;
+//!   the expiry of packet `p` is `K_p + ⌈log₂(N+1)⌉ = p + m` compact
+//!   slots);
+//! * node `i ∈ {0..N-1}` sends to node `(2^{c mod n} + i) mod N`, with a
+//!   result of `0` aliased to node `N` (the binary-jumping dissemination
+//!   pattern of the paper's Fig. 3).
+//!
+//! [`MatrixFlood::run`] executes the full-duplex algorithm;
+//! [`MatrixFlood::run_half_duplex`] applies the §IV-A-2 modification —
+//! "second type" slots, in which some node would need to transmit and
+//! receive simultaneously, are split into two half-slots and therefore
+//! cost two compact slots.
+
+use ldcf_net::PacketId;
+
+/// Which queued packet a node relays each compact slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RelayPolicy {
+    /// Algorithm 1's choice: the most recently received non-expired
+    /// packet. This keeps every node pushing the *newest wavefront*, so
+    /// the per-packet dissemination trees pipeline perfectly (Lemma 3).
+    #[default]
+    NewestFirst,
+    /// The intuitive alternative: the oldest held non-expired packet
+    /// (plain FCFS). Nodes linger on old wavefronts and starve fresh
+    /// packets — the ablation showing why Algorithm 1's policy matters.
+    OldestFirst,
+}
+
+/// State of an Algorithm 1 execution.
+#[derive(Clone, Debug)]
+pub struct MatrixFlood {
+    /// Number of nominal sensors `N` (a power of two for the Lemma 3
+    /// guarantee; other values run fine but lose the closed form).
+    n: usize,
+    /// Packets to flood.
+    m_packets: u32,
+    /// `have[i][p]`.
+    have: Vec<Vec<bool>>,
+    /// `received_at[i][p]` — compact slot of acquisition (injection for
+    /// the source), used by the newest-first policy.
+    received_at: Vec<Vec<Option<u64>>>,
+    /// Current compact slot.
+    c: u64,
+    /// `n = log2(N)` rounded up, for the jump schedule.
+    log_n: u32,
+    /// `m = ⌈log₂(1+N)⌉` — expiry horizon.
+    m_horizon: u32,
+    /// Per-packet completion slot (first `c` at whose *end* all nodes
+    /// hold the packet).
+    completed_at: Vec<Option<u64>>,
+    /// Relay selection policy (Algorithm 1 uses newest-first).
+    policy: RelayPolicy,
+}
+
+/// One transmission performed in a compact slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixTx {
+    /// Sending node index (0 = source).
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// Packet transmitted.
+    pub packet: PacketId,
+}
+
+/// Result of a full run.
+#[derive(Clone, Debug)]
+pub struct MatrixRunReport {
+    /// Compact slots consumed (full-duplex count).
+    pub compact_slots: u64,
+    /// Compact slots after half-duplex splitting (type-2 slots cost 2).
+    pub half_duplex_slots: u64,
+    /// Number of "second type" slots encountered.
+    pub type2_slots: u64,
+    /// Per-packet `(injected_at, completed_at)` in compact slots.
+    pub packet_spans: Vec<(u64, u64)>,
+}
+
+impl MatrixRunReport {
+    /// Per-packet waiting counts `W_p` (compact slots from injection to
+    /// completion, inclusive of the injection slot).
+    pub fn waitings(&self) -> Vec<u64> {
+        self.packet_spans
+            .iter()
+            .map(|&(inj, done)| done - inj + 1)
+            .collect()
+    }
+}
+
+impl MatrixFlood {
+    /// Set up a flood of `m_packets` over `n` sensors plus the source.
+    pub fn new(n: usize, m_packets: u32) -> Self {
+        assert!(n >= 1, "need at least one sensor");
+        assert!(m_packets >= 1, "need at least one packet");
+        let log_n = (n as f64).log2().ceil().max(1.0) as u32;
+        let m_horizon = ((1 + n) as f64).log2().ceil() as u32;
+        Self {
+            n,
+            m_packets,
+            have: vec![vec![false; m_packets as usize]; n + 1],
+            received_at: vec![vec![None; m_packets as usize]; n + 1],
+            c: 0,
+            log_n,
+            m_horizon,
+            completed_at: vec![None; m_packets as usize],
+            policy: RelayPolicy::NewestFirst,
+        }
+    }
+
+    /// Override the relay policy (ablation; Algorithm 1 = newest-first).
+    pub fn with_policy(mut self, policy: RelayPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// `m = ⌈log₂(1+N)⌉`.
+    pub fn m_horizon(&self) -> u32 {
+        self.m_horizon
+    }
+
+    /// Whether node `i` holds packet `p`.
+    pub fn has(&self, node: usize, p: PacketId) -> bool {
+        self.have[node][p as usize]
+    }
+
+    /// The possession vector `X_p^{(c)}` of a packet (1 entry per node).
+    pub fn possession_vector(&self, p: PacketId) -> Vec<u8> {
+        self.have.iter().map(|row| row[p as usize] as u8).collect()
+    }
+
+    /// Number of holders of `p` (the paper's `𝒳_p^{(c)}`).
+    pub fn holders(&self, p: PacketId) -> usize {
+        self.have.iter().filter(|row| row[p as usize]).count()
+    }
+
+    /// Whether packet `p` is expired at the current slot:
+    /// `c >= K_p + m` with `K_p = p` (packets injected before `p`).
+    fn expired(&self, p: PacketId) -> bool {
+        self.c >= p as u64 + self.m_horizon as u64
+    }
+
+    /// `f(i, c)`: the newest non-expired packet held by node `i` —
+    /// newest by acquisition slot, ties broken towards the higher
+    /// sequence number (the source acquires two packets at injection
+    /// slots, relays in order).
+    ///
+    /// For `N = 2^n` the expiry horizon `p + m` is provably sufficient
+    /// (Lemma 3); for other `N` the irregular jump schedule can leave a
+    /// packet incomplete at expiry, so a node with no live packet falls
+    /// back to its newest *incomplete* packet — the recovery rule that
+    /// keeps Algorithm 1 terminating in the Theorem 2 (arbitrary `N`)
+    /// setting.
+    fn f(&self, i: usize) -> Option<PacketId> {
+        let mut best: Option<(u64, PacketId)> = None;
+        for p in 0..self.m_packets {
+            if !self.have[i][p as usize] || self.expired(p) {
+                continue;
+            }
+            let at = self.received_at[i][p as usize].expect("held packets have a timestamp");
+            let wins = match self.policy {
+                RelayPolicy::NewestFirst => best.is_none_or(|(ba, bp)| (at, p) > (ba, bp)),
+                RelayPolicy::OldestFirst => best.is_none_or(|(ba, bp)| (at, p) < (ba, bp)),
+            };
+            if wins {
+                best = Some((at, p));
+            }
+        }
+        if best.is_none() {
+            // Recovery: newest held packet the network has not finished.
+            for p in 0..self.m_packets {
+                if !self.have[i][p as usize] || self.completed_at[p as usize].is_some() {
+                    continue;
+                }
+                let at = self.received_at[i][p as usize].expect("held packets have a timestamp");
+                if best.is_none_or(|(ba, bp)| (at, p) > (ba, bp)) {
+                    best = Some((at, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Execute one compact slot (full-duplex). Returns the transmissions
+    /// performed (the nonzero entries of `S^{(c)}`).
+    pub fn step(&mut self) -> Vec<MatrixTx> {
+        // Injection: packet p = c appears at the source.
+        if self.c < self.m_packets as u64 {
+            let p = self.c as usize;
+            self.have[0][p] = true;
+            self.received_at[0][p] = Some(self.c);
+        }
+
+        // Gather transmissions f(i, c) -> (2^{c mod n} + i) mod N, 0 -> N.
+        let jump = 1usize << (self.c % self.log_n as u64);
+        let mut txs = Vec::new();
+        for i in 0..self.n {
+            if let Some(p) = self.f(i) {
+                let raw = (i + jump) % self.n;
+                let to = if raw == 0 { self.n } else { raw };
+                if !self.have[to][p as usize] {
+                    txs.push(MatrixTx {
+                        from: i,
+                        to,
+                        packet: p,
+                    });
+                }
+            }
+        }
+        // Apply S^{(c)} (Eq. 2): deliveries land at the end of the slot.
+        for tx in &txs {
+            self.have[tx.to][tx.packet as usize] = true;
+            self.received_at[tx.to][tx.packet as usize] = Some(self.c);
+        }
+        // Completion bookkeeping.
+        for p in 0..self.m_packets {
+            if self.completed_at[p as usize].is_none() && self.holders(p) == self.n + 1 {
+                self.completed_at[p as usize] = Some(self.c);
+            }
+        }
+        self.c += 1;
+        txs
+    }
+
+    /// Whether a slot's transmissions make it a "second type" slot: some
+    /// node both transmits and receives (impossible for a semi-duplex
+    /// radio; §IV-A-2 splits such slots in two).
+    pub fn is_type2_slot(txs: &[MatrixTx]) -> bool {
+        txs.iter()
+            .any(|t| txs.iter().any(|u| u.to == t.from))
+    }
+
+    /// Run to completion (all packets at all nodes), returning the
+    /// report. Panics if the flood has not completed after a generous
+    /// horizon (which would indicate a schedule bug). Use [`Self::try_run`]
+    /// for policies that may legitimately stall.
+    pub fn run(self) -> MatrixRunReport {
+        self.try_run()
+            .expect("Algorithm 1 failed to converge within its horizon")
+    }
+
+    /// Run to completion, or `None` if the flood has not completed after
+    /// a generous horizon (possible under the [`RelayPolicy::OldestFirst`]
+    /// ablation, where fresh packets can starve).
+    pub fn try_run(mut self) -> Option<MatrixRunReport> {
+        let limit = 64 + 8 * (self.m_packets as u64 + self.m_horizon as u64 + self.n as u64);
+        let mut type2 = 0u64;
+        while self.completed_at.iter().any(Option::is_none) {
+            if self.c >= limit {
+                return None;
+            }
+            let txs = self.step();
+            if Self::is_type2_slot(&txs) {
+                type2 += 1;
+            }
+        }
+        let compact_slots = self
+            .completed_at
+            .iter()
+            .map(|c| c.unwrap() + 1)
+            .max()
+            .unwrap_or(0);
+        Some(MatrixRunReport {
+            compact_slots,
+            half_duplex_slots: compact_slots + type2,
+            type2_slots: type2,
+            packet_spans: self
+                .completed_at
+                .iter()
+                .enumerate()
+                .map(|(p, done)| (p as u64, done.unwrap()))
+                .collect(),
+        })
+    }
+
+    /// Run with the half-duplex modification accounted: identical
+    /// dissemination, but each type-2 slot costs two compact slots
+    /// (§IV-A-2's `c*_l`/`c*_r` split).
+    pub fn run_half_duplex(self) -> MatrixRunReport {
+        // The split does not change *what* is sent, only the time cost;
+        // `run` already tallies type-2 slots.
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdl::lemma3_compact_slots;
+
+    #[test]
+    fn fig3_example_packet0_trace() {
+        // N = 4, M = 2 (the paper's Fig. 3). Check the early possession
+        // vectors of packet 0 against the figure's matrices.
+        let mut alg = MatrixFlood::new(4, 2);
+        // c=0: inject p0 at source, send 0 -> 1.
+        let txs = alg.step();
+        assert_eq!(
+            txs,
+            vec![MatrixTx {
+                from: 0,
+                to: 1,
+                packet: 0
+            }]
+        );
+        assert_eq!(alg.possession_vector(0), vec![1, 1, 0, 0, 0]);
+        // c=1 (jump 2): p1 injected; 0 sends p1 to 2, 1 sends p0 to 3.
+        let txs = alg.step();
+        assert!(txs.contains(&MatrixTx {
+            from: 1,
+            to: 3,
+            packet: 0
+        }));
+        assert!(txs.contains(&MatrixTx {
+            from: 0,
+            to: 2,
+            packet: 1
+        }));
+        assert_eq!(alg.possession_vector(0), vec![1, 1, 0, 1, 0]);
+        assert_eq!(alg.possession_vector(1), vec![1, 0, 1, 0, 0]);
+        // c=2 (jump 1): 3 -> 4 delivers p0 (the 0 -> N alias).
+        let txs = alg.step();
+        assert!(txs.contains(&MatrixTx {
+            from: 3,
+            to: 4,
+            packet: 0
+        }));
+        assert_eq!(alg.possession_vector(0), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn lemma3_holds_for_powers_of_two() {
+        // Full-duplex, ideal, N = 2^n: total compact slots = M + m - 1.
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            for m_packets in [1u32, 2, 3, 5, 8, 12] {
+                let report = MatrixFlood::new(n, m_packets).run();
+                let expect = lemma3_compact_slots(m_packets, n as u64) as u64;
+                assert_eq!(
+                    report.compact_slots, expect,
+                    "N={n}, M={m_packets}: got {}, Lemma 3 says {expect}",
+                    report.compact_slots
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_packet_waitings_match_table1() {
+        // Table I: W_p = m + min(p, m-1) — each packet's span is at most
+        // that, and the achievable FWL is attained by the last packet.
+        let n = 16usize; // m = ceil(log2 17) = 5
+        let m_packets = 8u32;
+        let report = MatrixFlood::new(n, m_packets).run();
+        let m = ((1 + n) as f64).log2().ceil() as u64;
+        for (p, w) in report.waitings().iter().enumerate() {
+            let bound = m + (p as u64).min(m - 1);
+            assert!(
+                *w <= bound,
+                "packet {p} waited {w} > Table I bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_packet_takes_m_slots() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let report = MatrixFlood::new(n, 1).run();
+            let m = ((1 + n) as f64).log2().ceil() as u64;
+            assert_eq!(report.compact_slots, m, "N={n}");
+        }
+    }
+
+    #[test]
+    fn type2_slots_exist_for_multi_packet_floods() {
+        // Fig. 3's slot c=2 is a type-2 slot: node both sends and
+        // receives. The half-duplex cost must exceed the full-duplex one.
+        let report = MatrixFlood::new(4, 2).run();
+        assert!(report.type2_slots >= 1);
+        assert_eq!(
+            report.half_duplex_slots,
+            report.compact_slots + report.type2_slots
+        );
+    }
+
+    #[test]
+    fn expiry_stops_stale_retransmissions() {
+        // After p + m slots, packet p is expired and no node offers it.
+        let mut alg = MatrixFlood::new(4, 1);
+        let _ = alg.step();
+        let _ = alg.step();
+        let _ = alg.step(); // flood of p0 completes (m = 3)
+        assert!(alg.expired(0));
+        let txs = alg.step();
+        assert!(txs.is_empty(), "expired packet must not be transmitted");
+    }
+
+    #[test]
+    fn newest_first_policy_beats_oldest_first() {
+        // The paper's §IV-A-1 claim: "we propose to transmit the most
+        // recently received non-expired packet first ... this simple
+        // strategy works very effectively." Oldest-first floods either
+        // stall (None) or take strictly more compact slots.
+        let mut newest_wins = 0;
+        let mut cases = 0;
+        for (n, m) in [(16usize, 6u32), (32, 8), (64, 10), (128, 12)] {
+            let newest = MatrixFlood::new(n, m).run().compact_slots;
+            let oldest = MatrixFlood::new(n, m)
+                .with_policy(RelayPolicy::OldestFirst)
+                .try_run()
+                .map(|r| r.compact_slots);
+            cases += 1;
+            match oldest {
+                None => newest_wins += 1, // stalled: newest-first wins
+                Some(o) => {
+                    assert!(o >= newest, "oldest-first cannot beat the limit");
+                    if o > newest {
+                        newest_wins += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            newest_wins * 2 > cases,
+            "newest-first should win in most cases ({newest_wins}/{cases})"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_still_completes() {
+        // Lemma 3's equality needs N = 2^n, but the algorithm must still
+        // terminate for other N (Theorem 2's setting).
+        for n in [3usize, 5, 6, 7, 12, 20] {
+            let report = MatrixFlood::new(n, 3).run();
+            assert!(report.compact_slots > 0);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The compact time scale (paper §III-C, Fig. 2).
+//!
+//! "The time slots of actual transmissions in the original time scale
+//! are sequentially mapped to the compact time scale while all idle time
+//! slots are excluded." The bijection lets the analysis count *waitings*
+//! (`FWL`) independently of how long each waiting lasted (`d_h`), and
+//! reconstruct delays via `FDL = Σ (d_h + 1)` (Eq. 1).
+
+/// A mapping between busy original slots and compact slot indices.
+#[derive(Clone, Debug)]
+pub struct CompactTimeScale {
+    /// Ascending original-slot indices of the busy slots; position in the
+    /// vector = compact index.
+    busy: Vec<u64>,
+}
+
+impl CompactTimeScale {
+    /// Build from a busy/idle timeline (`true` = at least one
+    /// transmission occurred in that original slot).
+    pub fn from_timeline(timeline: &[bool]) -> Self {
+        Self {
+            busy: timeline
+                .iter()
+                .enumerate()
+                .filter_map(|(t, &b)| b.then_some(t as u64))
+                .collect(),
+        }
+    }
+
+    /// Build directly from the ascending list of busy original slots.
+    pub fn from_busy_slots(mut busy: Vec<u64>) -> Self {
+        busy.sort_unstable();
+        busy.dedup();
+        Self { busy }
+    }
+
+    /// Number of compact slots.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether there are no busy slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Original slot of compact index `c`.
+    pub fn to_original(&self, c: usize) -> Option<u64> {
+        self.busy.get(c).copied()
+    }
+
+    /// Compact index of original slot `t` (must be a busy slot).
+    pub fn to_compact(&self, t: u64) -> Option<usize> {
+        self.busy.binary_search(&t).ok()
+    }
+
+    /// The queueing delays `d_h` of Eq. (1): the idle gap before each
+    /// busy slot (`d_1` counts from slot 0).
+    pub fn gaps(&self) -> Vec<u64> {
+        let mut prev_end = 0u64; // end of previous busy slot (exclusive)
+        self.busy
+            .iter()
+            .map(|&t| {
+                let gap = t - prev_end;
+                prev_end = t + 1;
+                gap
+            })
+            .collect()
+    }
+
+    /// Eq. (1) evaluated: `FDL = Σ_{h=1..FWL} (d_h + 1)` — which equals
+    /// the original-slot index one past the last busy slot.
+    pub fn fdl(&self) -> u64 {
+        self.busy.last().map_or(0, |&t| t + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_style_mapping() {
+        // Busy at slots 2, 3, 7 (d1=2, d2=0, d3=3).
+        let timeline = [false, false, true, true, false, false, false, true];
+        let cts = CompactTimeScale::from_timeline(&timeline);
+        assert_eq!(cts.len(), 3);
+        assert_eq!(cts.to_original(0), Some(2));
+        assert_eq!(cts.to_original(2), Some(7));
+        assert_eq!(cts.to_compact(3), Some(1));
+        assert_eq!(cts.to_compact(4), None);
+        assert_eq!(cts.gaps(), vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn eq1_fdl_identity() {
+        // FDL = sum (d_h + 1) = index one past the last busy slot.
+        let cts = CompactTimeScale::from_busy_slots(vec![2, 3, 7]);
+        let by_sum: u64 = cts.gaps().iter().map(|d| d + 1).sum();
+        assert_eq!(by_sum, cts.fdl());
+        assert_eq!(cts.fdl(), 8);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let cts = CompactTimeScale::from_timeline(&[false, false]);
+        assert!(cts.is_empty());
+        assert_eq!(cts.fdl(), 0);
+        assert!(cts.gaps().is_empty());
+    }
+
+    #[test]
+    fn from_busy_slots_sorts_and_dedups() {
+        let cts = CompactTimeScale::from_busy_slots(vec![7, 2, 3, 3]);
+        assert_eq!(cts.len(), 3);
+        assert_eq!(cts.to_original(0), Some(2));
+    }
+
+    #[test]
+    fn dense_timeline_is_identity() {
+        let cts = CompactTimeScale::from_timeline(&[true; 5]);
+        for c in 0..5 {
+            assert_eq!(cts.to_original(c), Some(c as u64));
+            assert_eq!(cts.to_compact(c as u64), Some(c));
+        }
+        assert_eq!(cts.gaps(), vec![0; 5]);
+        assert_eq!(cts.fdl(), 5);
+    }
+}

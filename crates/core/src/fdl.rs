@@ -1,0 +1,212 @@
+//! Flooding Delay Limit (paper §IV-A: Lemma 3, Theorems 1–2,
+//! Corollary 1, Table I).
+//!
+//! With `m = ⌈log₂(1+N)⌉`, the per-packet waiting profile of Table I is
+//! `W_p = m + min(p, m-1)`; the last packet dominates and the achievable
+//! compact-scale waiting total is
+//!
+//! ```text
+//! FWL(M,N) = m + 2M - 2      (M <  m)
+//!            2m + M - 2      (M >= m).
+//! ```
+//!
+//! Each waiting over the original time scale is uniform on `0..T`
+//! (`P(d_h = k) = 1/T`), so `E[FDL | FWL] = T·FWL/2` and `FDL ≤ T·FWL`:
+//!
+//! ```text
+//! E[FDL] = T(m/2 + M - 1)    (M <  m)       — Theorem 1
+//!          T(m + M/2 - 1)    (M >= m).
+//! ```
+//!
+//! Corollary 1: blocking is capped — a packet waits on at most `m - 1`
+//! predecessors, so multi-packet flooding pipelines beyond that depth.
+
+/// `m = ⌈log₂(1+N)⌉` for `N` sensors — the single-packet waiting floor.
+pub fn m_of(n: u64) -> u32 {
+    crate::fwl::fwl_whp_bound(n)
+}
+
+/// Table I: the waiting count `W_p` of packet `p` (0-based) in an ideal
+/// network of `N` sensors: `W_p = m + min(p, m-1)`.
+pub fn waiting_of_packet(p: u32, n: u64) -> u32 {
+    let m = m_of(n);
+    m + p.min(m.saturating_sub(1))
+}
+
+/// The full Table I for `M` packets: `(p, W_p)` rows.
+pub fn waiting_table(m_packets: u32, n: u64) -> Vec<(u32, u32)> {
+    (0..m_packets)
+        .map(|p| (p, waiting_of_packet(p, n)))
+        .collect()
+}
+
+/// Achievable multi-packet `FWL` on the compact time scale (the last
+/// packet's `K_p + W_p`): `m + 2M - 2` for `M < m`, else `2m + M - 2`.
+pub fn fwl_achievable(m_packets: u32, n: u64) -> u32 {
+    assert!(m_packets >= 1);
+    let m = m_of(n);
+    let mm = m_packets;
+    if mm < m {
+        m + 2 * mm - 2
+    } else {
+        2 * m + mm - 2
+    }
+}
+
+/// Theorem 1: expected multi-packet flooding delay limit in original
+/// slots for period `T`, `M` packets, `N` sensors:
+/// `T(m/2 + M - 1)` if `M < m`, else `T(m + M/2 - 1)`.
+pub fn fdl_expected(m_packets: u32, n: u64, period: u32) -> f64 {
+    period as f64 * fwl_achievable(m_packets, n) as f64 / 2.0
+}
+
+/// The worst-case counterpart: `FDL ≤ T · FWL` (each waiting can cost at
+/// most a full period).
+pub fn fdl_worst_case(m_packets: u32, n: u64, period: u32) -> u64 {
+    period as u64 * fwl_achievable(m_packets, n) as u64
+}
+
+/// Theorem 2: `(lower, upper)` bounds on `E[FDL]` for *arbitrary* `N`
+/// (the closed form of Theorem 1 needs `N = 2^n`):
+///
+/// ```text
+/// M <  m:  T(m/2 + M - 1)  ..  T(m + 3M/2 - 3/2)
+/// M >= m:  T(m + M/2 - 1)  ..  T(2m + M/2 - 1)
+/// ```
+pub fn fdl_theorem2_bounds(m_packets: u32, n: u64, period: u32) -> (f64, f64) {
+    assert!(m_packets >= 1);
+    let t = period as f64;
+    let m = m_of(n) as f64;
+    let mm = m_packets as f64;
+    if mm < m {
+        (t * (0.5 * m + mm - 1.0), t * (m + 1.5 * mm - 1.5))
+    } else {
+        (t * (m + 0.5 * mm - 1.0), t * (2.0 * m + 0.5 * mm - 1.0))
+    }
+}
+
+/// Corollary 1: the blocking depth — a packet's delay is affected by at
+/// most this many packets immediately before it (`m - 1`).
+pub fn blocking_depth(n: u64) -> u32 {
+    m_of(n).saturating_sub(1)
+}
+
+/// Lemma 3 (full-duplex, `N = 2^n`, ideal links): total compact slots to
+/// flood `M` packets is exactly `M + m - 1`.
+pub fn lemma3_compact_slots(m_packets: u32, n: u64) -> u32 {
+    assert!(m_packets >= 1);
+    m_packets + m_of(n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_values() {
+        assert_eq!(m_of(4), 3); // ceil(log2 5)
+        assert_eq!(m_of(255), 8);
+        assert_eq!(m_of(256), 9); // ceil(log2 257)
+        assert_eq!(m_of(1024), 11);
+        assert_eq!(m_of(4096), 13);
+    }
+
+    #[test]
+    fn table1_shape() {
+        // M < m: W_p = m + p, strictly increasing.
+        let n = 1024; // m = 11
+        let t = waiting_table(5, n);
+        assert_eq!(t, vec![(0, 11), (1, 12), (2, 13), (3, 14), (4, 15)]);
+        // M >= m: capped at m + (m-1) = 21.
+        let t = waiting_table(15, n);
+        assert_eq!(t[10].1, 21);
+        assert_eq!(t[14].1, 21);
+        assert!(t.iter().all(|&(_, w)| w <= 21));
+    }
+
+    #[test]
+    fn theorem1_closed_forms() {
+        let n = 1024; // m = 11
+        let t = 20;
+        // M = 5 < m: T(m/2 + M - 1) = 20 * (5.5 + 4) = 190.
+        assert!((fdl_expected(5, n, t) - 190.0).abs() < 1e-9);
+        // M = 20 >= m: T(m + M/2 - 1) = 20 * (11 + 10 - 1) = 400.
+        assert!((fdl_expected(20, n, t) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knee_at_m_packets() {
+        // Fig. 5: slope halves at the knee M = m. For M < m consecutive
+        // increments are T; for M >= m they are T/2.
+        let n = 256; // m = 9
+        let t = 10u32;
+        let m = m_of(n);
+        for mm in 2..(m - 1) {
+            let d = fdl_expected(mm + 1, n, t) - fdl_expected(mm, n, t);
+            assert!((d - t as f64).abs() < 1e-9, "pre-knee slope T");
+        }
+        for mm in (m + 1)..(m + 8) {
+            let d = fdl_expected(mm + 1, n, t) - fdl_expected(mm, n, t);
+            assert!((d - t as f64 / 2.0).abs() < 1e-9, "post-knee slope T/2");
+        }
+    }
+
+    #[test]
+    fn duty_cycle_dominates_delay() {
+        // Fig. 5 left panel: smaller duty ratio (larger T) => larger FDL,
+        // proportionally.
+        let n = 1024;
+        let m_packets = 10;
+        let d10 = fdl_expected(m_packets, n, 10); // duty 10%
+        let d20 = fdl_expected(m_packets, n, 5); // duty 20%
+        let d100 = fdl_expected(m_packets, n, 1); // duty 100%
+        assert!(d10 > d20 && d20 > d100);
+        assert!((d10 / d20 - 2.0).abs() < 1e-9);
+        assert!((d20 / d100 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_bounds_bracket_theorem1() {
+        for n in [100u64, 256, 500, 1024, 3000] {
+            for mm in [1u32, 3, 8, 12, 30] {
+                let (lo, hi) = fdl_theorem2_bounds(mm, n, 20);
+                let t1 = fdl_expected(mm, n, 20);
+                assert!(lo <= t1 + 1e-9, "lower {lo} vs T1 {t1} (n={n}, M={mm})");
+                assert!(hi >= t1 - 1e-9, "upper {hi} vs T1 {t1} (n={n}, M={mm})");
+                assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_is_twice_expected() {
+        let n = 256;
+        for mm in [1u32, 5, 20] {
+            let e = fdl_expected(mm, n, 10);
+            let w = fdl_worst_case(mm, n, 10) as f64;
+            assert!((w - 2.0 * e).abs() < 1e-9, "factor-2 gap (paper proof)");
+        }
+    }
+
+    #[test]
+    fn blocking_depth_is_m_minus_1() {
+        assert_eq!(blocking_depth(1024), 10);
+        assert_eq!(blocking_depth(4), 2);
+    }
+
+    #[test]
+    fn lemma3_small_cases() {
+        // N = 4, M = 2 (Fig. 3's example): 2 + 3 - 1 = 4 compact slots.
+        assert_eq!(lemma3_compact_slots(2, 4), 4);
+        assert_eq!(lemma3_compact_slots(1, 4), 3);
+    }
+
+    #[test]
+    fn fwl_achievable_continuity_at_knee() {
+        // Both branches agree at M = m.
+        let n = 256;
+        let m = m_of(n);
+        assert_eq!(fwl_achievable(m, n), m + 2 * m - 2);
+        assert_eq!(fwl_achievable(m, n), 2 * m + m - 2);
+    }
+}

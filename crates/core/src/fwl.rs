@@ -1,0 +1,112 @@
+//! Flooding Waiting Limit (paper §III-C, §IV-A, Lemma 2).
+//!
+//! `FWL` counts the waitings (compact-time slots) needed before the last
+//! copy of a packet is received. Lemma 2 gives the single-packet average
+//! for a network of `N` sensors under Galton–Watson growth with offspring
+//! mean `μ`:
+//!
+//! ```text
+//! E[FWL] = ⌈ log₂(1+N) / log₂(μ) ⌉,
+//! ```
+//!
+//! and Eq. (6) the with-high-probability floor `FWL ≥ ⌈log₂(1+N)⌉`.
+
+use crate::galton_watson::GaltonWatson;
+
+/// Lemma 2: expected single-packet FWL for `n` sensors and offspring
+/// mean `mu ∈ (1, 2]`.
+pub fn expected_fwl(n: u64, mu: f64) -> u32 {
+    assert!(n >= 1, "need at least one sensor");
+    assert!(mu > 1.0 && mu <= 2.0, "Galton–Watson mean must be in (1,2]");
+    let v = ((1 + n) as f64).log2() / mu.log2();
+    v.ceil() as u32
+}
+
+/// Eq. (6): the w.h.p. lower bound `⌈log₂(1+N)⌉` — the best any flooding
+/// protocol can do even over perfect links.
+pub fn fwl_whp_bound(n: u64) -> u32 {
+    assert!(n >= 1);
+    (((1 + n) as f64).log2()).ceil() as u32
+}
+
+/// The Chebyshev argument after Lemma 2: probability that the martingale
+/// limit exceeds `alpha` times its mean, for a process with recruit
+/// probability `pi = mu - 1`. Its smallness is what justifies replacing
+/// `log₂((1+N)/X)` by `log₂(1+N)` in Eq. (6).
+pub fn approximation_tail(mu: f64, alpha: f64) -> f64 {
+    GaltonWatson::new(mu - 1.0).tail_bound(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_links_reduce_to_log2() {
+        // mu = 2: E[FWL] = ceil(log2(1+N)).
+        for n in [1u64, 2, 3, 4, 7, 15, 255, 1023, 4095] {
+            assert_eq!(expected_fwl(n, 2.0), fwl_whp_bound(n), "n={n}");
+        }
+        assert_eq!(fwl_whp_bound(4), 3); // ceil(log2 5)
+        assert_eq!(fwl_whp_bound(1024), 11); // ceil(log2 1025)
+    }
+
+    #[test]
+    fn lossier_links_need_more_waitings() {
+        let n = 1024;
+        let mut prev = 0;
+        for mu in [2.0, 1.8, 1.5, 1.2, 1.05] {
+            let f = expected_fwl(n, mu);
+            assert!(f >= prev, "FWL grows as mu shrinks");
+            prev = f;
+        }
+        // mu -> 1+ is unbounded (paper: "FWL is not upper bounded since
+        // the wireless links can be unlimited lossy").
+        assert!(expected_fwl(n, 1.01) > 500);
+    }
+
+    #[test]
+    fn lemma2_matches_simulation() {
+        // Empirical slots-to-reach(1+N) under Binomial growth should sit
+        // near the Lemma 2 value (the lemma is an asymptotic ceil, so we
+        // allow one slot of slack on either side).
+        let n = 4095u64;
+        let pi = 0.7;
+        let gw = GaltonWatson::new(pi);
+        let mut rng = StdRng::seed_from_u64(11);
+        let runs = 300;
+        let mut total = 0u64;
+        for _ in 0..runs {
+            total += gw.slots_to_reach(1 + n, &mut rng) as u64;
+        }
+        let mean = total as f64 / runs as f64;
+        let lemma = expected_fwl(n, 1.0 + pi) as f64;
+        assert!(
+            (mean - lemma).abs() <= 1.5,
+            "simulated {mean} vs Lemma 2 {lemma}"
+        );
+    }
+
+    #[test]
+    fn whp_bound_is_a_floor_for_expected() {
+        for n in [16u64, 100, 1024, 100_000] {
+            for mu in [1.2, 1.5, 1.9, 2.0] {
+                assert!(expected_fwl(n, mu) >= fwl_whp_bound(n));
+            }
+        }
+    }
+
+    #[test]
+    fn tail_vanishes_for_large_alpha() {
+        let t = approximation_tail(1.5, 8.0);
+        assert!(t < 0.01, "tail {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (1,2]")]
+    fn rejects_subcritical_mu() {
+        let _ = expected_fwl(100, 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Galton–Watson branching processes (paper §IV-A, Lemma 1).
+//!
+//! "The sequence `{X_p^{(c)}(1+N)}` forms a Galton–Watson process, where
+//! `X^{(0)} = 1` and `1 < E[X^{(1)}] ≤ 2`."
+//!
+//! In the flooding interpretation, each node holding the packet attempts
+//! one unicast to a fresh node per compact slot and succeeds with
+//! probability `π`, so the per-slot "offspring" of a holder is itself
+//! plus a Bernoulli(`π`) recruit: `μ = 1 + π ∈ (1, 2]` and
+//! `σ² = Var[X^{(1)}] = π(1-π)`. Lemma 1 (Theorem 2.2.1 of
+//! Sankaranarayanan) says `W_c = X^{(c)}/μ^c` converges a.s. to a random
+//! variable `X` with `E[X] = 1` and `Var[X] = σ²/(μ²-μ)`.
+
+use rand::Rng;
+
+/// The flooding Galton–Watson process with per-slot recruit probability
+/// `π` (i.e. effective link success probability on the compact scale).
+#[derive(Clone, Copy, Debug)]
+pub struct GaltonWatson {
+    /// Probability that a holder recruits one new holder per compact slot.
+    pi: f64,
+}
+
+impl GaltonWatson {
+    /// Create a process with recruit probability `pi ∈ (0, 1]`.
+    pub fn new(pi: f64) -> Self {
+        assert!(pi > 0.0 && pi <= 1.0, "recruit probability in (0,1]");
+        Self { pi }
+    }
+
+    /// The offspring mean `μ = 1 + π ∈ (1, 2]`.
+    pub fn mu(&self) -> f64 {
+        1.0 + self.pi
+    }
+
+    /// The offspring variance `σ² = π(1-π)`.
+    pub fn sigma_sq(&self) -> f64 {
+        self.pi * (1.0 - self.pi)
+    }
+
+    /// `E[X^{(c)}] = μ^c` (mean population after `c` compact slots).
+    pub fn expected_population(&self, c: u32) -> f64 {
+        self.mu().powi(c as i32)
+    }
+
+    /// Lemma 1: `Var[X] = σ²/(μ² - μ)` for the martingale limit `X`.
+    pub fn martingale_limit_variance(&self) -> f64 {
+        let mu = self.mu();
+        self.sigma_sq() / (mu * mu - mu)
+    }
+
+    /// Chebyshev tail (paper, after Lemma 2): for `α > 1`,
+    /// `Pr{X > α·E[X]} < σ²/((α-1)²(μ²-μ))`.
+    pub fn tail_bound(&self, alpha: f64) -> f64 {
+        assert!(alpha > 1.0, "alpha must exceed 1");
+        self.martingale_limit_variance() / ((alpha - 1.0) * (alpha - 1.0))
+    }
+
+    /// Simulate one trajectory for `c_max` compact slots starting from a
+    /// single holder; returns the population at each slot (length
+    /// `c_max + 1`, starting at 1). Populations are capped at `cap` to
+    /// bound work (the flood stops growing at network size anyway).
+    pub fn simulate<R: Rng + ?Sized>(&self, c_max: u32, cap: u64, rng: &mut R) -> Vec<u64> {
+        let mut pop = 1u64;
+        let mut out = Vec::with_capacity(c_max as usize + 1);
+        out.push(pop);
+        for _ in 0..c_max {
+            if pop < cap {
+                let mut recruits = 0u64;
+                // Binomial(pop, pi) by direct draws; populations of
+                // interest are small (≤ network size), so this is fine.
+                for _ in 0..pop.min(cap) {
+                    if rng.random::<f64>() < self.pi {
+                        recruits += 1;
+                    }
+                }
+                pop = (pop + recruits).min(cap);
+            }
+            out.push(pop);
+        }
+        out
+    }
+
+    /// Simulate the number of compact slots needed for the population to
+    /// reach `target` (the empirical FWL of a single packet).
+    pub fn slots_to_reach<R: Rng + ?Sized>(&self, target: u64, rng: &mut R) -> u32 {
+        let mut pop = 1u64;
+        let mut c = 0u32;
+        while pop < target {
+            let mut recruits = 0u64;
+            for _ in 0..pop {
+                if rng.random::<f64>() < self.pi {
+                    recruits += 1;
+                }
+            }
+            pop += recruits;
+            c += 1;
+            assert!(c < 100_000, "process failed to reach target");
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments() {
+        let gw = GaltonWatson::new(0.5);
+        assert!((gw.mu() - 1.5).abs() < 1e-12);
+        assert!((gw.sigma_sq() - 0.25).abs() < 1e-12);
+        // Var[X] = 0.25 / (2.25 - 1.5) = 1/3.
+        assert!((gw.martingale_limit_variance() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_links_double_every_slot() {
+        let gw = GaltonWatson::new(1.0);
+        assert_eq!(gw.mu(), 2.0);
+        assert_eq!(gw.sigma_sq(), 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let traj = gw.simulate(5, u64::MAX, &mut rng);
+        assert_eq!(traj, vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(gw.slots_to_reach(1024, &mut rng), 10);
+    }
+
+    #[test]
+    fn mean_population_matches_mu_powers() {
+        let gw = GaltonWatson::new(0.6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let runs = 4000;
+        let c = 6;
+        let mut total = 0.0;
+        for _ in 0..runs {
+            total += *gw.simulate(c, u64::MAX, &mut rng).last().unwrap() as f64;
+        }
+        let mean = total / runs as f64;
+        let expect = gw.expected_population(c);
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs E {expect}"
+        );
+    }
+
+    #[test]
+    fn martingale_converges_lemma1() {
+        // W_c = X_c / mu^c should have mean 1 and variance close to
+        // sigma^2/(mu^2-mu) for large c.
+        let gw = GaltonWatson::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = 14;
+        let runs = 3000;
+        let mut ws = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let x = *gw.simulate(c, u64::MAX, &mut rng).last().unwrap() as f64;
+            ws.push(x / gw.expected_population(c));
+        }
+        let mean = ws.iter().sum::<f64>() / runs as f64;
+        let var = ws.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / runs as f64;
+        assert!((mean - 1.0).abs() < 0.05, "E[X] = 1, got {mean}");
+        let expect = gw.martingale_limit_variance();
+        assert!(
+            (var - expect).abs() < 0.08,
+            "Var[X] = {expect}, got {var}"
+        );
+    }
+
+    #[test]
+    fn tail_bound_decreases_in_alpha() {
+        let gw = GaltonWatson::new(0.4);
+        assert!(gw.tail_bound(2.0) > gw.tail_bound(3.0));
+        assert!(gw.tail_bound(10.0) < 0.01);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let gw = GaltonWatson::new(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let traj = gw.simulate(20, 100, &mut rng);
+        assert!(traj.iter().all(|&x| x <= 100));
+        assert_eq!(*traj.last().unwrap(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "recruit probability")]
+    fn rejects_zero_pi() {
+        let _ = GaltonWatson::new(0.0);
+    }
+}

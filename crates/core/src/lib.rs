@@ -1,0 +1,45 @@
+//! # ldcf-core — the theory of flooding in low-duty-cycle WSNs
+//!
+//! This crate implements the analytical contribution of *"Understanding
+//! the Flooding in Low-Duty-Cycle Wireless Sensor Networks"* (ICPP 2011,
+//! §III–§IV):
+//!
+//! * [`galton_watson`] — the branching-process machinery behind Lemma 1:
+//!   the packet-possession counts `{X_p^{(c)}}` form a Galton–Watson
+//!   process whose normalisation `X^{(c)}/μ^c` is a convergent
+//!   supercritical martingale.
+//! * [`fwl`] — the **Flooding Waiting Limit**: Lemma 2
+//!   (`E[FWL] = ⌈log₂(1+N)/log₂ μ⌉`) and the w.h.p. bound
+//!   `FWL ≥ ⌈log₂(1+N)⌉` (Eq. 6), with the Chebyshev tail estimate.
+//! * [`algorithm1`] — the matrix-based multi-packet flooding algorithm
+//!   (Eq. 2, Algorithm 1, Fig. 3) with the packet-expiry rule and the
+//!   half-duplex slot-splitting modification of §IV-A-2, plus Table I.
+//! * [`fdl`] — the **Flooding Delay Limit**: Theorem 1's closed form,
+//!   Theorem 2's bounds for arbitrary `N`, and Corollary 1's bounded
+//!   blocking depth.
+//! * [`link_loss`] — §IV-B: `k`-class links, the characteristic equation
+//!   `x^{kT+1} = x^{kT} + 1` of recurrence (7)/(8), and the resulting
+//!   delay prediction (Fig. 7) and Fig. 10 lower bound.
+//! * [`compact_time`] — the compact time scale (Fig. 2): the bijection
+//!   between busy original slots and compact slot indices.
+//! * [`tradeoff`] — the duty-cycle configuration instrument the paper
+//!   calls for in §IV/§VI: lifetime vs flooding delay and the resulting
+//!   networking gain.
+
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod compact_time;
+pub mod fdl;
+pub mod fwl;
+pub mod galton_watson;
+pub mod link_loss;
+pub mod tradeoff;
+
+pub use algorithm1::MatrixFlood;
+pub use compact_time::CompactTimeScale;
+pub use fdl::{fdl_expected, fdl_theorem2_bounds, fwl_achievable, m_of};
+pub use fwl::{expected_fwl, fwl_whp_bound};
+pub use galton_watson::GaltonWatson;
+pub use link_loss::{growth_rate, predicted_flooding_delay};
+pub use tradeoff::DutyCycleAdvisor;

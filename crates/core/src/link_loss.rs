@@ -1,0 +1,196 @@
+//! Impact of link loss (paper §IV-B, Fig. 7).
+//!
+//! A `k`-class link delivers a packet within `k` transmissions with high
+//! probability; the paper's Fig. 7 legend uses the fractional expected
+//! transmission count `k = 1/p` (ETX). Each failed transmission costs a
+//! sleep latency of one period `T`, so the dissemination of a packet
+//! obeys the delayed recurrence (Eq. 7)
+//!
+//! ```text
+//! X(t+1) ≤ X(t) + X(t - kT),
+//! ```
+//!
+//! whose characteristic ("eigen") equation (Eq. 8) is
+//!
+//! ```text
+//! x^{kT+1} = x^{kT} + 1.
+//! ```
+//!
+//! The largest positive root `λ` bounds the growth rate per original
+//! slot; the time for the possession count to reach `1+N` is then
+//! `log_λ(1+N)`, the paper's delay prediction — and the **predicted
+//! lower bound** plotted under the simulated curves of Fig. 10.
+
+/// Largest real root `λ > 1` of `x^{d+1} = x^d + 1` for delay exponent
+/// `d = k·T` (fractional `d` allowed; uses `powf`).
+///
+/// Bisection on `g(x) = x^{d+1} - x^d - 1`, which is strictly increasing
+/// for `x ≥ 1` (so the root is unique there), followed by a Newton
+/// polish.
+pub fn largest_root(d: f64) -> f64 {
+    assert!(d >= 0.0 && d.is_finite(), "delay exponent must be finite");
+    if d == 0.0 {
+        // x = x^0 + 1 = 2: one retransmission delay of zero periods —
+        // possession doubles every slot.
+        return 2.0;
+    }
+    // Numerically stable form: g(x) = x^d (x-1) - 1, evaluated in log
+    // space so x^{d+1} - x^d never produces inf - inf for large d.
+    let g = |x: f64| (d * x.ln() + (x - 1.0).ln()).exp() - 1.0;
+    let mut lo = 1.0f64 + 1e-12;
+    let mut hi = 2.0f64;
+    debug_assert!(g(lo) < 0.0);
+    debug_assert!(g(hi) > 0.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Newton polish on h(x) = d·ln(x) + ln(x-1) (same root, better
+    // conditioned): h'(x) = d/x + 1/(x-1).
+    let mut x = 0.5 * (lo + hi);
+    for _ in 0..4 {
+        let h = d * x.ln() + (x - 1.0).ln();
+        let hp = d / x + 1.0 / (x - 1.0);
+        if hp.is_finite() && hp.abs() > 1e-300 {
+            let next = x - h / hp;
+            if next > 1.0 && next <= 2.0 {
+                x = next;
+            }
+        }
+    }
+    x
+}
+
+/// Per-slot growth rate `λ` for expected transmission count `k` and
+/// period `T` (Eq. 8 with `d = k·T`).
+pub fn growth_rate(k: f64, period: f64) -> f64 {
+    assert!(k >= 1.0, "k is an expected transmission count (>= 1)");
+    assert!(period >= 1.0);
+    largest_root(k * period)
+}
+
+/// §IV-B delay prediction: slots for a packet to reach `1 + N` nodes
+/// under `k`-class links and period `T` — `log_λ(1+N)`.
+pub fn predicted_flooding_delay(n: u64, k: f64, period: f64) -> f64 {
+    let lambda = growth_rate(k, period);
+    ((1 + n) as f64).ln() / lambda.ln()
+}
+
+/// The same prediction parameterised the way Fig. 7's axes are: duty
+/// cycle (`= 1/T`) and link quality (`k = 1/quality`).
+pub fn fig7_delay(n: u64, duty_cycle: f64, link_quality: f64) -> f64 {
+    assert!(duty_cycle > 0.0 && duty_cycle <= 1.0);
+    assert!(link_quality > 0.0 && link_quality <= 1.0);
+    predicted_flooding_delay(n, 1.0 / link_quality, 1.0 / duty_cycle)
+}
+
+/// Fig. 10's "Predicted Lower Bound" series: the §IV-B prediction
+/// evaluated at the network's mean link quality for each duty cycle.
+pub fn predicted_lower_bound(n: u64, duty_cycle: f64, mean_link_quality: f64) -> f64 {
+    fig7_delay(n, duty_cycle, mean_link_quality)
+}
+
+/// Whether the limited-blocking conclusion of Corollary 1 survives link
+/// loss for a given packet generation interval (original slots between
+/// packets): if the per-packet service time exceeds the generation
+/// interval, "early sent packets may significantly block the
+/// transmissions of late coming packets" (§IV-B) and pipelining breaks.
+pub fn blocking_is_limited(
+    n: u64,
+    k: f64,
+    period: f64,
+    generation_interval_slots: f64,
+) -> bool {
+    predicted_flooding_delay(n, k, period) <= generation_interval_slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_satisfies_equation() {
+        for d in [1.0, 5.0, 12.5, 50.0, 100.0, 62.5] {
+            let x = largest_root(d);
+            let res = x.powf(d + 1.0) - x.powf(d) - 1.0;
+            assert!(res.abs() < 1e-9, "residual {res} at d={d}");
+            assert!(x > 1.0 && x < 2.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_d_zero_doubles() {
+        assert_eq!(largest_root(0.0), 2.0);
+    }
+
+    #[test]
+    fn growth_rate_decreases_with_kt() {
+        // More loss (larger k) or lower duty (larger T) => slower growth.
+        let base = growth_rate(1.25, 20.0);
+        assert!(growth_rate(2.0, 20.0) < base);
+        assert!(growth_rate(1.25, 50.0) < base);
+    }
+
+    #[test]
+    fn fig7_orderings() {
+        // At any duty cycle, worse links predict longer delays.
+        let n = 298;
+        for duty in [0.02, 0.05, 0.1, 0.2] {
+            let mut prev = 0.0;
+            for q in [0.8, 0.7, 0.6, 0.5] {
+                let dly = fig7_delay(n, duty, q);
+                assert!(dly > prev, "delay grows as quality drops");
+                prev = dly;
+            }
+        }
+        // And for any quality, lower duty predicts longer delays.
+        for q in [0.5, 0.8] {
+            let mut prev = 0.0;
+            for duty in [0.2, 0.1, 0.05, 0.02] {
+                let dly = fig7_delay(n, duty, q);
+                assert!(dly > prev, "delay grows as duty drops");
+                prev = dly;
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_loss_magnifies_duty_penalty() {
+        // The paper's headline: loss *magnifies* the duty-cycle penalty.
+        // The extra delay paid for dropping quality 0.8 -> 0.5 must be
+        // larger at duty 2% than at duty 20%.
+        let n = 298;
+        let penalty = |duty: f64| fig7_delay(n, duty, 0.5) - fig7_delay(n, duty, 0.8);
+        assert!(penalty(0.02) > 3.0 * penalty(0.2));
+    }
+
+    #[test]
+    fn prediction_scales_with_log_n() {
+        let d1 = predicted_flooding_delay(100, 1.5, 20.0);
+        let d2 = predicted_flooding_delay(10_000, 1.5, 20.0);
+        // log(10001)/log(101) ~ 2 => roughly double.
+        assert!((d2 / d1 - 2.0).abs() < 0.1, "ratio {}", d2 / d1);
+    }
+
+    #[test]
+    fn blocking_breaks_under_heavy_loss() {
+        // Ideal-ish: a packet every 50 slots is fine at duty 20%, good
+        // links; it is NOT fine at duty 2% with 50% links.
+        let n = 298;
+        assert!(blocking_is_limited(n, 1.05, 5.0, 200.0));
+        assert!(!blocking_is_limited(n, 2.0, 50.0, 50.0));
+    }
+
+    #[test]
+    fn bound_is_below_typical_simulated_delays() {
+        // Sanity: the Fig. 10 bound at the paper's default (duty 5%,
+        // mean quality ~0.75) is on the order of 10^2, far below the
+        // simulated thousands.
+        let b = predicted_lower_bound(298, 0.05, 0.75);
+        assert!(b > 10.0 && b < 1000.0, "bound {b}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Duty-cycle configuration: the lifetime ↔ delay trade-off instrument
+//! (paper §IV-A-3, §V-C-2, §VI).
+//!
+//! "While the system lifetime linearly increases as the duty cycle
+//! becomes small, the delay performance drops exponentially at the same
+//! time. As a result, the total energy benefit obtained with
+//! low-duty-cycle networks decreases exponentially. ... It is NOT always
+//! beneficial to set the duty cycle extremely low." The paper leaves the
+//! configuration policy as future work ("an instruction to configure the
+//! duty cycle length such that the flooding delay and the system
+//! lifetime can be well balanced is still missing") — this module
+//! supplies that instrument on top of the §IV theory.
+//!
+//! The **networking gain** of a duty cycle `δ` is defined as
+//!
+//! ```text
+//! gain(δ) = lifetime(δ)^wl / delay(δ)^wd
+//! ```
+//!
+//! with `lifetime(δ) ∝ 1/δ` (idle-dominated energy) and `delay(δ)` the
+//! §IV-B link-loss-aware prediction. The weights `wl`, `wd` encode the
+//! application's relative valuation; the default `wl = wd = 1` treats a
+//! doubling of lifetime as worth a doubling of delay.
+
+use crate::link_loss;
+use serde::{Deserialize, Serialize};
+
+/// The duty-cycle configuration advisor.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DutyCycleAdvisor {
+    /// Number of sensors in the network.
+    pub n: u64,
+    /// Mean link quality (PRR) of the deployment.
+    pub link_quality: f64,
+    /// Packets per flooding burst (`M`).
+    pub n_packets: u32,
+    /// Original slots between packet generations at the source. When the
+    /// per-packet service time exceeds this, queueing blows the delay up
+    /// (§IV-B: "early sent packets may significantly block the
+    /// transmissions of late coming packets").
+    pub generation_interval: f64,
+    /// Relative weight of lifetime in the gain.
+    pub lifetime_weight: f64,
+    /// Relative weight of (inverse) delay in the gain.
+    pub delay_weight: f64,
+    /// Fraction of active-slot power still drawn while dormant (timer +
+    /// leakage). Keeps lifetime finite as duty → 0.
+    pub sleep_power_fraction: f64,
+}
+
+impl DutyCycleAdvisor {
+    /// An advisor with equal weights, a CC2420-class sleep floor, and a
+    /// default workload of 10-packet bursts generated every 150 slots.
+    pub fn new(n: u64, link_quality: f64) -> Self {
+        assert!(n >= 1);
+        assert!(link_quality > 0.0 && link_quality <= 1.0);
+        Self {
+            n,
+            link_quality,
+            n_packets: 10,
+            generation_interval: 150.0,
+            lifetime_weight: 1.0,
+            delay_weight: 1.0,
+            sleep_power_fraction: 0.001,
+        }
+    }
+
+    /// Normalized lifetime at duty `δ`: `1 / (δ + (1-δ)·sleep_frac)`,
+    /// i.e. ∝ `1/δ` until the sleep floor bites.
+    pub fn lifetime(&self, duty: f64) -> f64 {
+        assert!(duty > 0.0 && duty <= 1.0);
+        1.0 / (duty + (1.0 - duty) * self.sleep_power_fraction)
+    }
+
+    /// Predicted per-packet flooding delay at duty `δ` (slots) for the
+    /// configured workload. The first packet costs the §IV-B prediction
+    /// `D(δ)`; each of the remaining `M-1` packets additionally queues
+    /// behind its predecessor whenever the service time exceeds the
+    /// generation interval `G` — the §IV-B blocking blow-up — so the
+    /// mean delay is `D + (M-1)/2 · max(0, D - G)`.
+    pub fn delay(&self, duty: f64) -> f64 {
+        let d = link_loss::fig7_delay(self.n, duty, self.link_quality);
+        let backlog = (d - self.generation_interval).max(0.0);
+        d + (self.n_packets.saturating_sub(1)) as f64 / 2.0 * backlog
+    }
+
+    /// The single-packet §IV-B prediction without queueing.
+    pub fn single_packet_delay(&self, duty: f64) -> f64 {
+        link_loss::fig7_delay(self.n, duty, self.link_quality)
+    }
+
+    /// The networking gain at duty `δ`.
+    pub fn gain(&self, duty: f64) -> f64 {
+        self.lifetime(duty).powf(self.lifetime_weight) / self.delay(duty).powf(self.delay_weight)
+    }
+
+    /// Scan a duty-cycle grid and return `(best_duty, best_gain)`.
+    pub fn best_duty(&self, grid: &[f64]) -> (f64, f64) {
+        assert!(!grid.is_empty());
+        let mut best = (grid[0], self.gain(grid[0]));
+        for &d in &grid[1..] {
+            let g = self.gain(d);
+            if g > best.1 {
+                best = (d, g);
+            }
+        }
+        best
+    }
+
+    /// The smallest duty cycle on `grid` whose predicted delay stays
+    /// within `delay_budget` slots — the constrained variant: maximise
+    /// lifetime subject to a delay requirement. `None` if no grid point
+    /// qualifies.
+    pub fn min_duty_for_delay(&self, grid: &[f64], delay_budget: f64) -> Option<f64> {
+        grid.iter()
+            .copied()
+            .filter(|&d| self.delay(d) <= delay_budget)
+            .min_by(|a, b| a.partial_cmp(b).expect("duty cycles are finite"))
+    }
+
+    /// A standard evaluation grid: 1 %..=50 % in 1 % steps.
+    pub fn default_grid() -> Vec<f64> {
+        (1..=50).map(|p| p as f64 / 100.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advisor() -> DutyCycleAdvisor {
+        DutyCycleAdvisor::new(298, 0.75)
+    }
+
+    #[test]
+    fn lifetime_is_roughly_inverse_duty() {
+        let a = advisor();
+        let r = a.lifetime(0.05) / a.lifetime(0.10);
+        assert!((r - 2.0).abs() < 0.05, "halving duty doubles lifetime, r={r}");
+    }
+
+    #[test]
+    fn delay_explodes_at_low_duty() {
+        let a = advisor();
+        assert!(a.delay(0.02) > 3.0 * a.delay(0.2));
+    }
+
+    #[test]
+    fn extreme_low_duty_is_not_optimal() {
+        // The paper's conclusion: gain collapses at extreme duty cycles,
+        // so the optimum is interior (not the lowest grid point).
+        let a = advisor();
+        let grid = DutyCycleAdvisor::default_grid();
+        let (best, _) = a.best_duty(&grid);
+        assert!(
+            best > 0.01,
+            "optimal duty {best} should exceed the lowest grid point"
+        );
+        assert!(a.gain(best) > a.gain(0.01));
+    }
+
+    #[test]
+    fn lifetime_heavy_weights_push_duty_down() {
+        let grid = DutyCycleAdvisor::default_grid();
+        let mut a = advisor();
+        let (balanced, _) = a.best_duty(&grid);
+        a.lifetime_weight = 3.0;
+        let (lifetime_heavy, _) = a.best_duty(&grid);
+        assert!(
+            lifetime_heavy <= balanced,
+            "valuing lifetime more must not raise the duty cycle"
+        );
+    }
+
+    #[test]
+    fn delay_budget_selection() {
+        let a = advisor();
+        let grid = DutyCycleAdvisor::default_grid();
+        let budget = a.delay(0.10);
+        let d = a.min_duty_for_delay(&grid, budget).unwrap();
+        assert!(d <= 0.10 + 1e-9);
+        assert!(a.delay(d) <= budget + 1e-9);
+        // An impossible budget yields None.
+        assert!(a.min_duty_for_delay(&grid, 0.0).is_none());
+    }
+
+    #[test]
+    fn gain_is_single_peaked_on_grid() {
+        // Not required by theory, but true for this family: the gain
+        // rises to the optimum then falls. Verify no second peak.
+        let a = advisor();
+        let grid = DutyCycleAdvisor::default_grid();
+        let gains: Vec<f64> = grid.iter().map(|&d| a.gain(d)).collect();
+        let peak = gains
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        for w in gains[..peak].windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "monotone up before the peak");
+        }
+        for w in gains[peak..].windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "monotone down after the peak");
+        }
+    }
+}

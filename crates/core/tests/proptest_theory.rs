@@ -1,0 +1,100 @@
+//! Property-based tests for the analytical kernels.
+
+use ldcf_core::{fdl, fwl, link_loss};
+use proptest::prelude::*;
+
+proptest! {
+    /// The eigen-equation solver always returns a genuine root in (1, 2].
+    #[test]
+    fn largest_root_is_a_root(d in 0.0f64..5000.0) {
+        let x = link_loss::largest_root(d);
+        prop_assert!(x > 1.0 && x <= 2.0);
+        if d > 0.0 {
+            let residual = x.powf(d + 1.0) - x.powf(d) - 1.0;
+            prop_assert!(residual.abs() < 1e-6, "residual {residual} at d={d}");
+        }
+    }
+
+    /// Growth rate is monotone decreasing in the delay exponent.
+    #[test]
+    fn growth_rate_monotone(d1 in 0.5f64..1000.0, d2 in 0.5f64..1000.0) {
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assume!(hi - lo > 1e-6);
+        prop_assert!(link_loss::largest_root(lo) >= link_loss::largest_root(hi));
+    }
+
+    /// Predicted delay is monotone: worse links or lower duty never
+    /// reduce it; more sensors never reduce it.
+    #[test]
+    fn prediction_monotonicity(
+        n in 4u64..100_000,
+        k1 in 1.0f64..4.0,
+        k2 in 1.0f64..4.0,
+        t in 1.0f64..100.0,
+    ) {
+        let (klo, khi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(
+            link_loss::predicted_flooding_delay(n, klo, t)
+                <= link_loss::predicted_flooding_delay(n, khi, t) + 1e-9
+        );
+        prop_assert!(
+            link_loss::predicted_flooding_delay(n, klo, t)
+                <= link_loss::predicted_flooding_delay(2 * n, klo, t) + 1e-9
+        );
+    }
+
+    /// Lemma 2 lower-bounds nothing below the w.h.p. floor, and both
+    /// grow with N.
+    #[test]
+    fn fwl_formulas_are_ordered(
+        n1 in 1u64..1_000_000,
+        mu in 1.01f64..2.0,
+    ) {
+        prop_assert!(fwl::expected_fwl(n1, mu) >= fwl::fwl_whp_bound(n1));
+        prop_assert!(fwl::fwl_whp_bound(2 * n1) >= fwl::fwl_whp_bound(n1));
+    }
+
+    /// Theorem 2's bounds always bracket Theorem 1's closed form, for
+    /// every (M, N, T).
+    #[test]
+    fn theorem2_brackets_theorem1(
+        m in 1u32..60,
+        n in 2u64..100_000,
+        t in 1u32..100,
+    ) {
+        let (lo, hi) = fdl::fdl_theorem2_bounds(m, n, t);
+        let v = fdl::fdl_expected(m, n, t);
+        prop_assert!(lo <= v + 1e-9);
+        prop_assert!(v <= hi + 1e-9);
+    }
+
+    /// FDL is monotone in M, N and T, and the worst case is exactly
+    /// twice the expectation.
+    #[test]
+    fn fdl_monotonicity_and_factor2(
+        m in 1u32..50,
+        n in 2u64..100_000,
+        t in 1u32..100,
+    ) {
+        prop_assert!(fdl::fdl_expected(m + 1, n, t) >= fdl::fdl_expected(m, n, t));
+        prop_assert!(fdl::fdl_expected(m, 2 * n, t) >= fdl::fdl_expected(m, n, t));
+        prop_assert!(fdl::fdl_expected(m, n, t + 1) >= fdl::fdl_expected(m, n, t));
+        let w = fdl::fdl_worst_case(m, n, t) as f64;
+        prop_assert!((w - 2.0 * fdl::fdl_expected(m, n, t)).abs() < 1e-9);
+    }
+
+    /// Table I waitings are non-decreasing in p and capped at 2m-1.
+    #[test]
+    fn waiting_table_shape(m_packets in 1u32..80, n in 2u64..1_000_000) {
+        let table = fdl::waiting_table(m_packets, n);
+        let m = fdl::m_of(n);
+        let mut prev = 0;
+        for (p, w) in table {
+            prop_assert!(w >= prev, "W_p must be non-decreasing");
+            prop_assert!(w <= 2 * m - 1, "W_p capped at m + (m-1)");
+            prop_assert!(w >= m, "W_p at least m");
+            prev = w;
+            let _ = p;
+        }
+    }
+}

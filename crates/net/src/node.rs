@@ -1,0 +1,109 @@
+//! Node identifiers and per-node metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in the network.
+///
+/// Node `0` is the flooding source; nodes `1..=N` are the nominal sensors
+/// (paper §III-A). The id doubles as an index into per-node vectors, so it
+/// is kept as a plain `u32` newtype.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this node is the flooding source (id 0).
+    #[inline]
+    pub fn is_source(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_source() {
+            write!(f, "src")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+/// A 2-D position, used by geometric topology generators and the
+/// GreenOrbs-style trace generator.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// x coordinate in metres.
+    pub x: f64,
+    /// y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Create a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert!(!id.is_source());
+        assert!(NodeId(0).is_source());
+    }
+
+    #[test]
+    fn display_marks_source() {
+        assert_eq!(NodeId(0).to_string(), "src");
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.5, -2.0);
+        let b = Position::new(-3.0, 7.25);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Semi-duplex radio model (paper §III-B).
+//!
+//! "The radio equipped in each sensor is semi-duplex, i.e., a sensor can
+//! either transmit or receive a packet at any given time slot, but not
+//! both." A dormant sensor keeps only a timer running; it can wake to
+//! transmit at any slot but can receive only within its own active slots.
+
+use serde::{Deserialize, Serialize};
+
+/// Radio state of a node within one time slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum RadioState {
+    /// Radio off; only the wake-up timer runs (dormant state).
+    #[default]
+    Sleep,
+    /// Radio on, listening in an active slot, not yet receiving.
+    Listen,
+    /// Transmitting a unicast this slot (possible even from a dormant
+    /// schedule slot — the timer wakes the node on demand).
+    Transmit,
+    /// Receiving a unicast this slot (only possible while active).
+    Receive,
+}
+
+impl RadioState {
+    /// Whether the semi-duplex radio may start a transmission from this
+    /// state within the same slot.
+    pub fn can_transmit(self) -> bool {
+        matches!(self, RadioState::Sleep | RadioState::Listen)
+    }
+
+    /// Whether the radio may accept an incoming packet in this state.
+    /// Only a listening (active, non-transmitting) radio can receive.
+    pub fn can_receive(self) -> bool {
+        matches!(self, RadioState::Listen)
+    }
+}
+
+/// Check a per-slot state transition table for semi-duplex legality:
+/// a node never transmits and receives in the same slot.
+pub fn is_legal_slot(states: &[RadioState]) -> bool {
+    // A slot assignment is a single state per node, so illegal combined
+    // states cannot even be represented; this helper exists to make the
+    // invariant explicit for callers that build slot plans incrementally.
+    states
+        .iter()
+        .all(|s| matches!(s, RadioState::Sleep | RadioState::Listen | RadioState::Transmit | RadioState::Receive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semi_duplex_rules() {
+        assert!(RadioState::Sleep.can_transmit()); // wake-on-demand to send
+        assert!(RadioState::Listen.can_transmit());
+        assert!(!RadioState::Transmit.can_transmit());
+        assert!(!RadioState::Receive.can_transmit());
+
+        assert!(RadioState::Listen.can_receive());
+        assert!(!RadioState::Sleep.can_receive()); // dormant: no reception
+        assert!(!RadioState::Transmit.can_receive()); // semi-duplex
+    }
+
+    #[test]
+    fn default_is_sleep() {
+        assert_eq!(RadioState::default(), RadioState::Sleep);
+    }
+
+    #[test]
+    fn all_single_states_legal() {
+        use RadioState::*;
+        assert!(is_legal_slot(&[Sleep, Listen, Transmit, Receive]));
+    }
+}

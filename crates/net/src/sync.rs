@@ -1,0 +1,170 @@
+//! Local synchronization (paper §III-B).
+//!
+//! "With local synchronization, a sender knows when it shall wake up to
+//! transmit a packet to each of its neighbors according to their working
+//! schedules." The [`NeighborTable`] holds the full set of schedules and
+//! answers the two questions a sender needs:
+//!
+//! * which neighbors are active (receivable) at slot `t`, and
+//! * when is neighbor `v` next active at-or-after slot `t`.
+
+use crate::schedule::WorkingSchedule;
+use crate::topology::Topology;
+use crate::NodeId;
+
+/// Per-network table of working schedules with neighbor-aware queries.
+///
+/// This models the state each node accumulates via low-cost local
+/// synchronization protocols; we keep it network-global for simulation
+/// convenience (each node only ever queries its own neighborhood).
+#[derive(Clone, Debug)]
+pub struct NeighborTable {
+    schedules: Vec<WorkingSchedule>,
+}
+
+impl NeighborTable {
+    /// Build from one schedule per node.
+    pub fn new(schedules: Vec<WorkingSchedule>) -> Self {
+        assert!(!schedules.is_empty());
+        Self { schedules }
+    }
+
+    /// Generate the paper's normalized configuration: every node picks a
+    /// single uniformly random active slot in a period of `period` slots.
+    pub fn random_single_slot<R: rand::Rng + ?Sized>(
+        n_nodes: usize,
+        period: u32,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(
+            (0..n_nodes)
+                .map(|_| WorkingSchedule::single_random(period, rng))
+                .collect(),
+        )
+    }
+
+    /// Number of nodes covered by the table.
+    pub fn n_nodes(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The schedule of `node`.
+    pub fn schedule(&self, node: NodeId) -> &WorkingSchedule {
+        &self.schedules[node.index()]
+    }
+
+    /// Whether `node` is active at slot `t`.
+    #[inline]
+    pub fn is_active(&self, node: NodeId, t: u64) -> bool {
+        self.schedules[node.index()].is_active(t)
+    }
+
+    /// Next slot `>= t` at which `node` is active (sleep-latency query).
+    pub fn next_active(&self, node: NodeId, t: u64) -> u64 {
+        self.schedules[node.index()].next_active_at_or_after(t)
+    }
+
+    /// Neighbors of `u` (per `topo`) that are active at slot `t`.
+    pub fn active_neighbors<'a>(
+        &'a self,
+        topo: &'a Topology,
+        u: NodeId,
+        t: u64,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        topo.neighbors(u)
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(move |&v| self.is_active(v, t))
+    }
+
+    /// All nodes active at slot `t`.
+    pub fn all_active(&self, t: u64) -> impl Iterator<Item = NodeId> + '_ {
+        self.schedules
+            .iter()
+            .enumerate()
+            .filter(move |(_, s)| s.is_active(t))
+            .map(|(i, _)| NodeId::from(i))
+    }
+
+    /// Mean duty ratio across nodes.
+    pub fn mean_duty_ratio(&self) -> f64 {
+        self.schedules.iter().map(|s| s.duty_ratio()).sum::<f64>() / self.schedules.len() as f64
+    }
+
+    /// Probability that two independently-random single-slot schedules
+    /// share an active slot: `a/T` when both have `a` active slots. The
+    /// paper's unicast assumption (§III-B) rests on this being small in
+    /// low-duty-cycle networks.
+    pub fn rendezvous_probability(period: u32, active_per_period: u32) -> f64 {
+        // P(specific slot of u collides with one of v's a slots) = a/T for
+        // a single-slot u; for multi-slot schedules this is the expected
+        // per-slot overlap probability.
+        active_per_period as f64 / period as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkQuality;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> NeighborTable {
+        NeighborTable::new(vec![
+            WorkingSchedule::new(5, vec![0]),
+            WorkingSchedule::new(5, vec![2]),
+            WorkingSchedule::new(5, vec![2]),
+            WorkingSchedule::new(5, vec![4]),
+        ])
+    }
+
+    #[test]
+    fn active_queries() {
+        let t = table();
+        assert!(t.is_active(NodeId(0), 0));
+        assert!(t.is_active(NodeId(1), 7));
+        assert!(!t.is_active(NodeId(1), 6));
+        assert_eq!(t.next_active(NodeId(3), 0), 4);
+        assert_eq!(t.next_active(NodeId(3), 5), 9);
+    }
+
+    #[test]
+    fn all_active_at_slot() {
+        let t = table();
+        let at2: Vec<NodeId> = t.all_active(2).collect();
+        assert_eq!(at2, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn active_neighbors_respects_topology() {
+        let t = table();
+        let topo = Topology::line(4, LinkQuality::PERFECT);
+        // node 0's only neighbor is node 1, active at slot 2.
+        let act: Vec<NodeId> = t.active_neighbors(&topo, NodeId(0), 2).collect();
+        assert_eq!(act, vec![NodeId(1)]);
+        // node 2's neighbors are 1 and 3; at slot 4 only 3 is active.
+        let act: Vec<NodeId> = t.active_neighbors(&topo, NodeId(2), 4).collect();
+        assert_eq!(act, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn mean_duty_ratio_matches() {
+        let t = table();
+        assert!((t.mean_duty_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rendezvous_probability_is_low_at_low_duty() {
+        assert!((NeighborTable::rendezvous_probability(50, 1) - 0.02).abs() < 1e-12);
+        assert!(NeighborTable::rendezvous_probability(20, 1) <= 0.05);
+    }
+
+    #[test]
+    fn random_single_slot_has_unit_duty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = NeighborTable::random_single_slot(50, 20, &mut rng);
+        assert_eq!(t.n_nodes(), 50);
+        assert!((t.mean_duty_ratio() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,439 @@
+//! Network topology: adjacency with per-link quality, generators, and
+//! graph queries.
+//!
+//! The paper's evaluation (§V) runs over a 298-node topology with link
+//! qualities derived from long-term RSSI measurements. This module holds
+//! the graph representation and generic builders; the GreenOrbs-style
+//! trace generator lives in `ldcf-trace`.
+
+use crate::link::{Link, LinkQuality};
+use crate::node::{NodeId, Position};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// An undirected-connectivity, directed-quality network graph.
+///
+/// Adjacency is stored per node as `(neighbor, quality)` lists sorted by
+/// neighbor id. Qualities are directional (`quality(a→b)` may differ from
+/// `quality(b→a)`), but an edge is present in both directions whenever it
+/// is present in one — real deployments have asymmetric PRR but symmetric
+/// audibility at the carrier-sense level, which the MAC model relies on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    /// `adj[i]` = outgoing links of node `i`, sorted by target id.
+    adj: Vec<Vec<(NodeId, LinkQuality)>>,
+    /// Optional node positions (used by geometric generators / traces).
+    positions: Option<Vec<Position>>,
+}
+
+impl Topology {
+    /// An edgeless topology over `n_nodes` nodes (source + sensors).
+    pub fn empty(n_nodes: usize) -> Self {
+        assert!(n_nodes >= 1, "topology needs at least the source node");
+        Self {
+            adj: vec![Vec::new(); n_nodes],
+            positions: None,
+        }
+    }
+
+    /// Build from a list of directed links; missing reverse directions are
+    /// added with the same quality (symmetric default).
+    pub fn from_links(n_nodes: usize, links: impl IntoIterator<Item = Link>) -> Self {
+        let mut topo = Self::empty(n_nodes);
+        for l in links {
+            topo.add_symmetric_if_absent(l.from, l.to, l.quality);
+        }
+        topo
+    }
+
+    /// Attach node positions (same length as node count).
+    pub fn with_positions(mut self, positions: Vec<Position>) -> Self {
+        assert_eq!(positions.len(), self.adj.len());
+        self.positions = Some(positions);
+        self
+    }
+
+    /// Total number of nodes including the source.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of nominal sensors `N` (all nodes except the source).
+    #[inline]
+    pub fn n_sensors(&self) -> usize {
+        self.adj.len() - 1
+    }
+
+    /// Node positions, if the topology is geometric.
+    pub fn positions(&self) -> Option<&[Position]> {
+        self.positions.as_deref()
+    }
+
+    /// Set the directed quality `from → to`, inserting the edge if absent.
+    pub fn set_quality(&mut self, from: NodeId, to: NodeId, q: LinkQuality) {
+        assert_ne!(from, to, "self-links are not allowed");
+        let list = &mut self.adj[from.index()];
+        match list.binary_search_by_key(&to, |&(n, _)| n) {
+            Ok(i) => list[i].1 = q,
+            Err(i) => list.insert(i, (to, q)),
+        }
+    }
+
+    /// Add an edge in both directions with the given per-direction
+    /// qualities, overwriting existing entries.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, q_ab: LinkQuality, q_ba: LinkQuality) {
+        self.set_quality(a, b, q_ab);
+        self.set_quality(b, a, q_ba);
+    }
+
+    fn add_symmetric_if_absent(&mut self, a: NodeId, b: NodeId, q: LinkQuality) {
+        if self.quality(a, b).is_none() {
+            self.set_quality(a, b, q);
+        }
+        if self.quality(b, a).is_none() {
+            self.set_quality(b, a, q);
+        }
+    }
+
+    /// Directed link quality `from → to`, if the link exists.
+    pub fn quality(&self, from: NodeId, to: NodeId) -> Option<LinkQuality> {
+        let list = &self.adj[from.index()];
+        list.binary_search_by_key(&to, |&(n, _)| n)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// Whether `a` and `b` are neighbors (audible to each other).
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.quality(a, b).is_some()
+    }
+
+    /// Outgoing neighbors of `node` with link qualities, sorted by id.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkQuality)] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Total number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Mean PRR over all directed links; `None` for an edgeless graph.
+    pub fn mean_link_quality(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for list in &self.adj {
+            for &(_, q) in list {
+                sum += q.prr();
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Iterate over all directed links.
+    pub fn links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, list)| {
+            list.iter().map(move |&(to, quality)| Link {
+                from: NodeId::from(i),
+                to,
+                quality,
+            })
+        })
+    }
+
+    /// BFS hop distances from `root`; unreachable nodes get `u32::MAX`.
+    pub fn hop_distances(&self, root: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u.index()];
+            for &(v, _) in self.neighbors(u) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = d + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether every node is reachable from the source.
+    pub fn is_connected(&self) -> bool {
+        self.hop_distances(crate::SOURCE)
+            .iter()
+            .all(|&d| d != u32::MAX)
+    }
+
+    /// Hop eccentricity of the source: max hop distance to any reachable
+    /// node. This approximates the network "depth" a flood traverses.
+    pub fn source_eccentricity(&self) -> u32 {
+        self.hop_distances(crate::SOURCE)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// ETX shortest-path distances from `root` (Dijkstra over `1/PRR`
+    /// edge costs). Returns `(costs, parents)`; unreachable nodes get
+    /// `f64::INFINITY` and no parent. This is the "optimal energy tree"
+    /// substrate used by Opportunistic Flooding (§II, §V-A).
+    pub fn etx_tree(&self, root: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
+        let n = self.n_nodes();
+        let mut cost = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        cost[root.index()] = 0.0;
+        heap.push(DijkstraEntry {
+            cost: 0.0,
+            node: root,
+        });
+        while let Some(DijkstraEntry { cost: c, node: u }) = heap.pop() {
+            if c > cost[u.index()] {
+                continue; // stale entry
+            }
+            for &(v, q) in self.neighbors(u) {
+                let nc = c + q.etx();
+                if nc < cost[v.index()] {
+                    cost[v.index()] = nc;
+                    parent[v.index()] = Some(u);
+                    heap.push(DijkstraEntry { cost: nc, node: v });
+                }
+            }
+        }
+        (cost, parent)
+    }
+
+    // ----- generators --------------------------------------------------
+
+    /// A line (path) topology `0 - 1 - ... - n-1` with uniform quality.
+    pub fn line(n_nodes: usize, quality: LinkQuality) -> Self {
+        let mut topo = Self::empty(n_nodes);
+        for i in 1..n_nodes {
+            topo.add_edge(NodeId::from(i - 1), NodeId::from(i), quality, quality);
+        }
+        topo
+    }
+
+    /// A `rows × cols` grid with the source at cell (0,0) and uniform
+    /// quality; 4-neighborhood.
+    pub fn grid(rows: usize, cols: usize, quality: LinkQuality) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        let mut topo = Self::empty(rows * cols);
+        let id = |r: usize, c: usize| NodeId::from(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    topo.add_edge(id(r, c), id(r, c + 1), quality, quality);
+                }
+                if r + 1 < rows {
+                    topo.add_edge(id(r, c), id(r + 1, c), quality, quality);
+                }
+            }
+        }
+        let positions = (0..rows * cols)
+            .map(|i| Position::new((i % cols) as f64 * 10.0, (i / cols) as f64 * 10.0))
+            .collect();
+        topo.with_positions(positions)
+    }
+
+    /// A complete graph with uniform quality (useful for theory tests
+    /// where every pair can communicate, matching Algorithm 1's setting).
+    pub fn complete(n_nodes: usize, quality: LinkQuality) -> Self {
+        let mut topo = Self::empty(n_nodes);
+        for a in 0..n_nodes {
+            for b in (a + 1)..n_nodes {
+                topo.add_edge(NodeId::from(a), NodeId::from(b), quality, quality);
+            }
+        }
+        topo
+    }
+
+    /// Random geometric graph: `n_nodes` uniform positions in a
+    /// `side × side` square, edges within `radius`, quality decaying with
+    /// distance from `q_near` (touching) to `q_far` (at radius).
+    pub fn random_geometric<R: rand::Rng + ?Sized>(
+        n_nodes: usize,
+        side: f64,
+        radius: f64,
+        q_near: f64,
+        q_far: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(q_near >= q_far && q_far > 0.0 && q_near <= 1.0);
+        let positions: Vec<Position> = (0..n_nodes)
+            .map(|_| Position::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        let mut topo = Self::empty(n_nodes);
+        for a in 0..n_nodes {
+            for b in (a + 1)..n_nodes {
+                let d = positions[a].distance(&positions[b]);
+                if d <= radius {
+                    let frac = d / radius;
+                    let q = q_near + (q_far - q_near) * frac;
+                    // Mild asymmetry, as in real deployments.
+                    let jitter = 0.05 * (rng.random::<f64>() - 0.5);
+                    let q_ab = LinkQuality::clamped(q + jitter, 0.05);
+                    let q_ba = LinkQuality::clamped(q - jitter, 0.05);
+                    topo.add_edge(NodeId::from(a), NodeId::from(b), q_ab, q_ba);
+                }
+            }
+        }
+        topo.with_positions(positions)
+    }
+}
+
+/// Min-heap entry for Dijkstra (BinaryHeap is a max-heap, so order is
+/// reversed on cost).
+#[derive(PartialEq)]
+struct DijkstraEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for DijkstraEntry {}
+
+impl PartialOrd for DijkstraEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DijkstraEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: smallest cost first. Costs are finite ETX sums.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const Q: LinkQuality = LinkQuality::PERFECT;
+
+    #[test]
+    fn line_structure() {
+        let t = Topology::line(5, Q);
+        assert_eq!(t.n_nodes(), 5);
+        assert_eq!(t.n_sensors(), 4);
+        assert_eq!(t.n_edges(), 4);
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.degree(NodeId(2)), 2);
+        assert!(t.are_neighbors(NodeId(1), NodeId(2)));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(2)));
+        assert!(t.is_connected());
+        assert_eq!(t.source_eccentricity(), 4);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(3, 4, Q);
+        assert_eq!(t.n_nodes(), 12);
+        assert_eq!(t.n_edges(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        assert!(t.is_connected());
+        assert_eq!(t.source_eccentricity(), 2 + 3);
+        assert!(t.positions().is_some());
+    }
+
+    #[test]
+    fn complete_structure() {
+        let t = Topology::complete(6, Q);
+        assert_eq!(t.n_edges(), 15);
+        assert_eq!(t.source_eccentricity(), 1);
+        for i in 0..6 {
+            assert_eq!(t.degree(NodeId(i)), 5);
+        }
+    }
+
+    #[test]
+    fn hop_distances_line() {
+        let t = Topology::line(4, Q);
+        assert_eq!(t.hop_distances(NodeId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(t.hop_distances(NodeId(2)), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut t = Topology::empty(4);
+        t.add_edge(NodeId(0), NodeId(1), Q, Q);
+        // nodes 2, 3 isolated
+        assert!(!t.is_connected());
+        let d = t.hop_distances(NodeId(0));
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn directed_quality_is_directional() {
+        let mut t = Topology::empty(2);
+        t.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.9), LinkQuality::new(0.4));
+        assert!((t.quality(NodeId(0), NodeId(1)).unwrap().prr() - 0.9).abs() < 1e-12);
+        assert!((t.quality(NodeId(1), NodeId(0)).unwrap().prr() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn etx_tree_prefers_good_links() {
+        // 0 -(0.5)- 1 -(0.5)- 2 versus direct 0 -(0.2)- 2:
+        // via 1: 2 + 2 = 4 ETX; direct: 5 ETX -> parent(2) = 1.
+        let mut t = Topology::empty(3);
+        t.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.5), LinkQuality::new(0.5));
+        t.add_edge(NodeId(1), NodeId(2), LinkQuality::new(0.5), LinkQuality::new(0.5));
+        t.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.2), LinkQuality::new(0.2));
+        let (cost, parent) = t.etx_tree(NodeId(0));
+        assert!((cost[2] - 4.0).abs() < 1e-9);
+        assert_eq!(parent[2], Some(NodeId(1)));
+        assert_eq!(parent[1], Some(NodeId(0)));
+        assert_eq!(parent[0], None);
+    }
+
+    #[test]
+    fn etx_tree_unreachable_is_infinite() {
+        let t = Topology::empty(3);
+        let (cost, parent) = t.etx_tree(NodeId(0));
+        assert_eq!(cost[0], 0.0);
+        assert!(cost[1].is_infinite() && cost[2].is_infinite());
+        assert_eq!(parent[1], None);
+    }
+
+    #[test]
+    fn random_geometric_basics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Topology::random_geometric(60, 100.0, 30.0, 0.95, 0.3, &mut rng);
+        assert_eq!(t.n_nodes(), 60);
+        // With radius 30 in a 100x100 square, 60 nodes is typically connected.
+        assert!(t.n_edges() > 60);
+        let mq = t.mean_link_quality().unwrap();
+        assert!(mq > 0.3 && mq < 1.0, "mean quality {mq}");
+        // Symmetric audibility even with asymmetric quality.
+        for l in t.links() {
+            assert!(t.are_neighbors(l.to, l.from));
+        }
+    }
+
+    #[test]
+    fn mean_quality_of_empty_graph_is_none() {
+        assert!(Topology::empty(3).mean_link_quality().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn rejects_self_link() {
+        let mut t = Topology::empty(2);
+        t.set_quality(NodeId(1), NodeId(1), Q);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the network substrate.
+
+use ldcf_net::{LinkQuality, NodeId, Topology, WorkingSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    /// `next_active_at_or_after` returns an active slot, is >= t, and is
+    /// the SMALLEST such slot.
+    #[test]
+    fn next_active_is_correct(
+        period in 1u32..50,
+        offsets in prop::collection::vec(0u32..50, 1..8),
+        t in 0u64..500,
+    ) {
+        let offsets: Vec<u32> = offsets.into_iter().map(|o| o % period).collect();
+        let s = WorkingSchedule::new(period, offsets);
+        let next = s.next_active_at_or_after(t);
+        prop_assert!(next >= t);
+        prop_assert!(s.is_active(next));
+        for u in t..next {
+            prop_assert!(!s.is_active(u), "slot {u} active before {next}");
+        }
+        // Periodicity: shifting by one period shifts the answer by one
+        // period.
+        prop_assert_eq!(
+            s.next_active_at_or_after(t + period as u64),
+            next + period as u64
+        );
+    }
+
+    /// The duty ratio equals the measured fraction of active slots.
+    #[test]
+    fn duty_ratio_matches_census(
+        period in 1u32..40,
+        offsets in prop::collection::vec(0u32..40, 1..6),
+    ) {
+        let offsets: Vec<u32> = offsets.into_iter().map(|o| o % period).collect();
+        let s = WorkingSchedule::new(period, offsets);
+        let active = (0..period as u64).filter(|&t| s.is_active(t)).count();
+        prop_assert!((s.duty_ratio() - active as f64 / period as f64).abs() < 1e-12);
+    }
+
+    /// Mean sleep latency is within [0, T-1] and zero iff always-on.
+    #[test]
+    fn mean_sleep_latency_bounds(
+        period in 1u32..40,
+        offset in 0u32..40,
+    ) {
+        let s = WorkingSchedule::new(period, vec![offset % period]);
+        let msl = s.mean_sleep_latency();
+        prop_assert!(msl >= 0.0);
+        prop_assert!(msl <= (period as f64 - 1.0) + 1e-12);
+        if period == 1 {
+            prop_assert_eq!(msl, 0.0);
+        }
+    }
+
+    /// ETX shortest paths never exceed (hops * max ETX) and never go
+    /// below (hops * min ETX); parents always step towards the root.
+    #[test]
+    fn etx_tree_is_consistent(
+        n in 2usize..30,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut topo = Topology::empty(n);
+        // random connected tree + extra edges
+        for i in 1..n {
+            let parent = rng.random_range(0..i);
+            let q = LinkQuality::new(rng.random_range(0.3..=1.0));
+            topo.add_edge(NodeId::from(parent), NodeId::from(i), q, q);
+        }
+        for _ in 0..n {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                let q = LinkQuality::new(rng.random_range(0.3..=1.0));
+                topo.add_edge(NodeId::from(a), NodeId::from(b), q, q);
+            }
+        }
+        let (cost, parent) = topo.etx_tree(NodeId(0));
+        let hops = topo.hop_distances(NodeId(0));
+        for i in 0..n {
+            prop_assert!(cost[i].is_finite());
+            // ETX of any path >= hops (each edge ETX >= 1) and <= hops/0.3.
+            prop_assert!(cost[i] + 1e-9 >= hops[i] as f64);
+            prop_assert!(cost[i] <= hops[i] as f64 / 0.3 + 1e-9);
+            if i != 0 {
+                let p = parent[i].expect("connected");
+                // Parent is strictly closer in ETX.
+                prop_assert!(cost[p.index()] < cost[i]);
+            }
+        }
+    }
+
+    /// k-class always suffices: 1-(1-p)^k >= confidence for the returned k.
+    #[test]
+    fn k_class_is_sufficient(
+        p in 0.05f64..=1.0,
+        conf in 0.0f64..0.999,
+    ) {
+        let q = LinkQuality::new(p);
+        let k = q.k_class(conf);
+        let reach = 1.0 - (1.0 - p).powi(k as i32);
+        prop_assert!(reach >= conf - 1e-9, "k={k} reaches {reach} < {conf}");
+        // Minimality: k-1 would not suffice (when k > 1).
+        if k > 1 {
+            let reach_less = 1.0 - (1.0 - p).powi(k as i32 - 1);
+            prop_assert!(reach_less < conf + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # ldcf-protocols — flooding protocols for low-duty-cycle WSNs
+//!
+//! The three schemes compared in the paper's evaluation (§V-A), plus a
+//! naive baseline:
+//!
+//! * [`opt::Opt`] — the **theoretically optimal** scheme with global
+//!   (oracle) information: every sensor receives the packet from the
+//!   neighbor with the best link quality, and no collisions occur.
+//! * [`dbao::Dbao`] — **Deterministic Back-off Assignment +
+//!   Overhearing** (the authors' WASA'11 protocol): the practical scheme
+//!   with "maximum possible local optimization". Deterministic back-off
+//!   ranks serialise mutually-audible contenders; overhearing lets
+//!   bystanders capture unicasts for free. Hidden terminals still
+//!   collide — exactly the gap to OPT the paper calls out.
+//! * [`of::OpportunisticFlooding`] — **Opportunistic Flooding** (Guo et
+//!   al., MobiCom'09): forwarding along an energy-optimal (min-ETX) tree
+//!   plus probabilistic opportunistic forwards on good non-tree links.
+//! * [`naive::NaiveFlood`] — forward-to-every-neighbor baseline, for
+//!   ablations.
+//!
+//! All protocols implement [`ldcf_sim::FloodingProtocol`] and are pure
+//! strategy objects: the MAC and radio semantics live in `ldcf-sim`.
+//! [`delay_dist`] computes the per-node arrival-delay distributions
+//! along the energy tree that OF's forwarding decisions are defined
+//! over.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod delay_dist;
+pub mod dbao;
+pub mod naive;
+pub mod of;
+pub mod opt;
+pub mod tree;
+
+pub use dbao::{Dbao, DbaoConfig};
+pub use delay_dist::{DelayPmf, TreeDelays};
+pub use naive::NaiveFlood;
+pub use of::{OfConfig, OpportunisticFlooding};
+pub use opt::Opt;
+pub use tree::EnergyTree;

@@ -1,0 +1,114 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one simulation run (paper §V-B defaults).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Working-schedule period `T` in slots.
+    pub period: u32,
+    /// Active slots per period (`duty ratio = active_per_period / period`).
+    pub active_per_period: u32,
+    /// Number of packets `M` flooded by the source.
+    pub n_packets: u32,
+    /// Coverage fraction (of nominal sensors) at which a packet counts as
+    /// flooded. The paper uses 99 % "to eliminate the sensors which have
+    /// extraordinarily low connectivity".
+    pub coverage: f64,
+    /// Hard stop: abort after this many slots.
+    pub max_slots: u64,
+    /// RNG seed; runs are fully deterministic given (seed, protocol).
+    pub seed: u64,
+    /// Probability that a transmission misses its rendezvous because of
+    /// residual local-synchronisation error (clock drift between
+    /// re-syncs; see `ldcf_net::clock::SyncModel::mistiming_probability`).
+    /// 0 models the paper's perfect local-sync assumption.
+    #[serde(default)]
+    pub mistiming_prob: f64,
+}
+
+impl Default for SimConfig {
+    /// The paper's defaults: duty cycle 5 % (`T = 20`, one active slot),
+    /// `M = 100`, 99 % coverage.
+    fn default() -> Self {
+        Self {
+            period: 20,
+            active_per_period: 1,
+            n_packets: 100,
+            coverage: 0.99,
+            max_slots: 2_000_000,
+            seed: 1,
+            mistiming_prob: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Duty ratio `a/T`.
+    pub fn duty_ratio(&self) -> f64 {
+        self.active_per_period as f64 / self.period as f64
+    }
+
+    /// Build a config for a duty-cycle sweep point, keeping one active
+    /// slot and varying the period (`duty = 1/T`), as the paper's Fig. 10
+    /// x-axis does. `duty` is clamped to representable `1/T` values.
+    pub fn with_duty_cycle(mut self, duty: f64) -> Self {
+        assert!(duty > 0.0 && duty <= 1.0);
+        self.period = (1.0 / duty).round().max(1.0) as u32;
+        self.active_per_period = 1;
+        self
+    }
+
+    /// Validate invariants; called by the engine on construction.
+    pub fn validate(&self) {
+        assert!(self.period >= 1, "period must be >= 1");
+        assert!(
+            self.active_per_period >= 1 && self.active_per_period <= self.period,
+            "active slots must be in 1..=period"
+        );
+        assert!(self.n_packets >= 1, "need at least one packet");
+        assert!(
+            self.coverage > 0.0 && self.coverage <= 1.0,
+            "coverage must be in (0,1]"
+        );
+        assert!(self.max_slots > 0);
+        assert!(
+            (0.0..=1.0).contains(&self.mistiming_prob),
+            "mistiming probability must be in [0,1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert!((c.duty_ratio() - 0.05).abs() < 1e-12);
+        assert_eq!(c.n_packets, 100);
+        assert!((c.coverage - 0.99).abs() < 1e-12);
+        c.validate();
+    }
+
+    #[test]
+    fn duty_cycle_setter_picks_period() {
+        let c = SimConfig::default().with_duty_cycle(0.02);
+        assert_eq!(c.period, 50);
+        assert_eq!(c.active_per_period, 1);
+        let c = SimConfig::default().with_duty_cycle(0.2);
+        assert_eq!(c.period, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "active slots")]
+    fn validate_rejects_bad_active_count() {
+        let c = SimConfig {
+            active_per_period: 30,
+            period: 20,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,593 @@
+//! The slotted simulation engine.
+
+use crate::config::SimConfig;
+use crate::energy::EnergyLedger;
+use crate::mac::{self, Outcome, TxIntent};
+use crate::protocol::FloodingProtocol;
+use crate::queue::FcfsQueue;
+use crate::stats::SimReport;
+use ldcf_net::{NeighborTable, NodeId, PacketId, Topology, SOURCE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Read-only world + dynamic state exposed to protocols.
+pub struct SimState {
+    /// Run configuration.
+    pub cfg: SimConfig,
+    /// The network graph with link qualities.
+    pub topo: Topology,
+    /// All working schedules (local-synchronization table).
+    pub schedules: NeighborTable,
+    /// Current slot.
+    pub now: u64,
+    /// `have[node][packet]`: possession matrix (the paper's X vector per
+    /// packet).
+    have: Vec<Vec<bool>>,
+    /// Per-node FCFS forwarding queues.
+    queues: Vec<FcfsQueue>,
+    /// Per-packet count of *sensors* (source excluded) holding it.
+    holders: Vec<u32>,
+    /// Sensors needed for a packet to count as flooded.
+    coverage_target: u32,
+}
+
+impl SimState {
+    /// Whether `node` currently holds `packet`.
+    #[inline]
+    pub fn has(&self, node: NodeId, packet: PacketId) -> bool {
+        self.have[node.index()][packet as usize]
+    }
+
+    /// The FCFS queue of `node`.
+    pub fn queue(&self, node: NodeId) -> &FcfsQueue {
+        &self.queues[node.index()]
+    }
+
+    /// Whether `node` is active (can receive) this slot.
+    #[inline]
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.schedules.is_active(node, self.now)
+    }
+
+    /// Number of sensors holding `packet`.
+    pub fn holders(&self, packet: PacketId) -> u32 {
+        self.holders[packet as usize]
+    }
+
+    /// Sensors required for coverage.
+    pub fn coverage_target(&self) -> u32 {
+        self.coverage_target
+    }
+
+    /// Whether `packet` already reached its coverage target (protocols
+    /// may use this only where the paper grants them the knowledge —
+    /// OPT's oracle does; local protocols use local heuristics instead).
+    pub fn is_covered(&self, packet: PacketId) -> bool {
+        self.holders[packet as usize] >= self.coverage_target
+    }
+
+    /// Total nodes (source + sensors).
+    pub fn n_nodes(&self) -> usize {
+        self.topo.n_nodes()
+    }
+
+    /// Packets injected so far (all of `0..n_injected` are in flight or
+    /// done).
+    pub fn n_injected(&self) -> u32 {
+        self.cfg.n_packets // all packets are injected at slot 0
+    }
+}
+
+/// The simulation engine: owns state, protocol, RNG and statistics.
+pub struct Engine<P: FloodingProtocol> {
+    state: SimState,
+    protocol: P,
+    rng: StdRng,
+    report: SimReport,
+    energy: EnergyLedger,
+    intents_buf: Vec<TxIntent>,
+}
+
+impl<P: FloodingProtocol> Engine<P> {
+    /// Build an engine. Schedules are drawn from the config's duty cycle
+    /// (one schedule per node, single-slot unless `active_per_period > 1`).
+    pub fn new(topo: Topology, cfg: SimConfig, protocol: P) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = topo.n_nodes();
+        let schedules = if cfg.active_per_period == 1 {
+            NeighborTable::random_single_slot(n, cfg.period, &mut rng)
+        } else {
+            NeighborTable::new(
+                (0..n)
+                    .map(|_| {
+                        ldcf_net::WorkingSchedule::multi_random(
+                            cfg.period,
+                            cfg.active_per_period,
+                            &mut rng,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Self::with_schedules(topo, cfg, schedules, protocol)
+    }
+
+    /// Build an engine with explicit working schedules.
+    pub fn with_schedules(
+        topo: Topology,
+        cfg: SimConfig,
+        schedules: NeighborTable,
+        protocol: P,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(schedules.n_nodes(), topo.n_nodes());
+        let n = topo.n_nodes();
+        let n_sensors = topo.n_sensors();
+        let m = cfg.n_packets as usize;
+        let coverage_target = ((cfg.coverage * n_sensors as f64).ceil() as u32).max(1);
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut report = SimReport::new(protocol.name(), n_sensors, cfg.duty_ratio(), cfg.n_packets);
+        let mut state = SimState {
+            cfg,
+            topo,
+            schedules,
+            now: 0,
+            have: vec![vec![false; m]; n],
+            queues: vec![FcfsQueue::new(); n],
+            holders: vec![0; m],
+            coverage_target,
+        };
+        // The source injects all M packets up front; FCFS order at the
+        // source realises the paper's sequential injection.
+        for p in 0..state.cfg.n_packets {
+            state.have[SOURCE.index()][p as usize] = true;
+            state.queues[SOURCE.index()].push(p, 0);
+            report.record_injection(p, 0);
+        }
+        Self {
+            state,
+            protocol,
+            rng,
+            report,
+            energy: EnergyLedger::default(),
+            intents_buf: Vec::new(),
+        }
+    }
+
+    /// Immutable view of the state (for tests and tools).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// The statistics gathered so far.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Energy ledger gathered so far.
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// Advance one slot. Returns `false` once the run has terminated
+    /// (all packets covered, or `max_slots` reached).
+    pub fn step(&mut self) -> bool {
+        if self.report.all_covered() || self.state.now >= self.state.cfg.max_slots {
+            return false;
+        }
+        if self.state.now == 0 {
+            self.protocol.on_start(&self.state);
+        }
+
+        // --- gather intents ------------------------------------------------
+        self.intents_buf.clear();
+        let mut intents = std::mem::take(&mut self.intents_buf);
+        self.protocol.propose(&self.state, &mut intents);
+
+        // Residual local-sync error: each transmission independently
+        // misses its rendezvous with probability `mistiming_prob` — the
+        // sender wakes against a stale schedule estimate and emits into a
+        // closed window. The transmission is spent (energy + failure) but
+        // nothing is received.
+        if self.state.cfg.mistiming_prob > 0.0 {
+            let p = self.state.cfg.mistiming_prob;
+            let rng = &mut self.rng;
+            let mut kept = Vec::with_capacity(intents.len());
+            for it in intents.drain(..) {
+                if rand::Rng::random::<f64>(rng) < p {
+                    self.report.transmissions += 1;
+                    self.report.transmission_failures += 1;
+                    self.report.mistimed += 1;
+                    self.report.packets[it.packet as usize].failures += 1;
+                    self.energy.tx_slots += 1;
+                    self.energy.failed_tx_slots += 1;
+                } else {
+                    kept.push(it);
+                }
+            }
+            intents = kept;
+        }
+
+        #[cfg(debug_assertions)]
+        for it in &intents {
+            debug_assert!(
+                self.state.has(it.sender, it.packet),
+                "{} proposes {} it does not hold",
+                it.sender,
+                it.packet
+            );
+            debug_assert!(
+                self.state.is_active(it.receiver),
+                "receiver {} is dormant at {}",
+                it.receiver,
+                self.state.now
+            );
+            debug_assert!(
+                self.state.topo.are_neighbors(it.sender, it.receiver),
+                "no link {} -> {}",
+                it.sender,
+                it.receiver
+            );
+        }
+
+        // --- resolve through the MAC ---------------------------------------
+        let now = self.state.now;
+        let schedules = &self.state.schedules;
+        let have = &self.state.have;
+        let res = mac::resolve_slot(
+            &self.state.topo,
+            &intents,
+            self.protocol.overhearing(),
+            |r| schedules.is_active(r, now),
+            |r, p| !have[r.index()][p as usize],
+            &mut self.rng,
+        );
+
+        // --- apply outcomes -------------------------------------------------
+        self.report.transmissions += res.transmitted.len() as u64;
+        self.report.deferrals += res.deferred.len() as u64;
+        self.energy.tx_slots += res.transmitted.len() as u64;
+
+        let mut newly_delivered: Vec<(NodeId, PacketId)> = Vec::new();
+        for e in &res.events {
+            if e.sender == SOURCE {
+                self.report.record_push(e.packet, now);
+            }
+            match e.outcome {
+                Outcome::Delivered | Outcome::Overheard => {
+                    let pi = e.packet as usize;
+                    let ri = e.receiver.index();
+                    self.energy.rx_slots += 1;
+                    if !self.state.have[ri][pi] {
+                        self.state.have[ri][pi] = true;
+                        self.state.queues[ri].push(e.packet, now);
+                        newly_delivered.push((e.receiver, e.packet));
+                        if e.receiver != SOURCE {
+                            self.state.holders[pi] += 1;
+                            if self.state.holders[pi] >= self.state.coverage_target {
+                                self.report.record_coverage(e.packet, now);
+                            }
+                        }
+                        let st = &mut self.report.packets[pi];
+                        match e.outcome {
+                            Outcome::Overheard => {
+                                st.overhears += 1;
+                                self.report.overhears += 1;
+                            }
+                            _ => st.deliveries += 1,
+                        }
+                    }
+                    // Duplicate deliveries cost energy but change nothing.
+                }
+                o if o.is_failure() => {
+                    self.report.transmission_failures += 1;
+                    self.report.packets[e.packet as usize].failures += 1;
+                    self.energy.failed_tx_slots += 1;
+                    if o == Outcome::Collision {
+                        self.report.collisions += 1;
+                    }
+                }
+                _ => unreachable!("all outcomes handled"),
+            }
+        }
+
+        // Prune exhausted queue entries: once every neighbor of `u` holds
+        // packet `p`, `u` can never again have forwarding work for `p`
+        // (possession is monotone), so drop it from `u`'s FCFS queue.
+        // Triggered incrementally by fresh deliveries to keep this cheap.
+        for &(r, p) in &newly_delivered {
+            for u in self
+                .state
+                .topo
+                .neighbors(r)
+                .iter()
+                .map(|&(u, _)| u)
+                .chain(std::iter::once(r))
+            {
+                if self.state.queues[u.index()].contains(p)
+                    && self
+                        .state
+                        .topo
+                        .neighbors(u)
+                        .iter()
+                        .all(|&(v, _)| self.state.have[v.index()][p as usize])
+                {
+                    self.state.queues[u.index()].remove(p);
+                }
+            }
+        }
+
+        self.protocol.on_events(&self.state, &res.events);
+
+        // --- energy for scheduled duty cycling -------------------------------
+        let n = self.state.n_nodes() as u64;
+        let active_now = self.state.schedules.all_active(now).count() as u64;
+        self.energy.active_slots += active_now;
+        self.energy.sleep_slots += n - active_now;
+
+        self.state.now += 1;
+        self.report.slots_elapsed = self.state.now;
+        self.intents_buf = intents;
+        true
+    }
+
+    /// Run to termination and return the report.
+    pub fn run(mut self) -> (SimReport, EnergyLedger) {
+        while self.step() {}
+        // Final holder counts.
+        for p in 0..self.state.cfg.n_packets {
+            self.report.packets[p as usize].final_holders = self.state.holders[p as usize];
+        }
+        (self.report, self.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::Overhearing;
+    use ldcf_net::{LinkQuality, WorkingSchedule};
+
+    /// A minimal correct protocol: every node holding a packet unicasts
+    /// the FCFS-first packet that some active neighbor is missing.
+    struct GreedyFlood;
+
+    impl FloodingProtocol for GreedyFlood {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn propose(&mut self, s: &SimState, out: &mut Vec<TxIntent>) {
+            for ni in 0..s.n_nodes() {
+                let u = NodeId::from(ni);
+                let entry = s.queue(u).first_with_work(|p| {
+                    s.topo
+                        .neighbors(u)
+                        .iter()
+                        .any(|&(v, _)| s.is_active(v) && !s.has(v, p))
+                });
+                if let Some(e) = entry {
+                    // Best active neighbor missing the packet.
+                    let target = s
+                        .topo
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&(v, _)| s.is_active(v) && !s.has(v, e.packet))
+                        .max_by(|a, b| a.1.prr().partial_cmp(&b.1.prr()).unwrap());
+                    if let Some(&(v, _)) = target {
+                        out.push(TxIntent {
+                            sender: u,
+                            receiver: v,
+                            packet: e.packet,
+                            backoff_rank: u.0,
+                            bypass_mac: false,
+                        });
+                    }
+                }
+            }
+        }
+        fn overhearing(&self) -> Overhearing {
+            Overhearing::Disabled
+        }
+    }
+
+    fn line_cfg(m: u32) -> SimConfig {
+        SimConfig {
+            period: 5,
+            active_per_period: 1,
+            n_packets: m,
+            coverage: 1.0,
+            max_slots: 100_000,
+            seed: 42,
+            mistiming_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_packet_floods_a_line() {
+        let topo = Topology::line(5, LinkQuality::PERFECT);
+        let engine = Engine::new(topo, line_cfg(1), GreedyFlood);
+        let (report, energy) = engine.run();
+        assert!(report.all_covered());
+        assert_eq!(report.packets[0].final_holders, 4);
+        assert!(report.transmissions >= 4);
+        assert_eq!(report.transmission_failures, 0); // perfect links, no contention in a line? collisions possible
+        assert!(energy.tx_slots >= 4);
+    }
+
+    #[test]
+    fn multi_packet_floods_and_orders() {
+        let topo = Topology::line(4, LinkQuality::PERFECT);
+        let engine = Engine::new(topo, line_cfg(5), GreedyFlood);
+        let (report, _) = engine.run();
+        assert!(report.all_covered());
+        for p in &report.packets {
+            assert!(p.pushed_at.is_some());
+            assert!(p.flooding_delay().is_some());
+        }
+        // FCFS at the source: packets are pushed in order.
+        let pushes: Vec<u64> = report.packets.iter().map(|p| p.pushed_at.unwrap()).collect();
+        let mut sorted = pushes.clone();
+        sorted.sort_unstable();
+        assert_eq!(pushes, sorted);
+    }
+
+    #[test]
+    fn lossy_links_cause_failures_but_flood_completes() {
+        let topo = Topology::line(4, LinkQuality::new(0.6));
+        let engine = Engine::new(topo, line_cfg(3), GreedyFlood);
+        let (report, energy) = engine.run();
+        assert!(report.all_covered());
+        assert!(report.transmission_failures > 0);
+        assert_eq!(energy.failed_tx_slots, report.transmission_failures);
+    }
+
+    #[test]
+    fn max_slots_terminates_unreachable_runs() {
+        // Disconnected topology: packet can never cover all sensors.
+        let mut topo = Topology::empty(3);
+        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::PERFECT, LinkQuality::PERFECT);
+        let cfg = SimConfig {
+            max_slots: 500,
+            ..line_cfg(1)
+        };
+        let engine = Engine::new(topo, cfg, GreedyFlood);
+        let (report, _) = engine.run();
+        assert!(!report.all_covered());
+        assert_eq!(report.slots_elapsed, 500);
+        assert_eq!(report.packets[0].final_holders, 1);
+    }
+
+    #[test]
+    fn coverage_99_excludes_stragglers() {
+        // 200 sensors in a star around the source, one unreachable sensor:
+        // 99% coverage (198.99 -> 199 of 201... choose numbers cleanly).
+        let n_sensors = 200;
+        let mut topo = Topology::empty(n_sensors + 1);
+        for i in 1..=n_sensors - 1 {
+            topo.add_edge(
+                NodeId(0),
+                NodeId::from(i),
+                LinkQuality::PERFECT,
+                LinkQuality::PERFECT,
+            );
+        }
+        // Sensor `n_sensors` is isolated. target = ceil(0.99*200) = 198.
+        let cfg = SimConfig {
+            coverage: 0.99,
+            max_slots: 200_000,
+            ..line_cfg(1)
+        };
+        let engine = Engine::new(topo, cfg, GreedyFlood);
+        let (report, _) = engine.run();
+        assert!(report.all_covered(), "99% coverage must tolerate 1 straggler");
+        // The engine stops as soon as the target (198 = ceil(0.99*200)) is
+        // met, so the isolated sensor never blocks termination.
+        assert_eq!(report.packets[0].final_holders, 198);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+        let run = |seed| {
+            let cfg = SimConfig {
+                seed,
+                ..line_cfg(4)
+            };
+            let (r, _) = Engine::new(topo.clone(), cfg, GreedyFlood).run();
+            (
+                r.slots_elapsed,
+                r.transmissions,
+                r.transmission_failures,
+                r.mean_flooding_delay(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // And different seeds (almost surely) differ somewhere.
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn sleep_latency_dominates_low_duty() {
+        // Same topology, duty 50% vs duty 5%: delay should grow sharply.
+        let topo = Topology::line(6, LinkQuality::PERFECT);
+        let delay = |period| {
+            let cfg = SimConfig {
+                period,
+                ..line_cfg(1)
+            };
+            let (r, _) = Engine::new(topo.clone(), cfg, GreedyFlood).run();
+            r.mean_flooding_delay().unwrap()
+        };
+        let fast = delay(2);
+        let slow = delay(20);
+        assert!(
+            slow > fast * 2.0,
+            "duty 5% delay {slow} should far exceed duty 50% delay {fast}"
+        );
+    }
+
+    #[test]
+    fn explicit_schedules_are_respected() {
+        // Deterministic schedules: receiver active every slot 0 mod 2.
+        let topo = Topology::line(2, LinkQuality::PERFECT);
+        let schedules = NeighborTable::new(vec![
+            WorkingSchedule::new(2, vec![1]),
+            WorkingSchedule::new(2, vec![0]),
+        ]);
+        let cfg = SimConfig {
+            period: 2,
+            n_packets: 1,
+            coverage: 1.0,
+            max_slots: 100,
+            seed: 1,
+            active_per_period: 1,
+            mistiming_prob: 0.0,
+        };
+        let engine = Engine::with_schedules(topo, cfg, schedules, GreedyFlood);
+        let (report, _) = engine.run();
+        assert!(report.all_covered());
+        // Node 1 is active at even slots; the packet lands at slot 0 or 2.
+        let covered = report.packets[0].covered_at.unwrap();
+        assert_eq!(covered % 2, 0);
+    }
+
+    #[test]
+    fn mistiming_costs_failures_but_flood_still_completes() {
+        let topo = Topology::line(4, LinkQuality::PERFECT);
+        let run = |p: f64| {
+            let cfg = SimConfig {
+                mistiming_prob: p,
+                ..line_cfg(2)
+            };
+            Engine::new(topo.clone(), cfg, GreedyFlood).run()
+        };
+        let (clean, _) = run(0.0);
+        assert_eq!(clean.mistimed, 0);
+        let (noisy, energy) = run(0.3);
+        assert!(noisy.all_covered(), "flood completes despite mis-sync");
+        assert!(noisy.mistimed > 0, "30% mistiming must bite");
+        assert!(noisy.transmission_failures >= noisy.mistimed);
+        assert!(energy.failed_tx_slots >= noisy.mistimed);
+        // Mis-sync costs delay on average.
+        assert!(
+            noisy.mean_flooding_delay().unwrap() >= clean.mean_flooding_delay().unwrap(),
+            "mistimed rendezvous must not speed the flood up"
+        );
+    }
+
+    #[test]
+    fn energy_ledger_accumulates_duty_cycling() {
+        let topo = Topology::line(3, LinkQuality::PERFECT);
+        let cfg = SimConfig {
+            period: 10,
+            ..line_cfg(1)
+        };
+        let (report, energy) = Engine::new(topo, cfg, GreedyFlood).run();
+        let slots = report.slots_elapsed;
+        assert_eq!(energy.active_slots + energy.sleep_slots, slots * 3);
+        // Active fraction ~ duty ratio.
+        let frac = energy.active_slots as f64 / (slots * 3) as f64;
+        assert!(frac <= 0.4, "active fraction {frac} at duty 10%");
+    }
+}

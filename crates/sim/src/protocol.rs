@@ -1,0 +1,34 @@
+//! The protocol strategy interface.
+//!
+//! A flooding protocol decides, each slot, which unicasts to attempt.
+//! The engine gives it read access to the whole [`SimState`]; *local*
+//! protocols (DBAO, OF) are written to consult only information a real
+//! node would have (its own queue, its neighbors' schedules, overheard
+//! traffic), while the oracle OPT deliberately uses global state — that
+//! asymmetry is the paper's point in §V-A.
+
+use crate::engine::SimState;
+use crate::mac::{DeliveryEvent, Overhearing, TxIntent};
+
+/// Strategy object driving the flood.
+pub trait FloodingProtocol {
+    /// Short protocol name for reports ("OPT", "DBAO", "OF", ...).
+    fn name(&self) -> &str;
+
+    /// Whether nodes opportunistically capture others' unicasts.
+    fn overhearing(&self) -> Overhearing {
+        Overhearing::Disabled
+    }
+
+    /// Called once before the first slot, after the state is built.
+    fn on_start(&mut self, _state: &SimState) {}
+
+    /// Propose this slot's transmissions. Every intent must use an
+    /// existing link, a sender that holds the packet, and a receiver that
+    /// is active this slot (the engine debug-asserts all three).
+    fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>);
+
+    /// Observe the slot's outcomes (deliveries, losses, collisions) —
+    /// protocols use this for ACK bookkeeping and retransmission state.
+    fn on_events(&mut self, _state: &SimState, _events: &[DeliveryEvent]) {}
+}

@@ -1,0 +1,133 @@
+//! FCFS packet queues (paper §III-C).
+//!
+//! "A packet may be queued ... waiting for prior packets delivered before
+//! its own transmission, i.e. the FCFS policy. ... At each intermediate
+//! relay node, packet q follows the FCFS policy as well."
+//!
+//! A [`FcfsQueue`] records packets in order of local arrival. Protocols
+//! serve the *earliest-arrived packet that still has work* — a packet
+//! whose every awake neighbor already holds it does not block younger
+//! packets behind it (otherwise lossy links would deadlock the flood),
+//! matching how the paper's protocols interleave many unicasts.
+
+use ldcf_net::PacketId;
+
+/// One queued packet at a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Packet sequence number.
+    pub packet: PacketId,
+    /// Slot at which this node obtained the packet.
+    pub arrived_at: u64,
+}
+
+/// A first-come-first-served forwarding queue.
+#[derive(Clone, Debug, Default)]
+pub struct FcfsQueue {
+    entries: Vec<QueueEntry>,
+}
+
+impl FcfsQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a packet on arrival (keeps arrival order).
+    pub fn push(&mut self, packet: PacketId, arrived_at: u64) {
+        debug_assert!(
+            !self.contains(packet),
+            "packet {packet} queued twice at one node"
+        );
+        self.entries.push(QueueEntry { packet, arrived_at });
+    }
+
+    /// Whether the queue holds `packet`.
+    pub fn contains(&self, packet: PacketId) -> bool {
+        self.entries.iter().any(|e| e.packet == packet)
+    }
+
+    /// Remove a packet (when the protocol decides the node is done
+    /// forwarding it, e.g. every neighbor confirmed or it expired).
+    pub fn remove(&mut self, packet: PacketId) {
+        self.entries.retain(|e| e.packet != packet);
+    }
+
+    /// Entries in FCFS (arrival) order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// The earliest-arrived entry matching `has_work`, i.e. the FCFS
+    /// head after skipping packets with nothing to do this slot.
+    pub fn first_with_work(&self, mut has_work: impl FnMut(PacketId) -> bool) -> Option<QueueEntry> {
+        self.entries.iter().copied().find(|e| has_work(e.packet))
+    }
+
+    /// The most recently arrived entry matching `has_work` (Algorithm 1's
+    /// "transmit the most recently received non-expired packet first").
+    pub fn last_with_work(&self, mut has_work: impl FnMut(PacketId) -> bool) -> Option<QueueEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .copied()
+            .find(|e| has_work(e.packet))
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_arrival_order() {
+        let mut q = FcfsQueue::new();
+        q.push(5, 10);
+        q.push(2, 11);
+        q.push(9, 12);
+        let order: Vec<PacketId> = q.iter().map(|e| e.packet).collect();
+        assert_eq!(order, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn first_with_work_skips_blocked_head() {
+        let mut q = FcfsQueue::new();
+        q.push(1, 0);
+        q.push(2, 1);
+        q.push(3, 2);
+        // Head (1) has no work; FCFS service must skip to 2.
+        let e = q.first_with_work(|p| p != 1).unwrap();
+        assert_eq!(e.packet, 2);
+    }
+
+    #[test]
+    fn last_with_work_picks_newest() {
+        let mut q = FcfsQueue::new();
+        q.push(1, 0);
+        q.push(2, 1);
+        q.push(3, 2);
+        let e = q.last_with_work(|p| p != 3).unwrap();
+        assert_eq!(e.packet, 2);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = FcfsQueue::new();
+        q.push(7, 0);
+        assert!(q.contains(7));
+        q.remove(7);
+        assert!(!q.contains(7));
+        assert!(q.is_empty());
+        assert!(q.first_with_work(|_| true).is_none());
+    }
+}

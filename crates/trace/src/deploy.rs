@@ -1,0 +1,171 @@
+//! Clustered forest deployment sampler.
+//!
+//! GreenOrbs sensors were mounted on trees in a forest plot; nodes are
+//! therefore spatially *clustered* rather than uniform. We model this as
+//! a Matérn-style cluster process: `n_clusters` parent points uniform in
+//! the plot, each with daughter sensors scattered around it with a
+//! Gaussian spread, plus a fraction of uniform "stragglers". The source
+//! (sink) is placed near one corner of the plot, as field sinks usually
+//! sit at the plot boundary with the uplink.
+
+use ldcf_net::node::Position;
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+
+/// Parameters of the clustered deployment.
+#[derive(Clone, Debug)]
+pub struct DeployConfig {
+    /// Total number of nodes *including* the source.
+    pub n_nodes: usize,
+    /// Plot width in metres.
+    pub width: f64,
+    /// Plot height in metres.
+    pub height: f64,
+    /// Number of tree clusters.
+    pub n_clusters: usize,
+    /// Gaussian spread of sensors around a cluster centre (metres).
+    pub cluster_spread: f64,
+    /// Fraction of nodes placed uniformly instead of in clusters.
+    pub straggler_fraction: f64,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        Self {
+            n_nodes: 299, // source + 298 sensors, as in the paper
+            width: 450.0,
+            height: 350.0,
+            n_clusters: 24,
+            cluster_spread: 18.0,
+            straggler_fraction: 0.15,
+        }
+    }
+}
+
+/// Sample node positions. Index 0 is the source, placed near the plot
+/// corner; indices `1..n_nodes` are sensors.
+pub fn sample_positions<R: Rng + ?Sized>(cfg: &DeployConfig, rng: &mut R) -> Vec<Position> {
+    assert!(cfg.n_nodes >= 2, "need a source and at least one sensor");
+    assert!(cfg.n_clusters >= 1);
+    assert!((0.0..=1.0).contains(&cfg.straggler_fraction));
+
+    let mut positions = Vec::with_capacity(cfg.n_nodes);
+    // Source near the (0,0) corner, slightly inside the plot.
+    positions.push(Position::new(cfg.width * 0.04, cfg.height * 0.04));
+
+    let centres: Vec<Position> = (0..cfg.n_clusters)
+        .map(|_| {
+            Position::new(
+                rng.random_range(0.0..cfg.width),
+                rng.random_range(0.0..cfg.height),
+            )
+        })
+        .collect();
+
+    for _ in 1..cfg.n_nodes {
+        let p = if rng.random::<f64>() < cfg.straggler_fraction {
+            Position::new(
+                rng.random_range(0.0..cfg.width),
+                rng.random_range(0.0..cfg.height),
+            )
+        } else {
+            let c = centres[rng.random_range(0..centres.len())];
+            let x = c.x + sample_normal(rng) * cfg.cluster_spread;
+            let y = c.y + sample_normal(rng) * cfg.cluster_spread;
+            Position::new(x.clamp(0.0, cfg.width), y.clamp(0.0, cfg.height))
+        };
+        positions.push(p);
+    }
+    positions
+}
+
+/// Minimal standard-normal sampling (Box–Muller) so we do not need the
+/// `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal draw via Box–Muller.
+    pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Avoid ln(0).
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+pub use rand_distr_normal::sample_normal as standard_normal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_count_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = DeployConfig::default();
+        let pos = sample_positions(&cfg, &mut rng);
+        assert_eq!(pos.len(), 299);
+        for p in &pos {
+            assert!(p.x >= 0.0 && p.x <= cfg.width);
+            assert!(p.y >= 0.0 && p.y <= cfg.height);
+        }
+    }
+
+    #[test]
+    fn source_is_near_corner() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = DeployConfig::default();
+        let pos = sample_positions(&cfg, &mut rng);
+        assert!(pos[0].x < cfg.width * 0.1 && pos[0].y < cfg.height * 0.1);
+    }
+
+    #[test]
+    fn deployment_is_clustered() {
+        // Clustered point sets have a much smaller mean nearest-neighbor
+        // distance than uniform ones with the same intensity.
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DeployConfig {
+            straggler_fraction: 0.0,
+            ..DeployConfig::default()
+        };
+        let pos = sample_positions(&cfg, &mut rng);
+        let mean_nn = |pts: &[Position]| -> f64 {
+            let mut total = 0.0;
+            for (i, a) in pts.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, b) in pts.iter().enumerate() {
+                    if i != j {
+                        best = best.min(a.distance(b));
+                    }
+                }
+                total += best;
+            }
+            total / pts.len() as f64
+        };
+        let uniform: Vec<Position> = (0..pos.len())
+            .map(|_| {
+                Position::new(
+                    rng.random_range(0.0..cfg.width),
+                    rng.random_range(0.0..cfg.height),
+                )
+            })
+            .collect();
+        assert!(
+            mean_nn(&pos) < mean_nn(&uniform) * 0.8,
+            "clustered deployment should compress nearest-neighbor distances"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

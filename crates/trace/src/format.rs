@@ -1,0 +1,148 @@
+//! On-disk trace format.
+//!
+//! A [`TraceFile`] bundles a topology (nodes, positions, directed links
+//! with PRR) with provenance metadata, serialised as JSON. Experiments
+//! read a trace file instead of regenerating, so every figure is driven
+//! by exactly the same substrate.
+
+use ldcf_net::link::Link;
+use ldcf_net::node::Position;
+use ldcf_net::{LinkQuality, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Serialisable trace: topology plus provenance.
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub struct TraceFile {
+    /// Human-readable description of how the trace was produced.
+    pub description: String,
+    /// RNG seed used for generation (0 when hand-built).
+    pub seed: u64,
+    /// Total nodes including the source.
+    pub n_nodes: usize,
+    /// Node positions (metres), index-aligned with node ids.
+    pub positions: Vec<(f64, f64)>,
+    /// Directed links: (from, to, prr).
+    pub links: Vec<(u32, u32, f64)>,
+}
+
+impl TraceFile {
+    /// Capture a topology into a trace file structure.
+    pub fn from_topology(topo: &Topology, description: impl Into<String>, seed: u64) -> Self {
+        let positions = topo
+            .positions()
+            .map(|ps| ps.iter().map(|p| (p.x, p.y)).collect())
+            .unwrap_or_default();
+        let links = topo
+            .links()
+            .map(|l| (l.from.0, l.to.0, l.quality.prr()))
+            .collect();
+        Self {
+            description: description.into(),
+            seed,
+            n_nodes: topo.n_nodes(),
+            positions,
+            links,
+        }
+    }
+
+    /// Rebuild the topology described by this trace.
+    pub fn to_topology(&self) -> Topology {
+        let mut topo = Topology::from_links(
+            self.n_nodes,
+            self.links.iter().map(|&(from, to, prr)| Link {
+                from: NodeId(from),
+                to: NodeId(to),
+                quality: LinkQuality::new(prr),
+            }),
+        );
+        // from_links defaults reverse directions symmetric; overwrite with
+        // the recorded directed values (they are all present in `links`).
+        for &(from, to, prr) in &self.links {
+            topo.set_quality(NodeId(from), NodeId(to), LinkQuality::new(prr));
+        }
+        if self.positions.len() == self.n_nodes {
+            let ps = self
+                .positions
+                .iter()
+                .map(|&(x, y)| Position::new(x, y))
+                .collect();
+            topo = topo.with_positions(ps);
+        }
+        topo
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greenorbs;
+
+    #[test]
+    fn roundtrip_preserves_topology() {
+        let topo = greenorbs::default_trace(99);
+        let tf = TraceFile::from_topology(&topo, "test", 99);
+        let json = tf.to_json();
+        let back = TraceFile::from_json(&json).unwrap();
+        let topo2 = back.to_topology();
+
+        assert_eq!(topo.n_nodes(), topo2.n_nodes());
+        assert_eq!(topo.n_edges(), topo2.n_edges());
+        for l in topo.links() {
+            let q2 = topo2.quality(l.from, l.to).expect("link survived");
+            assert!((l.quality.prr() - q2.prr()).abs() < 1e-12);
+        }
+        assert!(topo2.positions().is_some());
+    }
+
+    #[test]
+    fn save_and_load() {
+        let topo = ldcf_net::Topology::line(4, LinkQuality::new(0.8));
+        let tf = TraceFile::from_topology(&topo, "line", 0);
+        let dir = std::env::temp_dir().join("ldcf_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("line.json");
+        tf.save(&path).unwrap();
+        let back = TraceFile::load(&path).unwrap();
+        assert_eq!(back.n_nodes, 4);
+        assert_eq!(back.links.len(), 6); // 3 undirected = 6 directed
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn asymmetric_quality_roundtrips() {
+        let mut topo = ldcf_net::Topology::empty(2);
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.3),
+        );
+        let tf = TraceFile::from_topology(&topo, "asym", 0);
+        let t2 = tf.to_topology();
+        assert!((t2.quality(NodeId(0), NodeId(1)).unwrap().prr() - 0.9).abs() < 1e-12);
+        assert!((t2.quality(NodeId(1), NodeId(0)).unwrap().prr() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ldcf-trace — synthetic GreenOrbs-style deployment traces
+//!
+//! The paper's evaluation (§V-B) is driven by a topology trace from the
+//! GreenOrbs forest-monitoring system: **298 sensors**, with per-link
+//! quality computed from **six months of RSSI measurements**. That trace
+//! is proprietary, so this crate builds the closest synthetic
+//! equivalent (documented in `DESIGN.md` §2):
+//!
+//! 1. [`deploy`] samples a clustered forest deployment — sensors grouped
+//!    around tree clusters inside a rectangular plot, plus a sink/source.
+//! 2. [`propagation`] turns pairwise distance into received signal
+//!    strength via a log-distance path-loss model with log-normal
+//!    shadowing (the standard outdoor WSN propagation model).
+//! 3. [`prr`] maps RSSI to packet-reception ratio with a CC2420-style
+//!    sigmoid, and averages many noisy RSSI draws to emulate the paper's
+//!    long-term measurement campaign.
+//! 4. [`mod@format`] serialises the resulting [`ldcf_net::Topology`] (plus
+//!    metadata) to JSON so experiments are reproducible and inspectable.
+//!
+//! The [`greenorbs`] module wires these together; [`generate`] with the
+//! default config yields a connected 298-node topology whose degree and
+//! PRR distributions are qualitatively GreenOrbs-like (mixed good and
+//! lossy links, mean degree ≈ 13, multi-hop source eccentricity ≈ 20).
+
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod format;
+pub mod greenorbs;
+pub mod propagation;
+pub mod prr;
+
+pub use format::TraceFile;
+pub use greenorbs::{generate, GreenOrbsConfig};

@@ -1,0 +1,116 @@
+//! RSSI → PRR mapping and long-term averaging.
+//!
+//! CC2420-class radios exhibit a sharp sigmoid between received power and
+//! packet-reception ratio: below the sensitivity floor nothing gets
+//! through, a few dB above it nearly everything does, and in between lies
+//! the *transitional region* responsible for the lossy links that
+//! dominate Fig. 7's analysis. The paper computed per-link quality from
+//! six months of RSSI measurements; [`PrrModel::long_term_prr`] emulates that by
+//! averaging the sigmoid over many fading draws.
+
+use crate::propagation::Propagation;
+use rand::Rng;
+
+/// RSSI→PRR sigmoid parameters.
+#[derive(Clone, Debug)]
+pub struct PrrModel {
+    /// RSSI (dBm) at which PRR = 0.5 (mid transitional region).
+    pub midpoint_dbm: f64,
+    /// Sigmoid steepness in dB (smaller = sharper transition).
+    pub width_db: f64,
+}
+
+impl Default for PrrModel {
+    fn default() -> Self {
+        Self {
+            midpoint_dbm: -87.0, // a few dB above CC2420's -94 dBm floor
+            width_db: 2.0,
+        }
+    }
+}
+
+impl PrrModel {
+    /// Instantaneous PRR for a given RSSI.
+    pub fn prr(&self, rssi_dbm: f64) -> f64 {
+        let z = (rssi_dbm - self.midpoint_dbm) / self.width_db;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Long-term PRR of a pair at static shadowed mean `shadowed_rssi`:
+    /// the average of instantaneous PRR over `samples` fading draws.
+    /// This is the synthetic analogue of the paper's six-month RSSI
+    /// measurement campaign.
+    pub fn long_term_prr<R: Rng + ?Sized>(
+        &self,
+        prop: &Propagation,
+        shadowed_rssi: f64,
+        samples: u32,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(samples >= 1);
+        let mut total = 0.0;
+        for _ in 0..samples {
+            total += self.prr(prop.measure(shadowed_rssi, rng));
+        }
+        total / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid_midpoint_is_half() {
+        let m = PrrModel::default();
+        assert!((m.prr(m.midpoint_dbm) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let m = PrrModel::default();
+        let mut prev = 0.0;
+        for rssi in (-110..-60).map(|x| x as f64) {
+            let p = m.prr(rssi);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn strong_signal_is_near_perfect_weak_is_near_zero() {
+        let m = PrrModel::default();
+        assert!(m.prr(-70.0) > 0.99);
+        assert!(m.prr(-100.0) < 0.01);
+    }
+
+    #[test]
+    fn long_term_prr_matches_instantaneous_without_fading() {
+        let m = PrrModel::default();
+        let prop = Propagation {
+            fading_sigma_db: 0.0,
+            ..Propagation::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = m.long_term_prr(&prop, -85.0, 100, &mut rng);
+        assert!((p - m.prr(-85.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fading_smooths_the_transition() {
+        // With fading, a link at exactly the midpoint stays ~0.5, but a
+        // link slightly above gains less than the no-fading sigmoid says
+        // (Jensen: the sigmoid is concave above the midpoint).
+        let m = PrrModel::default();
+        let prop = Propagation {
+            fading_sigma_db: 4.0,
+            ..Propagation::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let above = m.long_term_prr(&prop, m.midpoint_dbm + 3.0, 20_000, &mut rng);
+        assert!(above < m.prr(m.midpoint_dbm + 3.0));
+        assert!(above > 0.5);
+    }
+}

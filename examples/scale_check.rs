@@ -1,0 +1,46 @@
+//! Single-protocol run on the full 298-node trace, with timing — handy
+//! for profiling and for eyeballing one protocol's behaviour.
+//!
+//! ```text
+//! cargo run --release --example scale_check -- [opt|dbao|of|naive] [M]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let proto = args.get(1).map(|s| s.as_str()).unwrap_or("opt");
+    let m: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let topo = ldcf_trace::greenorbs::default_trace(7);
+    eprintln!(
+        "trace: {} nodes, {} edges, ecc {}, mean q {:.3}, mean deg {:.1}",
+        topo.n_nodes(),
+        topo.n_edges(),
+        topo.source_eccentricity(),
+        topo.mean_link_quality().unwrap(),
+        2.0 * topo.n_edges() as f64 / topo.n_nodes() as f64
+    );
+    let cfg = ldcf_sim::SimConfig {
+        n_packets: m,
+        max_slots: 1_000_000,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (r, _) = match proto {
+        "opt" => ldcf_sim::Engine::new(topo, cfg, ldcf_protocols::Opt::new()).run(),
+        "dbao" => ldcf_sim::Engine::new(topo, cfg, ldcf_protocols::Dbao::new()).run(),
+        "of" => {
+            ldcf_sim::Engine::new(topo, cfg, ldcf_protocols::OpportunisticFlooding::new()).run()
+        }
+        "naive" => ldcf_sim::Engine::new(topo, cfg, ldcf_protocols::NaiveFlood::new()).run(),
+        other => panic!("unknown protocol '{other}' (use opt|dbao|of|naive)"),
+    };
+    eprintln!(
+        "{proto}: covered={} delay={:?} slots={} tx={} fails={} colls={} ({:?})",
+        r.coverage_success_rate(),
+        r.mean_flooding_delay(),
+        r.slots_elapsed,
+        r.transmissions,
+        r.transmission_failures,
+        r.collisions,
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,65 @@
+//! How much does the paper's local-synchronization assumption (§III-B)
+//! buy? Maps mote-class clock drift and re-sync intervals to
+//! rendezvous-miss probabilities, then measures the impact on a DBAO
+//! flood.
+//!
+//! ```text
+//! cargo run --release --example sync_sensitivity
+//! ```
+
+use ldcf::net::clock::{DriftClock, SyncModel};
+use ldcf::prelude::*;
+
+fn main() {
+    // A 40 ppm crystal drifts half a slot in 12.5k slots.
+    let clock = DriftClock {
+        rate_ppm: 40.0,
+        offset_slots: 0.0,
+    };
+    println!(
+        "40 ppm clock: half-slot drift after {:.0} slots",
+        clock.slots_to_drift(0.5)
+    );
+
+    println!("\nre-sync interval -> worst-case error -> rendezvous-miss probability:");
+    println!("| interval (slots) | max error (slots) | miss prob |");
+    println!("|---|---|---|");
+    for interval in [2_000u64, 10_000, 20_000, 50_000, 100_000] {
+        let s = SyncModel::mote_class(interval);
+        println!(
+            "| {:>7} | {:.3} | {:.3} |",
+            interval,
+            s.max_error(),
+            s.mistiming_probability()
+        );
+    }
+    let safe = SyncModel::mote_class(1).max_safe_resync_interval();
+    println!("\nlongest miss-free re-sync interval: {safe} slots");
+
+    // Simulated impact on a flood (small grid so it runs in seconds).
+    let topo = Topology::grid(6, 6, LinkQuality::new(0.8));
+    println!("\nsimulated DBAO flood (6x6 grid, duty 10%, M = 5):\n");
+    println!("| miss prob | mean delay (slots) | mistimed tx |");
+    println!("|---|---|---|");
+    for miss in [0.0, 0.1, 0.3, 0.5] {
+        let cfg = SimConfig {
+            period: 10,
+            active_per_period: 1,
+            n_packets: 5,
+            coverage: 1.0,
+            max_slots: 400_000,
+            seed: 7,
+            mistiming_prob: miss,
+        };
+        let (r, _) = Engine::new(topo.clone(), cfg, Dbao::new()).run();
+        println!(
+            "| {:.1} | {:>6.0} | {:>5} |",
+            miss,
+            r.mean_flooding_delay().unwrap_or(f64::NAN),
+            r.mistimed
+        );
+    }
+    println!("\nwith mote-class drift and re-sync every ~10k slots, the paper's");
+    println!("perfect-local-sync assumption is essentially free; beyond that the");
+    println!("missed rendezvous stack extra sleep latencies onto every hop.");
+}

@@ -1,0 +1,130 @@
+//! Property-based cross-crate invariants (proptest): random topologies,
+//! schedules, and workloads must never violate the system model's core
+//! guarantees.
+
+use ldcf::prelude::*;
+use proptest::prelude::*;
+
+/// Random connected topology: a random tree backbone plus random extra
+/// edges, with random link qualities in [0.4, 1.0].
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (3usize..25, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut topo = Topology::empty(n);
+        for i in 1..n {
+            let parent = rng.random_range(0..i);
+            let q = LinkQuality::new(rng.random_range(0.4..=1.0));
+            topo.add_edge(NodeId::from(parent), NodeId::from(i), q, q);
+        }
+        let extras = rng.random_range(0..n);
+        for _ in 0..extras {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                let q = LinkQuality::new(rng.random_range(0.4..=1.0));
+                topo.add_edge(NodeId::from(a), NodeId::from(b), q, q);
+            }
+        }
+        topo
+    })
+}
+
+fn run(topo: &Topology, m: u32, period: u32, seed: u64, which: u8) -> SimReport {
+    let cfg = SimConfig {
+        period,
+        active_per_period: 1,
+        n_packets: m,
+        coverage: 1.0,
+        max_slots: 400_000,
+        seed,
+        mistiming_prob: 0.0,
+    };
+    match which {
+        0 => Engine::new(topo.clone(), cfg, Opt::new()).run().0,
+        1 => Engine::new(topo.clone(), cfg, Dbao::new()).run().0,
+        2 => Engine::new(topo.clone(), cfg, OpportunisticFlooding::new()).run().0,
+        _ => Engine::new(topo.clone(), cfg, NaiveFlood::new()).run().0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every protocol floods every connected random topology to full
+    /// coverage, and the accounting identities hold.
+    #[test]
+    fn protocols_always_cover_connected_topologies(
+        topo in arb_topology(),
+        m in 1u32..5,
+        period in 2u32..12,
+        seed in 0u64..1000,
+        which in 0u8..4,
+    ) {
+        let report = run(&topo, m, period, seed, which);
+        prop_assert!(report.all_covered(), "{} did not cover", report.protocol);
+        for p in &report.packets {
+            // Delays are well-formed: injected <= pushed <= covered.
+            let pushed = p.pushed_at.expect("covered packets were pushed");
+            let covered = p.covered_at.expect("all covered");
+            prop_assert!(p.injected_at <= pushed);
+            prop_assert!(pushed <= covered);
+            // Full coverage delivered to every sensor exactly once.
+            prop_assert_eq!(p.final_holders as usize, topo.n_sensors());
+        }
+        // Failures never exceed transmissions.
+        prop_assert!(report.transmission_failures <= report.transmissions);
+    }
+
+    /// OPT is collision-free on every input (its defining assumption).
+    #[test]
+    fn opt_is_always_collision_free(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let report = run(&topo, 3, 6, seed, 0);
+        prop_assert_eq!(report.collisions, 0);
+    }
+
+    /// The w.h.p. bound of Eq. (6) floors the delay of any *pure
+    /// unicast* flood (no overhearing): each sender emits at most one
+    /// packet per slot and each receiver accepts at most one, so the
+    /// holder count can at best double per slot and covering N sensors
+    /// needs at least ceil(log2(1+N)) slots. (Overhearing protocols can
+    /// beat this — one transmission then informs several listeners —
+    /// which is exactly why the paper's unicast assumption matters.)
+    #[test]
+    fn unicast_flooding_respects_the_log2_floor(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+    ) {
+        let report = run(&topo, 1, 4, seed, 3); // NAIVE: no overhearing
+        let n = topo.n_sensors() as u64;
+        let floor = ldcf::theory::fwl::fwl_whp_bound(n) as u64;
+        let st = &report.packets[0];
+        // Every sensor received the packet exactly once, via a dedicated
+        // unicast.
+        prop_assert_eq!(st.deliveries as u64, n);
+        prop_assert_eq!(st.overhears, 0);
+        let delay = st.covered_at.unwrap() + 1;
+        prop_assert!(
+            delay >= floor,
+            "delay {delay} below the log2 floor {floor}"
+        );
+    }
+
+    /// Determinism: identical seeds give identical reports.
+    #[test]
+    fn runs_are_deterministic(
+        topo in arb_topology(),
+        seed in 0u64..1000,
+        which in 0u8..4,
+    ) {
+        let a = run(&topo, 2, 5, seed, which);
+        let b = run(&topo, 2, 5, seed, which);
+        prop_assert_eq!(a.slots_elapsed, b.slots_elapsed);
+        prop_assert_eq!(a.transmissions, b.transmissions);
+        prop_assert_eq!(a.transmission_failures, b.transmission_failures);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate validation of the §IV theory against executable models:
+//! Algorithm 1 vs the closed forms, the Galton–Watson abstraction vs
+//! Lemma 2, and the compact time scale vs Eq. (1).
+
+use ldcf::theory::algorithm1::MatrixFlood;
+use ldcf::theory::compact_time::CompactTimeScale;
+use ldcf::theory::galton_watson::GaltonWatson;
+use ldcf::theory::{fdl, fwl, link_loss};
+
+#[test]
+fn lemma3_exact_across_sizes() {
+    for n in [4usize, 8, 16, 64, 256, 1024] {
+        for m in [1u32, 2, 7, 15] {
+            let report = MatrixFlood::new(n, m).run();
+            assert_eq!(
+                report.compact_slots,
+                fdl::lemma3_compact_slots(m, n as u64) as u64,
+                "N={n}, M={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_expectation_matches_uniform_waiting_model() {
+    // E[FDL] = T * FWL / 2: reconstruct it by drawing each waiting
+    // uniformly from 0..T and summing over the achievable FWL.
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let (n, m, t) = (256u64, 12u32, 20u32);
+    let fwl = fdl::fwl_achievable(m, n);
+    let runs = 30_000;
+    let mut total = 0.0;
+    for _ in 0..runs {
+        let mut sum = 0u64;
+        for _ in 0..fwl {
+            sum += rng.random_range(0..t) as u64;
+        }
+        total += sum as f64;
+    }
+    let simulated = total / runs as f64;
+    let expected = fdl::fdl_expected(m, n, t) - fwl as f64 * 0.5; // E[d]=(T-1)/2 per waiting
+    assert!(
+        (simulated - expected).abs() / expected < 0.02,
+        "simulated {simulated} vs Theorem 1 {expected}"
+    );
+}
+
+#[test]
+fn half_duplex_run_costs_more_but_within_factor_two() {
+    // §IV-A-2: splitting type-2 slots costs at most a factor of two.
+    for m in [2u32, 6, 12] {
+        let report = MatrixFlood::new(64, m).run_half_duplex();
+        assert!(report.half_duplex_slots >= report.compact_slots);
+        assert!(report.half_duplex_slots <= 2 * report.compact_slots);
+    }
+}
+
+#[test]
+fn lemma2_consistency_between_gw_and_fwl() {
+    // The Lemma 2 formula must agree with direct Galton–Watson
+    // simulation for a spread of link successes.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    for pi in [0.4, 0.7, 1.0] {
+        let n = 2047u64;
+        let gw = GaltonWatson::new(pi);
+        let runs = 200;
+        let mean: f64 = (0..runs)
+            .map(|_| gw.slots_to_reach(1 + n, &mut rng) as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let lemma = fwl::expected_fwl(n, 1.0 + pi) as f64;
+        assert!(
+            (mean - lemma).abs() <= 1.5,
+            "pi={pi}: simulated {mean} vs Lemma 2 {lemma}"
+        );
+    }
+}
+
+#[test]
+fn eq1_fdl_reconstruction_from_algorithm1_timeline() {
+    // Run Algorithm 1, spread its compact slots over an original time
+    // scale with fixed gaps, and check Eq. (1)'s identity via
+    // CompactTimeScale.
+    let report = MatrixFlood::new(16, 4).run();
+    let gap = 3u64; // pretend every waiting lasted 3 idle slots
+    let busy: Vec<u64> = (0..report.compact_slots).map(|c| c * (gap + 1) + gap).collect();
+    let cts = CompactTimeScale::from_busy_slots(busy);
+    assert_eq!(cts.len() as u64, report.compact_slots);
+    let total: u64 = cts.gaps().iter().map(|d| d + 1).sum();
+    assert_eq!(total, cts.fdl());
+    assert_eq!(cts.fdl(), report.compact_slots * (gap + 1));
+}
+
+#[test]
+fn growth_rate_interpolates_between_known_extremes() {
+    // kT -> 0: doubling (lambda = 2). kT large: lambda -> 1+.
+    assert!((link_loss::largest_root(0.0) - 2.0).abs() < 1e-12);
+    assert!(link_loss::largest_root(1000.0) < 1.01);
+    // At k = T = 1 the recurrence X(t+1) = X(t) + X(t-1) is Fibonacci:
+    // lambda is the golden ratio, and the prediction is
+    // log_phi(1+N) — strictly above the perfect-pipelining floor
+    // ceil(log2(1+N)) because recruits are delayed one slot.
+    let n = 1024u64;
+    let t = link_loss::predicted_flooding_delay(n, 1.0, 1.0);
+    let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+    let fib = ((1 + n) as f64).ln() / phi.ln();
+    assert!((t - fib).abs() < 1e-6, "eigen-prediction {t} vs log_phi {fib}");
+    assert!(t >= fdl::m_of(n) as f64);
+}
+
+#[test]
+fn waiting_table_consistent_with_achievable_fwl() {
+    // The last packet's K_p + W_p equals the achievable FWL in both
+    // branches.
+    for n in [64u64, 256, 1024] {
+        let m = fdl::m_of(n);
+        for m_packets in [2, m - 1, m, m + 5] {
+            let table = fdl::waiting_table(m_packets, n);
+            let (last_p, last_w) = *table.last().unwrap();
+            assert_eq!(
+                last_p + last_w,
+                fdl::fwl_achievable(m_packets, n),
+                "N={n}, M={m_packets}"
+            );
+        }
+    }
+}
