@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: the exact checks .github/workflows/ci.yml runs.
+#
+#   ./ci.sh        # fmt + clippy + build + test
+#   ./ci.sh quick  # skip clippy (fast pre-push check)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "cargo clippy (workspace, all targets, -D warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+step "cargo build --release"
+cargo build --workspace --release
+
+step "cargo test"
+cargo test -q --workspace
+
+step "OK"

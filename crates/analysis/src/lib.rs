@@ -2,18 +2,22 @@
 //!
 //! Support crate for the experiment harness: summary statistics
 //! ([`stats`]), labelled numeric series with markdown/CSV rendering
-//! ([`series`]), ASCII line charts for terminal output ([`plot`]), and
+//! ([`series`]), ASCII line charts for terminal output ([`plot`]),
 //! rayon-powered parameter sweeps with Monte-Carlo
 //! averaging ([`sweep`]) — the figures of §V average over seeds and
-//! sweep duty cycles, which is embarrassingly parallel.
+//! sweep duty cycles, which is embarrassingly parallel — and replay of
+//! slot-level JSONL event traces back into delay distributions
+//! ([`events`]).
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod plot;
 pub mod series;
 pub mod stats;
 pub mod sweep;
 
+pub use events::{PacketReplay, ReplayReport};
 pub use plot::{ascii_chart, PlotOptions};
 pub use series::{Series, Table};
 pub use stats::Summary;

@@ -72,7 +72,11 @@ pub fn ascii_chart(series: &[Series], opts: &PlotOptions) -> String {
             let row = h - 1 - cy; // y grows upward
             let cell = &mut grid[row][cx];
             // Overlaps render as '?' so they are visibly ambiguous.
-            *cell = if *cell == ' ' || *cell == mark { mark } else { '?' };
+            *cell = if *cell == ' ' || *cell == mark {
+                mark
+            } else {
+                '?'
+            };
         }
     }
 
@@ -87,13 +91,7 @@ pub fn ascii_chart(series: &[Series], opts: &PlotOptions) -> String {
         };
         writeln!(out, "{label} |{}", row.iter().collect::<String>()).unwrap();
     }
-    writeln!(
-        out,
-        "{} +{}",
-        " ".repeat(y_label_w - 1),
-        "-".repeat(w)
-    )
-    .unwrap();
+    writeln!(out, "{} +{}", " ".repeat(y_label_w - 1), "-".repeat(w)).unwrap();
     writeln!(
         out,
         "{} {:<w$.1}{:>rest$.1}",
@@ -105,8 +103,14 @@ pub fn ascii_chart(series: &[Series], opts: &PlotOptions) -> String {
     )
     .unwrap();
     for (si, s) in series.iter().enumerate() {
-        writeln!(out, "{} {} = {}", " ".repeat(y_label_w - 1), MARKS[si % MARKS.len()], s.name)
-            .unwrap();
+        writeln!(
+            out,
+            "{} {} = {}",
+            " ".repeat(y_label_w - 1),
+            MARKS[si % MARKS.len()],
+            s.name
+        )
+        .unwrap();
     }
     out
 }

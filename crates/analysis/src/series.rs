@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn markdown_rendering() {
-        let t = Table::new("M", vec![series("a", &[1.0, 2.5]), series("b", &[3.0, 4.0])]);
+        let t = Table::new(
+            "M",
+            vec![series("a", &[1.0, 2.5]), series("b", &[3.0, 4.0])],
+        );
         let md = t.to_markdown();
         assert!(md.starts_with("| M | a | b |\n|---|---|---|\n"));
         assert!(md.contains("| 0 | 1 | 3 |"));

@@ -14,7 +14,7 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    params.par_iter().map(|p| f(p)).collect()
+    params.par_iter().map(f).collect()
 }
 
 /// Monte-Carlo mean of `f(seed)` over `seeds`, computed in parallel.

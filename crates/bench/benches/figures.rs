@@ -22,7 +22,9 @@ fn bench_figures(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(200));
     g.measurement_time(std::time::Duration::from_secs(2));
 
-    g.bench_function("table1", |b| b.iter(|| black_box(experiments::table1(1024))));
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(experiments::table1(1024)))
+    });
     g.bench_function("fig3", |b| b.iter(|| black_box(experiments::fig3())));
     g.bench_function("fig5", |b| b.iter(|| black_box(experiments::fig5())));
     g.bench_function("fig6", |b| b.iter(|| black_box(experiments::fig6())));

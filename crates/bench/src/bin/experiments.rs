@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <artefact> [--quick] [--out DIR]
+//! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]
 //!
 //! artefacts:
 //!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
@@ -14,14 +14,23 @@
 //!
 //! `--quick` shrinks the trace-driven runs (fewer packets/seeds, coarser
 //! duty grid) so the full suite completes in minutes on one core.
-//! `--out DIR` additionally writes each artefact to `DIR/<name>.md`.
+//! `--out DIR` additionally writes each artefact to `DIR/<name>.md`,
+//! with a provenance manifest beside it (`DIR/<name>.manifest.json`:
+//! protocols, config, seeds, sims, slots, wall clock, slots/sec).
+//! `--trace-events DIR` streams every flood's slot-level events to one
+//! JSONL file per run; `--metrics DIR` snapshots per-run metric
+//! registries (delay histogram, per-node load, coverage growth) as JSON.
 
+use ldcf_bench::runner;
 use ldcf_bench::{experiments, ExpOptions};
+use ldcf_obs::RunManifest;
+use serde::Value;
 use std::path::PathBuf;
 
 struct Cli {
     artefact: String,
     opts: ExpOptions,
+    quick: bool,
     out: Option<PathBuf>,
 }
 
@@ -34,8 +43,24 @@ fn parse_args() -> Cli {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => {
-                let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a directory"));
                 out = Some(PathBuf::from(dir));
+            }
+            "--trace-events" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--trace-events needs a directory"));
+                runner::enable_event_tracing(PathBuf::from(dir).as_path())
+                    .unwrap_or_else(|e| usage(&format!("--trace-events: {e}")));
+            }
+            "--metrics" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--metrics needs a directory"));
+                runner::enable_metrics(PathBuf::from(dir).as_path())
+                    .unwrap_or_else(|e| usage(&format!("--metrics: {e}")));
             }
             "--help" | "-h" => usage(""),
             other if artefact.is_none() => artefact = Some(other.to_string()),
@@ -49,6 +74,7 @@ fn parse_args() -> Cli {
         } else {
             ExpOptions::full()
         },
+        quick,
         out,
     }
 }
@@ -58,7 +84,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments <artefact> [--quick] [--out DIR]\n\
+        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error analytical all"
@@ -68,7 +94,11 @@ fn usage(err: &str) -> ! {
 
 /// Markdown table followed by its ASCII chart (fenced for markdown).
 fn with_chart(table: &ldcf_analysis::Table) -> String {
-    format!("{}\n```text\n{}```\n", table.to_markdown(), table.to_chart())
+    format!(
+        "{}\n```text\n{}```\n",
+        table.to_markdown(),
+        table.to_chart()
+    )
 }
 
 fn emit(out: &Option<PathBuf>, name: &str, body: &str) {
@@ -77,6 +107,24 @@ fn emit(out: &Option<PathBuf>, name: &str, body: &str) {
         std::fs::create_dir_all(dir).expect("create output dir");
         std::fs::write(dir.join(format!("{name}.md")), body).expect("write artefact");
     }
+}
+
+/// The experiment options as a JSON value for the manifest, or `Null`
+/// for artefacts that ran no simulations.
+fn opts_value(opts: &ExpOptions, ledger: &runner::WorkLedger) -> Value {
+    if ledger.sims == 0 {
+        return Value::Null;
+    }
+    Value::Object(vec![
+        ("trace_seed".into(), Value::UInt(opts.trace_seed)),
+        ("m".into(), Value::UInt(opts.m as u64)),
+        (
+            "duties".into(),
+            Value::Array(opts.duties.iter().map(|&d| Value::Float(d)).collect()),
+        ),
+        ("coverage".into(), Value::Float(opts.coverage)),
+        ("max_slots".into(), Value::UInt(opts.max_slots)),
+    ])
 }
 
 fn main() {
@@ -112,7 +160,8 @@ fn main() {
         single => vec![single],
     };
 
-    // fig10 and fig11 share one sweep: compute lazily, cache.
+    // fig10 and fig11 share one sweep: compute lazily, cache. The shared
+    // ledger/wall-clock is billed to whichever of the two runs first.
     let mut sweep_cache: Option<(String, String)> = None;
     let mut fig10_11 = |opts: &ExpOptions| -> (String, String) {
         if sweep_cache.is_none() {
@@ -123,6 +172,7 @@ fn main() {
     };
 
     for name in names {
+        runner::ledger_reset();
         let t0 = std::time::Instant::now();
         let body = match name {
             "table1" => experiments::table1(1024),
@@ -151,7 +201,34 @@ fn main() {
             "sync-error" => with_chart(&experiments::sync_error(&cli.opts)),
             other => usage(&format!("unknown artefact '{other}'")),
         };
+        let wall = t0.elapsed();
         emit(&cli.out, name, &body);
-        eprintln!("[{name}] done in {:?}", t0.elapsed());
+
+        let ledger = runner::ledger_snapshot();
+        let manifest = RunManifest::new(
+            name,
+            ledger.protocols.clone(),
+            opts_value(&cli.opts, &ledger),
+            ledger.seeds.clone(),
+            cli.quick,
+            ledger.sims,
+            ledger.slots,
+            wall.as_millis() as u64,
+        );
+        if let Some(dir) = &cli.out {
+            std::fs::write(
+                dir.join(format!("{name}.manifest.json")),
+                manifest.to_json_pretty() + "\n",
+            )
+            .expect("write manifest");
+        }
+        if ledger.sims > 0 {
+            eprintln!(
+                "[{name}] done in {wall:?} — {} sims, {} slots, {:.0} slots/s",
+                ledger.sims, ledger.slots, manifest.slots_per_sec
+            );
+        } else {
+            eprintln!("[{name}] done in {wall:?}");
+        }
     }
 }

@@ -56,7 +56,11 @@ pub fn table1(n: u64) -> String {
 pub fn fig3() -> String {
     let mut alg = MatrixFlood::new(4, 2);
     let mut out = String::new();
-    writeln!(out, "Fig. 3 — Algorithm 1 on N = 4, M = 2 (rows: nodes 0..4; cols: packets)").unwrap();
+    writeln!(
+        out,
+        "Fig. 3 — Algorithm 1 on N = 4, M = 2 (rows: nodes 0..4; cols: packets)"
+    )
+    .unwrap();
     for c in 0..4u32 {
         writeln!(out, "c = {c}:").unwrap();
         for node in 0..5 {
@@ -80,16 +84,20 @@ pub fn fig5() -> (Table, Table) {
     let ms: Vec<u32> = (1..=20).collect();
     let left = Table::new(
         "M",
-        [("Duty Ratio=10%", 10u32), ("Duty Ratio=20%", 5), ("Duty Ratio=100%", 1)]
-            .iter()
-            .map(|&(name, t)| {
-                let mut s = Series::new(name);
-                for &m in &ms {
-                    s.push(m as f64, fdl::fdl_expected(m, 1024, t));
-                }
-                s
-            })
-            .collect(),
+        [
+            ("Duty Ratio=10%", 10u32),
+            ("Duty Ratio=20%", 5),
+            ("Duty Ratio=100%", 1),
+        ]
+        .iter()
+        .map(|&(name, t)| {
+            let mut s = Series::new(name);
+            for &m in &ms {
+                s.push(m as f64, fdl::fdl_expected(m, 1024, t));
+            }
+            s
+        })
+        .collect(),
     );
     let right = Table::new(
         "M",
@@ -130,16 +138,21 @@ pub fn fig6() -> Table {
 /// link qualities 50–80 % (`k = 2, 1.67, 1.42, 1.25`), network size `n`.
 pub fn fig7(n: u64) -> Table {
     let duties: Vec<f64> = (1..=10).map(|i| 0.02 * i as f64).collect();
-    let series = [(0.8, "k=1.25 (80%)"), (0.7, "k=1.42 (70%)"), (0.6, "k=1.67 (60%)"), (0.5, "k=2 (50%)")]
-        .iter()
-        .map(|&(q, name)| {
-            let mut s = Series::new(name);
-            for &d in &duties {
-                s.push(d * 100.0, link_loss::fig7_delay(n, d, q));
-            }
-            s
-        })
-        .collect();
+    let series = [
+        (0.8, "k=1.25 (80%)"),
+        (0.7, "k=1.42 (70%)"),
+        (0.6, "k=1.67 (60%)"),
+        (0.5, "k=2 (50%)"),
+    ]
+    .iter()
+    .map(|&(q, name)| {
+        let mut s = Series::new(name);
+        for &d in &duties {
+            s.push(d * 100.0, link_loss::fig7_delay(n, d, q));
+        }
+        s
+    })
+    .collect();
     Table::new("Duty Cycle (%)", series)
 }
 
@@ -192,9 +205,12 @@ pub fn fig9(opts: &ExpOptions) -> Table {
     Table::new("Packet Index", series)
 }
 
+/// Rows of one protocol's duty sweep: `(duty, mean delay, mean failures)`.
+type SweepRows = Vec<(f64, f64, f64)>;
+
 /// One duty-cycle sweep: `(mean delay, failures)` per (protocol, duty),
 /// averaged over seeds. Backbone of Figs. 10 and 11.
-fn duty_sweep(opts: &ExpOptions) -> Vec<(ProtocolKind, Vec<(f64, f64, f64)>)> {
+fn duty_sweep(opts: &ExpOptions) -> Vec<(ProtocolKind, SweepRows)> {
     let topo = ldcf_trace::greenorbs::default_trace(opts.trace_seed);
     ProtocolKind::paper_set()
         .par_iter()
@@ -245,7 +261,10 @@ pub fn fig10_fig11(opts: &ExpOptions) -> (Table, Table) {
     }
     let mut bound = Series::new("Predicted Lower Bound");
     for &duty in &opts.duties {
-        bound.push(duty * 100.0, link_loss::predicted_lower_bound(n, duty, mean_q));
+        bound.push(
+            duty * 100.0,
+            link_loss::predicted_lower_bound(n, duty, mean_q),
+        );
     }
     delay_series.push(bound);
     (
@@ -261,11 +280,7 @@ pub fn fig10_fig11(opts: &ExpOptions) -> (Table, Table) {
 /// DBAO with and without overhearing at duty 5 %: overhearing should cut
 /// both delay and transmissions.
 pub fn ablation_overhearing(opts: &ExpOptions) -> Table {
-    ablation(
-        opts,
-        ProtocolKind::Dbao,
-        ProtocolKind::DbaoNoOverhear,
-    )
+    ablation(opts, ProtocolKind::Dbao, ProtocolKind::DbaoNoOverhear)
 }
 
 /// OF with and without opportunistic forwards at duty 5 %: the extra
@@ -302,7 +317,11 @@ pub fn lifetime_gain(n: u64, mean_q: f64) -> String {
     let advisor = DutyCycleAdvisor::new(n, mean_q);
     let model = EnergyModel::default();
     let mut out = String::new();
-    writeln!(out, "| duty (%) | idle lifetime (slots/unit) | predicted delay | gain |").unwrap();
+    writeln!(
+        out,
+        "| duty (%) | idle lifetime (slots/unit) | predicted delay | gain |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|").unwrap();
     for i in 1..=10 {
         let duty = 0.02 * i as f64;
@@ -317,7 +336,13 @@ pub fn lifetime_gain(n: u64, mean_q: f64) -> String {
         .unwrap();
     }
     let (best, gain) = advisor.best_duty(&DutyCycleAdvisor::default_grid());
-    writeln!(out, "\nAdvisor optimum: duty {:.0}% (gain {:.4})", best * 100.0, gain).unwrap();
+    writeln!(
+        out,
+        "\nAdvisor optimum: duty {:.0}% (gain {:.4})",
+        best * 100.0,
+        gain
+    )
+    .unwrap();
     out
 }
 
@@ -384,7 +409,11 @@ pub fn cross_layer(opts: &ExpOptions) -> String {
         .collect();
 
     let mut out = String::new();
-    writeln!(out, "| duty (%) | measured OF delay | lifetime | measured gain |").unwrap();
+    writeln!(
+        out,
+        "| duty (%) | measured OF delay | lifetime | measured gain |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|").unwrap();
     let mut best = (0.0, f64::NEG_INFINITY);
     for &(duty, delay, lifetime, gain) in &rows {
@@ -423,7 +452,11 @@ pub fn cross_layer(opts: &ExpOptions) -> String {
 pub fn ablation_policy() -> String {
     use ldcf_core::algorithm1::RelayPolicy;
     let mut out = String::new();
-    writeln!(out, "| N | M | newest-first slots | oldest-first slots | Lemma 3 |").unwrap();
+    writeln!(
+        out,
+        "| N | M | newest-first slots | oldest-first slots | Lemma 3 |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|").unwrap();
     for &(n, m) in &[(16usize, 6u32), (32, 8), (64, 10), (128, 12), (256, 16)] {
         let newest = MatrixFlood::new(n, m).run().compact_slots;
@@ -447,7 +480,11 @@ pub fn ablation_policy() -> String {
 /// `E[FDL]` against the closed form, for a range of `(N, M)`.
 pub fn theorem1_check() -> String {
     let mut out = String::new();
-    writeln!(out, "| N | M | compact slots (sim) | M+m-1 (Lemma 3) | E[FDL] T=20 (Thm 1) |").unwrap();
+    writeln!(
+        out,
+        "| N | M | compact slots (sim) | M+m-1 (Lemma 3) | E[FDL] T=20 (Thm 1) |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|").unwrap();
     for &n in &[16usize, 64, 256, 1024] {
         for &m in &[1u32, 5, 10, 20] {

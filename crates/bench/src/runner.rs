@@ -1,9 +1,30 @@
-//! Protocol dispatch for the trace-driven experiments.
+//! Protocol dispatch for the trace-driven experiments, plus the
+//! process-wide observability hooks of the `experiments` binary:
+//!
+//! * a **work ledger** — atomic counters of simulation runs, slots
+//!   simulated, and the protocols/seeds involved, reset per artefact and
+//!   folded into each artefact's `RunManifest`;
+//! * optional **event tracing** (`--trace-events DIR`) — every flood
+//!   writes its slot-level event stream as one JSONL file;
+//! * optional **metrics capture** (`--metrics DIR`) — every flood
+//!   snapshots a `MetricsRegistry` (delay histogram, per-node load,
+//!   queue depth, coverage growth) as one JSON file.
+//!
+//! Tracing is opt-in per process: when neither directory is configured,
+//! floods run with the engine's `NullObserver` and pay nothing.
 
 use ldcf_net::Topology;
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
-use ldcf_sim::{Engine, SimConfig, SimReport};
+use ldcf_sim::{
+    Engine, FloodingProtocol, JsonlSink, MetricsObserver, SimConfig, SimEvent, SimObserver,
+    SimReport,
+};
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// The protocols under evaluation (§V-A) plus ablation variants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,31 +62,219 @@ impl ProtocolKind {
     }
 }
 
-/// Run one flood of `cfg.n_packets` packets over `topo` with the given
-/// protocol; returns the report and energy ledger.
-pub fn run_flood(topo: &Topology, cfg: &SimConfig, kind: ProtocolKind) -> (SimReport, EnergyLedger) {
-    match kind {
-        ProtocolKind::Opt => Engine::new(topo.clone(), cfg.clone(), Opt::new()).run(),
-        ProtocolKind::Dbao => Engine::new(topo.clone(), cfg.clone(), Dbao::new()).run(),
-        ProtocolKind::DbaoNoOverhear => Engine::new(
-            topo.clone(),
-            cfg.clone(),
-            Dbao::with_config(DbaoConfig { overhearing: false }),
-        )
-        .run(),
-        ProtocolKind::Of => {
-            Engine::new(topo.clone(), cfg.clone(), OpportunisticFlooding::new()).run()
+// ---------------------------------------------------------------------
+// Work ledger
+// ---------------------------------------------------------------------
+
+static SIMS_RUN: AtomicU64 = AtomicU64::new(0);
+static SLOTS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static PROTOCOLS_RUN: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+static SEEDS_RUN: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+
+/// Snapshot of the simulation work performed since the last
+/// [`ledger_reset`] — the provenance half of a `RunManifest`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkLedger {
+    /// Individual floods executed.
+    pub sims: u64,
+    /// Total slots stepped across those floods.
+    pub slots: u64,
+    /// Distinct protocol names run.
+    pub protocols: Vec<String>,
+    /// Distinct RNG seeds used.
+    pub seeds: Vec<u64>,
+}
+
+/// Reset the work ledger (call at the start of each artefact).
+pub fn ledger_reset() {
+    SIMS_RUN.store(0, Ordering::Relaxed);
+    SLOTS_SIMULATED.store(0, Ordering::Relaxed);
+    PROTOCOLS_RUN.lock().expect("ledger lock").clear();
+    SEEDS_RUN.lock().expect("ledger lock").clear();
+}
+
+/// Read the work performed since the last [`ledger_reset`].
+pub fn ledger_snapshot() -> WorkLedger {
+    WorkLedger {
+        sims: SIMS_RUN.load(Ordering::Relaxed),
+        slots: SLOTS_SIMULATED.load(Ordering::Relaxed),
+        protocols: PROTOCOLS_RUN
+            .lock()
+            .expect("ledger lock")
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        seeds: SEEDS_RUN
+            .lock()
+            .expect("ledger lock")
+            .iter()
+            .copied()
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracing configuration
+// ---------------------------------------------------------------------
+
+static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+static METRICS_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Route every subsequent flood's event stream to
+/// `dir/<protocol>-p<period>-a<active>-m<M>-s<seed>.events.jsonl`.
+/// Creates `dir`. May be called once per process.
+pub fn enable_event_tracing(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    TRACE_DIR
+        .set(dir.to_path_buf())
+        .map_err(|_| std::io::Error::other("event tracing already enabled"))
+}
+
+/// Snapshot every subsequent flood's metrics registry to
+/// `dir/<protocol>-p<period>-a<active>-m<M>-s<seed>.metrics.json`.
+/// Creates `dir`. May be called once per process.
+pub fn enable_metrics(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    METRICS_DIR
+        .set(dir.to_path_buf())
+        .map_err(|_| std::io::Error::other("metrics capture already enabled"))
+}
+
+/// Deterministic per-run file stem: the same `(protocol, config)` pair
+/// always maps to the same files, so re-running an artefact overwrites
+/// traces with byte-identical content instead of accumulating.
+fn run_stem(protocol: &str, cfg: &SimConfig) -> String {
+    let mut stem = format!(
+        "{}-p{}-a{}-m{}-s{}",
+        protocol.to_lowercase(),
+        cfg.period,
+        cfg.active_per_period,
+        cfg.n_packets,
+        cfg.seed
+    );
+    if cfg.mistiming_prob > 0.0 {
+        // Encode e.g. 0.05 as "e5000": stable, filename-safe.
+        stem.push_str(&format!("-e{:.0}", cfg.mistiming_prob * 100_000.0));
+    }
+    stem
+}
+
+/// Runtime-optional composite observer for traced floods. Only
+/// instantiated when tracing or metrics are enabled, so the `Option`
+/// checks never touch the default (un-traced) hot path.
+struct TraceObserver {
+    sink: Option<(JsonlSink<File>, PathBuf)>,
+    metrics: Option<(MetricsObserver, PathBuf)>,
+}
+
+impl TraceObserver {
+    /// `None` when neither tracing nor metrics are configured.
+    fn for_run(protocol: &str, cfg: &SimConfig, n_nodes: usize) -> Option<Self> {
+        let stem = run_stem(protocol, cfg);
+        let sink = TRACE_DIR.get().and_then(|dir| {
+            let path = dir.join(format!("{stem}.events.jsonl"));
+            match File::create(&path) {
+                Ok(f) => Some((JsonlSink::new(f), path)),
+                Err(e) => {
+                    eprintln!("trace-events: cannot create {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+        let metrics = METRICS_DIR.get().map(|dir| {
+            let path = dir.join(format!("{stem}.metrics.json"));
+            (MetricsObserver::new(n_nodes, cfg.period as u64), path)
+        });
+        if sink.is_none() && metrics.is_none() {
+            return None;
         }
-        ProtocolKind::OfPureTree => Engine::new(
-            topo.clone(),
-            cfg.clone(),
+        Some(Self { sink, metrics })
+    }
+}
+
+impl SimObserver for TraceObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        if let Some((sink, _)) = &mut self.sink {
+            sink.on_event(event);
+        }
+        if let Some((metrics, _)) = &mut self.metrics {
+            metrics.on_event(event);
+        }
+    }
+
+    fn on_finish(&mut self) {
+        if let Some((mut sink, path)) = self.sink.take() {
+            sink.on_finish();
+            if let Err(e) = sink.into_result() {
+                eprintln!("trace-events: write to {} failed: {e}", path.display());
+            }
+        }
+        if let Some((metrics, path)) = self.metrics.take() {
+            let json = metrics.into_registry().to_json_pretty();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("metrics: write to {} failed: {e}", path.display());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flood dispatch
+// ---------------------------------------------------------------------
+
+fn run_one<P: FloodingProtocol>(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+    protocol: P,
+) -> (SimReport, EnergyLedger) {
+    let engine = Engine::new(topo.clone(), cfg.clone(), protocol);
+    let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes()) {
+        Some(obs) => {
+            let (report, energy, _) = engine.with_observer(obs).run_traced();
+            (report, energy)
+        }
+        None => engine.run(),
+    };
+    SIMS_RUN.fetch_add(1, Ordering::Relaxed);
+    SLOTS_SIMULATED.fetch_add(report.slots_elapsed, Ordering::Relaxed);
+    PROTOCOLS_RUN
+        .lock()
+        .expect("ledger lock")
+        .insert(kind.name());
+    SEEDS_RUN.lock().expect("ledger lock").insert(cfg.seed);
+    (report, energy)
+}
+
+/// Run one flood of `cfg.n_packets` packets over `topo` with the given
+/// protocol; returns the report and energy ledger. Books the run into
+/// the work ledger and, when enabled, writes its event trace / metrics
+/// snapshot.
+pub fn run_flood(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+) -> (SimReport, EnergyLedger) {
+    match kind {
+        ProtocolKind::Opt => run_one(topo, cfg, kind, Opt::new()),
+        ProtocolKind::Dbao => run_one(topo, cfg, kind, Dbao::new()),
+        ProtocolKind::DbaoNoOverhear => run_one(
+            topo,
+            cfg,
+            kind,
+            Dbao::with_config(DbaoConfig { overhearing: false }),
+        ),
+        ProtocolKind::Of => run_one(topo, cfg, kind, OpportunisticFlooding::new()),
+        ProtocolKind::OfPureTree => run_one(
+            topo,
+            cfg,
+            kind,
             OpportunisticFlooding::with_config(OfConfig {
                 opportunistic: false,
                 ..OfConfig::default()
             }),
-        )
-        .run(),
-        ProtocolKind::Naive => Engine::new(topo.clone(), cfg.clone(), NaiveFlood::new()).run(),
+        ),
+        ProtocolKind::Naive => run_one(topo, cfg, kind, NaiveFlood::new()),
     }
 }
 
@@ -97,5 +306,59 @@ mod tests {
             let (r, _) = run_flood(&topo, &cfg, kind);
             assert!(r.all_covered(), "{} failed to cover", kind.name());
         }
+    }
+
+    #[test]
+    fn ledger_books_every_run() {
+        let topo = Topology::grid(3, 3, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 4,
+            active_per_period: 1,
+            n_packets: 1,
+            coverage: 1.0,
+            max_slots: 100_000,
+            seed: 11,
+            mistiming_prob: 0.0,
+        };
+        // The ledger is process-global and other tests also book into
+        // it, so assert on deltas of the monotone counters only.
+        let before = ledger_snapshot();
+        let (r1, _) = run_flood(&topo, &cfg, ProtocolKind::Dbao);
+        let (r2, _) = run_flood(
+            &topo,
+            &SimConfig {
+                seed: 12,
+                ..cfg.clone()
+            },
+            ProtocolKind::Of,
+        );
+        let after = ledger_snapshot();
+        assert_eq!(after.sims - before.sims, 2);
+        assert_eq!(
+            after.slots - before.slots,
+            r1.slots_elapsed + r2.slots_elapsed
+        );
+        assert!(after.protocols.iter().any(|p| p == "DBAO"));
+        assert!(after.protocols.iter().any(|p| p == "OF"));
+        assert!(after.seeds.contains(&11) && after.seeds.contains(&12));
+    }
+
+    #[test]
+    fn run_stem_is_deterministic_and_filename_safe() {
+        let cfg = SimConfig {
+            period: 100,
+            active_per_period: 5,
+            n_packets: 30,
+            coverage: 0.99,
+            max_slots: 1_000,
+            seed: 1,
+            mistiming_prob: 0.0,
+        };
+        assert_eq!(run_stem("DBAO", &cfg), "dbao-p100-a5-m30-s1");
+        let noisy = SimConfig {
+            mistiming_prob: 0.05,
+            ..cfg
+        };
+        assert_eq!(run_stem("OF", &noisy), "of-p100-a5-m30-s1-e5000");
     }
 }

@@ -1,0 +1,153 @@
+//! Accounting identities tying the three ledgers of a run together:
+//! the `SimReport`, the `EnergyLedger`, and the observer event stream.
+//! Every joule and every counter must be attributable to events.
+
+use ldcf_bench::{run_flood, ProtocolKind};
+use ldcf_net::{LinkQuality, Topology};
+use ldcf_protocols::Dbao;
+use ldcf_sim::{Engine, SimConfig, SimEvent, VecObserver};
+
+fn cfg(seed: u64, mistiming: f64) -> SimConfig {
+    SimConfig {
+        period: 5,
+        active_per_period: 1,
+        n_packets: 4,
+        coverage: 1.0,
+        max_slots: 200_000,
+        seed,
+        mistiming_prob: mistiming,
+    }
+}
+
+/// Energy is attributable: every transmission slot in the ledger is a
+/// committed (or mistimed) transmission in the report, every failed one
+/// a reported failure, and scheduled duty cycling partitions all
+/// node-slots into active + sleeping.
+#[test]
+fn energy_ledger_matches_report_for_all_protocols() {
+    let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+    let n_nodes = topo.n_nodes() as u64;
+    for kind in [
+        ProtocolKind::Opt,
+        ProtocolKind::Dbao,
+        ProtocolKind::DbaoNoOverhear,
+        ProtocolKind::Of,
+        ProtocolKind::OfPureTree,
+        ProtocolKind::Naive,
+    ] {
+        for seed in [1, 2, 3, 4, 5] {
+            for mistiming in [0.0, 0.15] {
+                let (report, energy) = run_flood(&topo, &cfg(seed, mistiming), kind);
+                let ctx = format!("{} seed {seed} mistiming {mistiming}", kind.name());
+                assert_eq!(energy.tx_slots, report.transmissions, "{ctx}: tx_slots");
+                assert_eq!(
+                    energy.failed_tx_slots, report.transmission_failures,
+                    "{ctx}: failed_tx_slots"
+                );
+                assert!(
+                    energy.failed_tx_slots <= energy.tx_slots,
+                    "{ctx}: failures bounded"
+                );
+                assert_eq!(
+                    energy.active_slots + energy.sleep_slots,
+                    n_nodes * report.slots_elapsed,
+                    "{ctx}: duty-cycle slots partition node-slots"
+                );
+                // Receptions (including duplicates) are at least the
+                // fresh copies the report counts.
+                let fresh: u64 = report
+                    .packets
+                    .iter()
+                    .map(|p| (p.deliveries + p.overhears) as u64)
+                    .sum();
+                assert!(
+                    energy.rx_slots >= fresh,
+                    "{ctx}: rx_slots cover fresh copies"
+                );
+            }
+        }
+    }
+}
+
+/// The event stream is complete: counting events reproduces every
+/// aggregate counter of the report.
+#[test]
+fn observed_event_counts_match_report() {
+    let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+    for seed in [1, 2, 3] {
+        for mistiming in [0.0, 0.2] {
+            let engine = Engine::new(topo.clone(), cfg(seed, mistiming), Dbao::new())
+                .with_observer(VecObserver::default());
+            let (report, _, obs) = engine.run_traced();
+            let count =
+                |f: &dyn Fn(&SimEvent) -> bool| obs.events.iter().filter(|e| f(e)).count() as u64;
+            let ctx = format!("seed {seed} mistiming {mistiming}");
+
+            let tx = count(&|e| matches!(e, SimEvent::TxAttempt { .. }));
+            let mistimed = count(&|e| matches!(e, SimEvent::Mistimed { .. }));
+            let losses = count(&|e| matches!(e, SimEvent::LinkLoss { .. }));
+            let collisions = count(&|e| matches!(e, SimEvent::Collision { .. }));
+            let busy = count(&|e| matches!(e, SimEvent::ReceiverBusy { .. }));
+            assert_eq!(tx + mistimed, report.transmissions, "{ctx}: transmissions");
+            assert_eq!(mistimed, report.mistimed, "{ctx}: mistimed");
+            assert_eq!(
+                losses + collisions + busy + mistimed,
+                report.transmission_failures,
+                "{ctx}: failures"
+            );
+            assert_eq!(collisions, report.collisions, "{ctx}: collisions");
+            assert_eq!(
+                count(&|e| matches!(e, SimEvent::Overheard { fresh: true, .. })),
+                report.overhears,
+                "{ctx}: overhears"
+            );
+            assert_eq!(
+                count(&|e| matches!(e, SimEvent::Deferred { .. })),
+                report.deferrals,
+                "{ctx}: deferrals"
+            );
+            assert_eq!(
+                count(&|e| matches!(e, SimEvent::SlotEnd { .. })),
+                report.slots_elapsed,
+                "{ctx}: slots"
+            );
+            // Coverage milestones: exactly one per covered packet, at
+            // the recorded slot.
+            let covered: Vec<(u32, u64)> = obs
+                .events
+                .iter()
+                .filter_map(|e| match *e {
+                    SimEvent::CoverageReached { slot, packet, .. } => Some((packet, slot)),
+                    _ => None,
+                })
+                .collect();
+            let expected: Vec<(u32, u64)> = report
+                .packets
+                .iter()
+                .filter_map(|p| p.covered_at.map(|s| (p.packet, s)))
+                .collect();
+            let mut sorted = covered.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, expected, "{ctx}: coverage milestones");
+        }
+    }
+}
+
+/// Attaching an observer must not change the simulation: same seed,
+/// same report, observed or not.
+#[test]
+fn observation_does_not_perturb_the_run() {
+    let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+    let c = cfg(9, 0.1);
+    let (plain, plain_energy) = Engine::new(topo.clone(), c.clone(), Dbao::new()).run();
+    let (traced, traced_energy, obs) = Engine::new(topo, c, Dbao::new())
+        .with_observer(VecObserver::default())
+        .run_traced();
+    assert!(!obs.events.is_empty());
+    assert_eq!(plain.slots_elapsed, traced.slots_elapsed);
+    assert_eq!(plain.transmissions, traced.transmissions);
+    assert_eq!(plain.transmission_failures, traced.transmission_failures);
+    assert_eq!(plain.mean_flooding_delay(), traced.mean_flooding_delay());
+    assert_eq!(plain_energy.tx_slots, traced_energy.tx_slots);
+    assert_eq!(plain_energy.active_slots, traced_energy.active_slots);
+}

@@ -241,8 +241,7 @@ impl MatrixFlood {
     /// node both transmits and receives (impossible for a semi-duplex
     /// radio; §IV-A-2 splits such slots in two).
     pub fn is_type2_slot(txs: &[MatrixTx]) -> bool {
-        txs.iter()
-            .any(|t| txs.iter().any(|u| u.to == t.from))
+        txs.iter().any(|t| txs.iter().any(|u| u.to == t.from))
     }
 
     /// Run to completion (all packets at all nodes), returning the
@@ -369,10 +368,7 @@ mod tests {
         let m = ((1 + n) as f64).log2().ceil() as u64;
         for (p, w) in report.waitings().iter().enumerate() {
             let bound = m + (p as u64).min(m - 1);
-            assert!(
-                *w <= bound,
-                "packet {p} waited {w} > Table I bound {bound}"
-            );
+            assert!(*w <= bound, "packet {p} waited {w} > Table I bound {bound}");
         }
     }
 

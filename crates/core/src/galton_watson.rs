@@ -162,10 +162,7 @@ mod tests {
         let var = ws.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / runs as f64;
         assert!((mean - 1.0).abs() < 0.05, "E[X] = 1, got {mean}");
         let expect = gw.martingale_limit_variance();
-        assert!(
-            (var - expect).abs() < 0.08,
-            "Var[X] = {expect}, got {var}"
-        );
+        assert!((var - expect).abs() < 0.08, "Var[X] = {expect}, got {var}");
     }
 
     #[test]

@@ -99,12 +99,7 @@ pub fn predicted_lower_bound(n: u64, duty_cycle: f64, mean_link_quality: f64) ->
 /// packets): if the per-packet service time exceeds the generation
 /// interval, "early sent packets may significantly block the
 /// transmissions of late coming packets" (§IV-B) and pipelining breaks.
-pub fn blocking_is_limited(
-    n: u64,
-    k: f64,
-    period: f64,
-    generation_interval_slots: f64,
-) -> bool {
+pub fn blocking_is_limited(n: u64, k: f64, period: f64, generation_interval_slots: f64) -> bool {
     predicted_flooding_delay(n, k, period) <= generation_interval_slots
 }
 

@@ -136,7 +136,10 @@ mod tests {
     fn lifetime_is_roughly_inverse_duty() {
         let a = advisor();
         let r = a.lifetime(0.05) / a.lifetime(0.10);
-        assert!((r - 2.0).abs() < 0.05, "halving duty doubles lifetime, r={r}");
+        assert!(
+            (r - 2.0).abs() < 0.05,
+            "halving duty doubles lifetime, r={r}"
+        );
     }
 
     #[test]

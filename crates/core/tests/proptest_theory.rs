@@ -91,7 +91,7 @@ proptest! {
         let mut prev = 0;
         for (p, w) in table {
             prop_assert!(w >= prev, "W_p must be non-decreasing");
-            prop_assert!(w <= 2 * m - 1, "W_p capped at m + (m-1)");
+            prop_assert!(w < 2 * m, "W_p capped at m + (m-1)");
             prop_assert!(w >= m, "W_p at least m");
             prev = w;
             let _ = p;

@@ -110,8 +110,7 @@ impl SyncModel {
             return 1.0;
         }
         // dt* where the envelope crosses half a slot.
-        let dt_star =
-            (0.5 - self.precision_slots) / (self.relative_drift_ppm * 1e-6);
+        let dt_star = (0.5 - self.precision_slots) / (self.relative_drift_ppm * 1e-6);
         (1.0 - dt_star / self.resync_interval as f64).clamp(0.0, 1.0)
     }
 

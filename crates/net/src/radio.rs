@@ -42,9 +42,12 @@ pub fn is_legal_slot(states: &[RadioState]) -> bool {
     // A slot assignment is a single state per node, so illegal combined
     // states cannot even be represented; this helper exists to make the
     // invariant explicit for callers that build slot plans incrementally.
-    states
-        .iter()
-        .all(|s| matches!(s, RadioState::Sleep | RadioState::Listen | RadioState::Transmit | RadioState::Receive))
+    states.iter().all(|s| {
+        matches!(
+            s,
+            RadioState::Sleep | RadioState::Listen | RadioState::Transmit | RadioState::Receive
+        )
+    })
 }
 
 #[cfg(test)]

@@ -381,7 +381,12 @@ mod tests {
     #[test]
     fn directed_quality_is_directional() {
         let mut t = Topology::empty(2);
-        t.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.9), LinkQuality::new(0.4));
+        t.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.4),
+        );
         assert!((t.quality(NodeId(0), NodeId(1)).unwrap().prr() - 0.9).abs() < 1e-12);
         assert!((t.quality(NodeId(1), NodeId(0)).unwrap().prr() - 0.4).abs() < 1e-12);
     }
@@ -391,9 +396,24 @@ mod tests {
         // 0 -(0.5)- 1 -(0.5)- 2 versus direct 0 -(0.2)- 2:
         // via 1: 2 + 2 = 4 ETX; direct: 5 ETX -> parent(2) = 1.
         let mut t = Topology::empty(3);
-        t.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.5), LinkQuality::new(0.5));
-        t.add_edge(NodeId(1), NodeId(2), LinkQuality::new(0.5), LinkQuality::new(0.5));
-        t.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.2), LinkQuality::new(0.2));
+        t.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::new(0.5),
+            LinkQuality::new(0.5),
+        );
+        t.add_edge(
+            NodeId(1),
+            NodeId(2),
+            LinkQuality::new(0.5),
+            LinkQuality::new(0.5),
+        );
+        t.add_edge(
+            NodeId(0),
+            NodeId(2),
+            LinkQuality::new(0.2),
+            LinkQuality::new(0.2),
+        );
         let (cost, parent) = t.etx_tree(NodeId(0));
         assert!((cost[2] - 4.0).abs() < 1e-9);
         assert_eq!(parent[2], Some(NodeId(1)));

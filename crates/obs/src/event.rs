@@ -1,0 +1,449 @@
+//! Slot-level structured simulation events.
+
+use ldcf_net::{NodeId, PacketId};
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Everything observable in one simulated slot.
+///
+/// Events are emitted in slot order by the engine; within a slot the
+/// order is: `Mistimed*`, `TxAttempt*`, `Deferred*`, reception events
+/// (`Delivered` / `Overheard` / `LinkLoss` / `Collision` /
+/// `ReceiverBusy`, with `CoverageReached` interleaved at the reception
+/// that triggered it), then one `SlotEnd`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimEvent {
+    /// A committed transmission (survived carrier sense).
+    TxAttempt {
+        /// Slot of the attempt.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Intended receiver.
+        receiver: NodeId,
+        /// Packet on the air.
+        packet: PacketId,
+        /// Oracle transmission (skips carrier sense / collisions).
+        bypass_mac: bool,
+    },
+    /// A dedicated reception succeeded.
+    Delivered {
+        /// Slot of the reception.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Receiving node.
+        receiver: NodeId,
+        /// Packet received.
+        packet: PacketId,
+        /// First copy at this receiver (duplicates cost energy only).
+        fresh: bool,
+    },
+    /// An un-addressed active node captured the packet.
+    Overheard {
+        /// Slot of the capture.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Overhearing node.
+        receiver: NodeId,
+        /// Packet captured.
+        packet: PacketId,
+        /// First copy at this receiver.
+        fresh: bool,
+    },
+    /// A sole transmission was dropped by the link (Bernoulli loss).
+    LinkLoss {
+        /// Slot of the loss.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Intended receiver.
+        receiver: NodeId,
+        /// Packet lost.
+        packet: PacketId,
+    },
+    /// Two or more hidden senders interfered at the receiver.
+    Collision {
+        /// Slot of the collision.
+        slot: u64,
+        /// One of the colliding senders (one event per sender).
+        sender: NodeId,
+        /// Receiver that heard garble.
+        receiver: NodeId,
+        /// Packet this sender was carrying.
+        packet: PacketId,
+    },
+    /// The intended receiver was itself transmitting (semi-duplex).
+    ReceiverBusy {
+        /// Slot of the failure.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Busy receiver.
+        receiver: NodeId,
+        /// Packet involved.
+        packet: PacketId,
+    },
+    /// A transmission missed its rendezvous (residual sync error); the
+    /// energy is spent but nothing reaches the MAC.
+    Mistimed {
+        /// Slot of the mistimed attempt.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Receiver the sender believed was awake.
+        receiver: NodeId,
+        /// Packet involved.
+        packet: PacketId,
+    },
+    /// Carrier sense silenced a would-be sender for this slot.
+    Deferred {
+        /// Slot of the deferral.
+        slot: u64,
+        /// The silenced sender.
+        sender: NodeId,
+    },
+    /// A packet reached its coverage target.
+    CoverageReached {
+        /// Slot coverage was reached.
+        slot: u64,
+        /// The covered packet.
+        packet: PacketId,
+        /// Sensors holding the packet at that moment.
+        holders: u32,
+    },
+    /// Per-slot aggregate snapshot, emitted once per simulated slot.
+    SlotEnd {
+        /// The slot that just finished.
+        slot: u64,
+        /// Total queued packet entries across all nodes.
+        queued: u64,
+        /// Nodes whose working schedule had them awake this slot.
+        active_nodes: u32,
+    },
+}
+
+impl SimEvent {
+    /// The slot this event belongs to.
+    pub fn slot(&self) -> u64 {
+        match *self {
+            SimEvent::TxAttempt { slot, .. }
+            | SimEvent::Delivered { slot, .. }
+            | SimEvent::Overheard { slot, .. }
+            | SimEvent::LinkLoss { slot, .. }
+            | SimEvent::Collision { slot, .. }
+            | SimEvent::ReceiverBusy { slot, .. }
+            | SimEvent::Mistimed { slot, .. }
+            | SimEvent::Deferred { slot, .. }
+            | SimEvent::CoverageReached { slot, .. }
+            | SimEvent::SlotEnd { slot, .. } => slot,
+        }
+    }
+
+    /// The JSONL type tag for this event.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::TxAttempt { .. } => "tx_attempt",
+            SimEvent::Delivered { .. } => "delivered",
+            SimEvent::Overheard { .. } => "overheard",
+            SimEvent::LinkLoss { .. } => "link_loss",
+            SimEvent::Collision { .. } => "collision",
+            SimEvent::ReceiverBusy { .. } => "receiver_busy",
+            SimEvent::Mistimed { .. } => "mistimed",
+            SimEvent::Deferred { .. } => "deferred",
+            SimEvent::CoverageReached { .. } => "coverage_reached",
+            SimEvent::SlotEnd { .. } => "slot_end",
+        }
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+// The enum carries data, which the workspace's vendored derive does not
+// support — the impls are written by hand against the stable JSONL
+// schema documented in EXPERIMENTS.md.
+impl Serialize for SimEvent {
+    fn to_value(&self) -> Value {
+        let t = Value::Str(self.kind().to_string());
+        match *self {
+            SimEvent::TxAttempt {
+                slot,
+                sender,
+                receiver,
+                packet,
+                bypass_mac,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("sender", Value::UInt(sender.0 as u64)),
+                ("receiver", Value::UInt(receiver.0 as u64)),
+                ("packet", Value::UInt(packet as u64)),
+                ("bypass_mac", Value::Bool(bypass_mac)),
+            ]),
+            SimEvent::Delivered {
+                slot,
+                sender,
+                receiver,
+                packet,
+                fresh,
+            }
+            | SimEvent::Overheard {
+                slot,
+                sender,
+                receiver,
+                packet,
+                fresh,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("sender", Value::UInt(sender.0 as u64)),
+                ("receiver", Value::UInt(receiver.0 as u64)),
+                ("packet", Value::UInt(packet as u64)),
+                ("fresh", Value::Bool(fresh)),
+            ]),
+            SimEvent::LinkLoss {
+                slot,
+                sender,
+                receiver,
+                packet,
+            }
+            | SimEvent::Collision {
+                slot,
+                sender,
+                receiver,
+                packet,
+            }
+            | SimEvent::ReceiverBusy {
+                slot,
+                sender,
+                receiver,
+                packet,
+            }
+            | SimEvent::Mistimed {
+                slot,
+                sender,
+                receiver,
+                packet,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("sender", Value::UInt(sender.0 as u64)),
+                ("receiver", Value::UInt(receiver.0 as u64)),
+                ("packet", Value::UInt(packet as u64)),
+            ]),
+            SimEvent::Deferred { slot, sender } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("sender", Value::UInt(sender.0 as u64)),
+            ]),
+            SimEvent::CoverageReached {
+                slot,
+                packet,
+                holders,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("packet", Value::UInt(packet as u64)),
+                ("holders", Value::UInt(holders as u64)),
+            ]),
+            SimEvent::SlotEnd {
+                slot,
+                queued,
+                active_nodes,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("queued", Value::UInt(queued)),
+                ("active_nodes", Value::UInt(active_nodes as u64)),
+            ]),
+        }
+    }
+}
+
+fn field_u64(v: &Value, name: &str) -> Result<u64, Error> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| Error::missing_field("SimEvent", name))
+}
+
+fn field_bool(v: &Value, name: &str) -> Result<bool, Error> {
+    match v.get(name) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(Error::missing_field("SimEvent", name)),
+    }
+}
+
+fn field_node(v: &Value, name: &str) -> Result<NodeId, Error> {
+    Ok(NodeId(field_u64(v, name)? as u32))
+}
+
+fn field_packet(v: &Value, name: &str) -> Result<PacketId, Error> {
+    Ok(field_u64(v, name)? as PacketId)
+}
+
+impl Deserialize for SimEvent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let tag = v
+            .get("t")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::missing_field("SimEvent", "t"))?;
+        let slot = field_u64(v, "slot")?;
+        match tag {
+            "tx_attempt" => Ok(SimEvent::TxAttempt {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+                bypass_mac: field_bool(v, "bypass_mac")?,
+            }),
+            "delivered" => Ok(SimEvent::Delivered {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+                fresh: field_bool(v, "fresh")?,
+            }),
+            "overheard" => Ok(SimEvent::Overheard {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+                fresh: field_bool(v, "fresh")?,
+            }),
+            "link_loss" => Ok(SimEvent::LinkLoss {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+            }),
+            "collision" => Ok(SimEvent::Collision {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+            }),
+            "receiver_busy" => Ok(SimEvent::ReceiverBusy {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+            }),
+            "mistimed" => Ok(SimEvent::Mistimed {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+            }),
+            "deferred" => Ok(SimEvent::Deferred {
+                slot,
+                sender: field_node(v, "sender")?,
+            }),
+            "coverage_reached" => Ok(SimEvent::CoverageReached {
+                slot,
+                packet: field_packet(v, "packet")?,
+                holders: field_u64(v, "holders")? as u32,
+            }),
+            "slot_end" => Ok(SimEvent::SlotEnd {
+                slot,
+                queued: field_u64(v, "queued")?,
+                active_nodes: field_u64(v, "active_nodes")? as u32,
+            }),
+            other => Err(Error::custom(format!("unknown SimEvent tag `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: SimEvent) {
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: SimEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev, "JSONL roundtrip for {json}");
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let s = NodeId(3);
+        let r = NodeId(7);
+        roundtrip(SimEvent::TxAttempt {
+            slot: 10,
+            sender: s,
+            receiver: r,
+            packet: 2,
+            bypass_mac: true,
+        });
+        roundtrip(SimEvent::Delivered {
+            slot: 10,
+            sender: s,
+            receiver: r,
+            packet: 2,
+            fresh: true,
+        });
+        roundtrip(SimEvent::Overheard {
+            slot: 11,
+            sender: s,
+            receiver: r,
+            packet: 0,
+            fresh: false,
+        });
+        roundtrip(SimEvent::LinkLoss {
+            slot: 12,
+            sender: s,
+            receiver: r,
+            packet: 1,
+        });
+        roundtrip(SimEvent::Collision {
+            slot: 13,
+            sender: s,
+            receiver: r,
+            packet: 1,
+        });
+        roundtrip(SimEvent::ReceiverBusy {
+            slot: 14,
+            sender: s,
+            receiver: r,
+            packet: 1,
+        });
+        roundtrip(SimEvent::Mistimed {
+            slot: 15,
+            sender: s,
+            receiver: r,
+            packet: 3,
+        });
+        roundtrip(SimEvent::Deferred {
+            slot: 16,
+            sender: s,
+        });
+        roundtrip(SimEvent::CoverageReached {
+            slot: 17,
+            packet: 3,
+            holders: 99,
+        });
+        roundtrip(SimEvent::SlotEnd {
+            slot: 18,
+            queued: 42,
+            active_nodes: 5,
+        });
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        let ev = SimEvent::Deferred {
+            slot: 0,
+            sender: NodeId(0),
+        };
+        assert_eq!(ev.kind(), "deferred");
+        assert_eq!(ev.slot(), 0);
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("\"t\":\"deferred\""), "{json}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # ldcf-obs — observability for the LDCF simulator
+//!
+//! Slot-level structured events, a metrics registry, JSONL event sinks,
+//! and run manifests. The design goal is **zero cost when disabled**:
+//! the simulation engine is generic over a [`SimObserver`] whose
+//! associated `const ENABLED: bool` lets every emission site compile
+//! away under the default [`NullObserver`] — the hot path pays nothing
+//! unless a run explicitly opts into tracing.
+//!
+//! The pieces:
+//!
+//! * [`SimEvent`] — one enum covering everything that can happen in a
+//!   slot: transmission attempts, deliveries, overhears, failures,
+//!   mistimed rendezvous, deferrals, coverage milestones, and per-slot
+//!   aggregates.
+//! * [`SimObserver`] — the engine-facing trait; observers compose as
+//!   tuples (`(metrics, sink)`).
+//! * [`MetricsRegistry`] / [`MetricsObserver`] — counters, fixed-bucket
+//!   histograms (flooding-delay distribution, per-node tx/rx load,
+//!   queue depth) and the coverage-growth curve X(t).
+//! * [`JsonlSink`] — one JSON object per event, one event per line.
+//! * [`RunManifest`] — provenance (protocols, config, seeds, wall clock,
+//!   slots/sec) written next to every generated artefact.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod manifest;
+pub mod metrics;
+pub mod observer;
+pub mod sink;
+
+pub use event::SimEvent;
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, MetricsObserver, MetricsRegistry, Series};
+pub use observer::{NullObserver, SimObserver, VecObserver};
+pub use sink::{read_jsonl, JsonlSink};

@@ -1,0 +1,107 @@
+//! Run manifests: provenance written next to every generated artefact.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// What produced an artefact, with enough detail to reproduce it:
+/// which protocols ran, under which configuration and seeds, and how
+/// much simulation work it took.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Artefact name (e.g. `fig9`).
+    pub artefact: String,
+    /// Protocols simulated (empty for purely analytical artefacts).
+    pub protocols: Vec<String>,
+    /// Representative simulation configuration as a JSON value
+    /// (`Value::Null` for analytical artefacts). Seeds vary per run and
+    /// are listed separately.
+    pub config: Value,
+    /// RNG seeds used across the artefact's runs.
+    pub seeds: Vec<u64>,
+    /// Quick (reduced-size) configuration?
+    pub quick: bool,
+    /// Individual simulation runs executed.
+    pub sims: u64,
+    /// Total slots simulated across all runs.
+    pub slots: u64,
+    /// Wall-clock time to produce the artefact, in milliseconds.
+    pub wall_ms: u64,
+    /// Simulation throughput: slots per wall-clock second (0 when no
+    /// slots were simulated).
+    pub slots_per_sec: f64,
+}
+
+impl RunManifest {
+    /// Build a manifest, deriving the throughput from `slots`/`wall_ms`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        artefact: &str,
+        protocols: Vec<String>,
+        config: Value,
+        seeds: Vec<u64>,
+        quick: bool,
+        sims: u64,
+        slots: u64,
+        wall_ms: u64,
+    ) -> Self {
+        let slots_per_sec = if wall_ms > 0 {
+            slots as f64 / (wall_ms as f64 / 1000.0)
+        } else {
+            0.0
+        };
+        Self {
+            artefact: artefact.to_string(),
+            protocols,
+            config,
+            seeds,
+            quick,
+            sims,
+            slots,
+            wall_ms,
+            slots_per_sec,
+        }
+    }
+
+    /// Pretty JSON rendering (the on-disk format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Parse a manifest back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = RunManifest::new(
+            "fig9",
+            vec!["of".into(), "dbao".into(), "opt".into()],
+            Value::Object(vec![("period".into(), Value::UInt(100))]),
+            vec![1, 2, 3],
+            true,
+            90,
+            1_200_000,
+            2_500,
+        );
+        assert!((m.slots_per_sec - 480_000.0).abs() < 1e-6);
+        let json = m.to_json_pretty();
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back.artefact, "fig9");
+        assert_eq!(back.seeds, vec![1, 2, 3]);
+        assert_eq!(back.sims, 90);
+        assert!(back.quick);
+        assert!((back.slots_per_sec - m.slots_per_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_clock_is_safe() {
+        let m = RunManifest::new("table1", vec![], Value::Null, vec![], false, 0, 0, 0);
+        assert_eq!(m.slots_per_sec, 0.0);
+        assert!(RunManifest::from_json(&m.to_json_pretty()).is_ok());
+    }
+}

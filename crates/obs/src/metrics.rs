@@ -1,0 +1,413 @@
+//! Metrics registry: counters, fixed-bucket histograms, and time series.
+
+use crate::event::SimEvent;
+use crate::observer::SimObserver;
+use ldcf_net::SOURCE;
+use serde::Value;
+
+/// A fixed-width-bucket histogram with an overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Metric name.
+    pub name: String,
+    /// Width of each bucket (in the metric's unit, e.g. slots).
+    pub bucket_width: u64,
+    /// Bucket counts; `buckets[i]` covers `[i*w, (i+1)*w)`. The last
+    /// bucket is the overflow bucket and covers everything above.
+    pub buckets: Vec<u64>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// A histogram of `n_buckets` regular buckets of `bucket_width`,
+    /// plus one overflow bucket.
+    pub fn new(name: &str, bucket_width: u64, n_buckets: usize) -> Self {
+        Self {
+            name: name.to_string(),
+            bucket_width: bucket_width.max(1),
+            buckets: vec![0; n_buckets + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let i = (value / self.bucket_width) as usize;
+        let last = self.buckets.len() - 1;
+        self.buckets[i.min(last)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("bucket_width".into(), Value::UInt(self.bucket_width)),
+            (
+                "buckets".into(),
+                Value::Array(self.buckets.iter().map(|&b| Value::UInt(b)).collect()),
+            ),
+            ("count".into(), Value::UInt(self.count)),
+            ("sum".into(), Value::UInt(self.sum)),
+            ("max".into(), Value::UInt(self.max)),
+        ])
+    }
+}
+
+/// A named (x, y) time series, e.g. coverage growth X(t).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Metric name.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(u64, u64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point if `y` changed since the last point (keeps the
+    /// series compact for step-like curves).
+    pub fn push_if_changed(&mut self, x: u64, y: u64) {
+        if self.points.last().map(|&(_, py)| py) != Some(y) {
+            self.points.push((x, y));
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "points".into(),
+                Value::Array(
+                    self.points
+                        .iter()
+                        .map(|&(x, y)| Value::Array(vec![Value::UInt(x), Value::UInt(y)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A snapshot of every metric a run produced.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    /// Named monotone counters.
+    pub counters: Vec<(String, u64)>,
+    /// Fixed-bucket histograms.
+    pub histograms: Vec<Histogram>,
+    /// Time series.
+    pub series: Vec<Series>,
+}
+
+impl MetricsRegistry {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// A series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Render as a JSON object (used by `--metrics`).
+    pub fn to_json_pretty(&self) -> String {
+        let v = Value::Object(vec![
+            (
+                "counters".into(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Value::Array(self.histograms.iter().map(Histogram::to_value).collect()),
+            ),
+            (
+                "series".into(),
+                Value::Array(self.series.iter().map(Series::to_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&v).expect("metrics registry serializes")
+    }
+}
+
+/// Builds a [`MetricsRegistry`] from the event stream of one run:
+/// event counters, the flooding-delay distribution (Fig. 9/10's
+/// metric), per-node tx/rx load, queue-depth and coverage-growth
+/// curves.
+#[derive(Clone, Debug)]
+pub struct MetricsObserver {
+    tx_attempts: u64,
+    delivered: u64,
+    delivered_fresh: u64,
+    overheard: u64,
+    overheard_fresh: u64,
+    link_loss: u64,
+    collisions: u64,
+    receiver_busy: u64,
+    mistimed: u64,
+    deferrals: u64,
+    slots: u64,
+    coverage_reached: u64,
+    /// pushed_at per packet (first source transmission), grown on demand.
+    pushed_at: Vec<Option<u64>>,
+    delay_hist: Histogram,
+    queue_hist: Histogram,
+    tx_by_node: Vec<u64>,
+    rx_by_node: Vec<u64>,
+    coverage_curve: Series,
+    holders_total: u64,
+}
+
+impl MetricsObserver {
+    /// Metrics for a run over `n_nodes` nodes; `delay_bucket` is the
+    /// flooding-delay histogram bucket width in slots (e.g. one
+    /// schedule period).
+    pub fn new(n_nodes: usize, delay_bucket: u64) -> Self {
+        Self {
+            tx_attempts: 0,
+            delivered: 0,
+            delivered_fresh: 0,
+            overheard: 0,
+            overheard_fresh: 0,
+            link_loss: 0,
+            collisions: 0,
+            receiver_busy: 0,
+            mistimed: 0,
+            deferrals: 0,
+            slots: 0,
+            coverage_reached: 0,
+            pushed_at: Vec::new(),
+            delay_hist: Histogram::new("flooding_delay_slots", delay_bucket, 64),
+            queue_hist: Histogram::new("queue_depth_total", 4, 64),
+            tx_by_node: vec![0; n_nodes],
+            rx_by_node: vec![0; n_nodes],
+            coverage_curve: Series::new("coverage_growth"),
+            holders_total: 0,
+        }
+    }
+
+    fn pushed_slot(&mut self, packet: u32) -> &mut Option<u64> {
+        let i = packet as usize;
+        if i >= self.pushed_at.len() {
+            self.pushed_at.resize(i + 1, None);
+        }
+        &mut self.pushed_at[i]
+    }
+
+    fn bump_node(v: &mut Vec<u64>, node: usize) {
+        if node >= v.len() {
+            v.resize(node + 1, 0);
+        }
+        v[node] += 1;
+    }
+
+    /// Finalize into a registry snapshot.
+    pub fn into_registry(self) -> MetricsRegistry {
+        let node_hist = |name: &str, loads: &[u64]| Histogram {
+            name: name.to_string(),
+            bucket_width: 1,
+            buckets: loads.to_vec(),
+            count: loads.iter().sum(),
+            sum: loads.iter().enumerate().map(|(i, &c)| i as u64 * c).sum(),
+            max: loads
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| i as u64)
+                .max()
+                .unwrap_or(0),
+        };
+        MetricsRegistry {
+            counters: vec![
+                ("tx_attempts".into(), self.tx_attempts),
+                ("delivered".into(), self.delivered),
+                ("delivered_fresh".into(), self.delivered_fresh),
+                ("overheard".into(), self.overheard),
+                ("overheard_fresh".into(), self.overheard_fresh),
+                ("link_loss".into(), self.link_loss),
+                ("collisions".into(), self.collisions),
+                ("receiver_busy".into(), self.receiver_busy),
+                ("mistimed".into(), self.mistimed),
+                ("deferrals".into(), self.deferrals),
+                ("slots".into(), self.slots),
+                ("coverage_reached".into(), self.coverage_reached),
+            ],
+            histograms: vec![
+                self.delay_hist,
+                self.queue_hist,
+                // Per-node load "histograms": bucket i = node i's count.
+                node_hist("tx_load_by_node", &self.tx_by_node),
+                node_hist("rx_load_by_node", &self.rx_by_node),
+            ],
+            series: vec![self.coverage_curve],
+        }
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_event(&mut self, event: &SimEvent) {
+        match *event {
+            SimEvent::TxAttempt {
+                slot,
+                sender,
+                packet,
+                ..
+            } => {
+                self.tx_attempts += 1;
+                Self::bump_node(&mut self.tx_by_node, sender.index());
+                if sender == SOURCE {
+                    let p = self.pushed_slot(packet);
+                    if p.is_none() {
+                        *p = Some(slot);
+                    }
+                }
+            }
+            SimEvent::Delivered {
+                receiver, fresh, ..
+            } => {
+                self.delivered += 1;
+                Self::bump_node(&mut self.rx_by_node, receiver.index());
+                if fresh {
+                    self.delivered_fresh += 1;
+                    if receiver != SOURCE {
+                        self.holders_total += 1;
+                    }
+                }
+            }
+            SimEvent::Overheard {
+                receiver, fresh, ..
+            } => {
+                self.overheard += 1;
+                Self::bump_node(&mut self.rx_by_node, receiver.index());
+                if fresh {
+                    self.overheard_fresh += 1;
+                    if receiver != SOURCE {
+                        self.holders_total += 1;
+                    }
+                }
+            }
+            SimEvent::LinkLoss { .. } => self.link_loss += 1,
+            SimEvent::Collision { .. } => self.collisions += 1,
+            SimEvent::ReceiverBusy { .. } => self.receiver_busy += 1,
+            SimEvent::Mistimed { sender, .. } => {
+                self.mistimed += 1;
+                Self::bump_node(&mut self.tx_by_node, sender.index());
+            }
+            SimEvent::Deferred { .. } => self.deferrals += 1,
+            SimEvent::CoverageReached { slot, packet, .. } => {
+                self.coverage_reached += 1;
+                if let Some(pushed) = *self.pushed_slot(packet) {
+                    self.delay_hist.record(slot.saturating_sub(pushed));
+                }
+            }
+            SimEvent::SlotEnd { slot, queued, .. } => {
+                self.slots += 1;
+                self.queue_hist.record(queued);
+                self.coverage_curve
+                    .push_if_changed(slot, self.holders_total);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldcf_net::NodeId;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new("d", 10, 3); // buckets [0,10) [10,20) [20,30) + overflow
+        for v in [0, 9, 10, 25, 500] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max, 500);
+        assert_eq!(h.mean(), Some(544.0 / 5.0));
+    }
+
+    #[test]
+    fn series_compacts_plateaus() {
+        let mut s = Series::new("x");
+        s.push_if_changed(0, 1);
+        s.push_if_changed(1, 1);
+        s.push_if_changed(5, 2);
+        s.push_if_changed(9, 2);
+        assert_eq!(s.points, vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn observer_tracks_delay_and_loads() {
+        let mut m = MetricsObserver::new(3, 5);
+        m.on_event(&SimEvent::TxAttempt {
+            slot: 2,
+            sender: SOURCE,
+            receiver: NodeId(1),
+            packet: 0,
+            bypass_mac: false,
+        });
+        m.on_event(&SimEvent::Delivered {
+            slot: 2,
+            sender: SOURCE,
+            receiver: NodeId(1),
+            packet: 0,
+            fresh: true,
+        });
+        m.on_event(&SimEvent::CoverageReached {
+            slot: 12,
+            packet: 0,
+            holders: 2,
+        });
+        m.on_event(&SimEvent::SlotEnd {
+            slot: 12,
+            queued: 3,
+            active_nodes: 1,
+        });
+        let reg = m.into_registry();
+        assert_eq!(reg.counter("tx_attempts"), Some(1));
+        assert_eq!(reg.counter("delivered_fresh"), Some(1));
+        let h = reg.histogram("flooding_delay_slots").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 10); // covered at 12, pushed at 2
+        assert_eq!(reg.histogram("tx_load_by_node").unwrap().buckets[0], 1);
+        assert_eq!(reg.histogram("rx_load_by_node").unwrap().buckets[1], 1);
+        assert_eq!(reg.series("coverage_growth").unwrap().points, vec![(12, 1)]);
+        let json = reg.to_json_pretty();
+        assert!(json.contains("flooding_delay_slots"));
+    }
+}

@@ -1,0 +1,141 @@
+//! JSONL event sink: one JSON object per event, one event per line.
+
+use crate::event::SimEvent;
+use crate::observer::SimObserver;
+use std::io::{self, BufWriter, Write};
+
+/// Streams every event as a line of JSON to any [`Write`] target.
+///
+/// Writes are buffered; [`SimObserver::on_finish`] flushes. I/O errors
+/// are sticky: the first error is kept and later writes are skipped, so
+/// tracing failures never abort a simulation mid-run — check
+/// [`JsonlSink::into_result`] after the run.
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer (a `File`, `Vec<u8>`, stdout lock, ...).
+    pub fn new(out: W) -> Self {
+        Self {
+            out: BufWriter::new(out),
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and surface the first I/O error, if any, together with the
+    /// underlying writer.
+    pub fn into_result(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<W: Write> SimObserver for JsonlSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("SimEvent serializes");
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn on_finish(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Parse a JSONL event stream back into events, skipping blank lines.
+/// Stops with an error on the first malformed line (1-based index
+/// included in the message).
+pub fn read_jsonl(text: &str) -> Result<Vec<SimEvent>, serde::Error> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev: SimEvent = serde_json::from_str(line)
+            .map_err(|e| serde::Error::custom(format!("line {}: {e}", i + 1)))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldcf_net::NodeId;
+
+    #[test]
+    fn sink_writes_one_line_per_event_and_roundtrips() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let events = [
+            SimEvent::TxAttempt {
+                slot: 0,
+                sender: NodeId(0),
+                receiver: NodeId(1),
+                packet: 0,
+                bypass_mac: false,
+            },
+            SimEvent::Delivered {
+                slot: 0,
+                sender: NodeId(0),
+                receiver: NodeId(1),
+                packet: 0,
+                fresh: true,
+            },
+            SimEvent::SlotEnd {
+                slot: 0,
+                queued: 2,
+                active_nodes: 1,
+            },
+        ];
+        for e in &events {
+            sink.on_event(e);
+        }
+        sink.on_finish();
+        assert_eq!(sink.lines(), 3);
+        let bytes = sink.into_result().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn reader_skips_blanks_and_reports_bad_lines() {
+        let ok = "\n{\"t\":\"deferred\",\"slot\":3,\"sender\":2}\n\n";
+        let events = read_jsonl(ok).unwrap();
+        assert_eq!(
+            events,
+            vec![SimEvent::Deferred {
+                slot: 3,
+                sender: NodeId(2)
+            }]
+        );
+        let bad = "{\"t\":\"deferred\",\"slot\":3,\"sender\":2}\nnot json\n";
+        let err = read_jsonl(bad).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -190,8 +190,18 @@ mod tests {
         // Star: source 0 with sensors 1 (q=0.9), 2 (q=0.5), all active
         // every slot.
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.9), LinkQuality::new(0.9));
-        topo.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.5), LinkQuality::new(0.5));
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.9),
+        );
+        topo.add_edge(
+            NodeId(0),
+            NodeId(2),
+            LinkQuality::new(0.5),
+            LinkQuality::new(0.5),
+        );
         let schedules = NeighborTable::new(vec![WorkingSchedule::always_on(); 3]);
         let cfg = SimConfig {
             period: 1,

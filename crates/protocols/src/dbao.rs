@@ -271,8 +271,18 @@ mod tests {
         topo.add_edge(NodeId(0), NodeId(1), q, q);
         topo.add_edge(NodeId(0), NodeId(2), q, q);
         topo.add_edge(NodeId(1), NodeId(2), q, q);
-        topo.add_edge(NodeId(1), NodeId(3), LinkQuality::new(0.95), LinkQuality::new(0.95));
-        topo.add_edge(NodeId(2), NodeId(3), LinkQuality::new(0.5), LinkQuality::new(0.5));
+        topo.add_edge(
+            NodeId(1),
+            NodeId(3),
+            LinkQuality::new(0.95),
+            LinkQuality::new(0.95),
+        );
+        topo.add_edge(
+            NodeId(2),
+            NodeId(3),
+            LinkQuality::new(0.5),
+            LinkQuality::new(0.5),
+        );
 
         let mut dbao = Dbao::new();
         dbao.build_ranks(&topo);
@@ -290,13 +300,8 @@ mod tests {
         let schedules = NeighborTable::new(vec![WorkingSchedule::always_on(); 12]);
         let run = |overhearing: bool| {
             let protocol = Dbao::with_config(DbaoConfig { overhearing });
-            let (r, _) = Engine::with_schedules(
-                topo.clone(),
-                cfg(3),
-                schedules.clone(),
-                protocol,
-            )
-            .run();
+            let (r, _) =
+                Engine::with_schedules(topo.clone(), cfg(3), schedules.clone(), protocol).run();
             assert!(r.all_covered());
             r.transmissions
         };
@@ -340,8 +345,18 @@ mod tests {
         // The flood must still start: with no clique member holding the
         // packet, the source elects itself.
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.4), LinkQuality::new(0.4));
-        topo.add_edge(NodeId(1), NodeId(2), LinkQuality::new(0.9), LinkQuality::new(0.9));
+        topo.add_edge(
+            NodeId(0),
+            NodeId(2),
+            LinkQuality::new(0.4),
+            LinkQuality::new(0.4),
+        );
+        topo.add_edge(
+            NodeId(1),
+            NodeId(2),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.9),
+        );
         let schedules = NeighborTable::new(vec![WorkingSchedule::always_on(); 3]);
         let (report, _) = Engine::with_schedules(topo, cfg(1), schedules, Dbao::new()).run();
         assert!(report.all_covered(), "source-only holder must bootstrap");

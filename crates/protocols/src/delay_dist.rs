@@ -42,7 +42,7 @@ impl DelayPmf {
     pub fn hop(p: f64, period: u32, horizon: usize) -> Self {
         assert!(p > 0.0 && p <= 1.0, "PRR in (0,1]");
         assert!(period >= 1);
-        assert!(horizon >= period as usize + 1);
+        assert!(horizon > period as usize);
         let t = period as usize;
         let mut pmf = vec![0.0; horizon + 1];
         // P(delay = u + (g-1)T + 1) = (1/T) * p * (1-p)^(g-1)
@@ -145,10 +145,10 @@ impl TreeDelays {
         let mut dists: Vec<Option<DelayPmf>> = vec![None; n];
         // BFS down the tree so parents are computed before children.
         let mut queue = std::collections::VecDeque::new();
-        for i in 0..n {
+        for (i, d) in dists.iter_mut().enumerate() {
             let node = NodeId::from(i);
             if tree.parent(node).is_none() && tree.cost(node) == 0.0 {
-                dists[i] = Some(DelayPmf::zero());
+                *d = Some(DelayPmf::zero());
                 queue.push_back(node);
             }
         }

@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod common;
-pub mod delay_dist;
 pub mod dbao;
+pub mod delay_dist;
 pub mod naive;
 pub mod of;
 pub mod opt;

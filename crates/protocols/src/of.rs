@@ -163,9 +163,7 @@ impl FloodingProtocol for OpportunisticFlooding {
                     .topo
                     .neighbors(receiver)
                     .iter()
-                    .filter(|&&(s, q)| {
-                        state.has(s, packet) && q.prr() >= self.cfg.min_link_quality
-                    })
+                    .filter(|&&(s, q)| state.has(s, packet) && q.prr() >= self.cfg.min_link_quality)
                     .count()
                     .max(1);
                 // Opportunistic streams for *different* packets can also
@@ -178,8 +176,7 @@ impl FloodingProtocol for OpportunisticFlooding {
                     .filter(|e| !state.has(receiver, e.packet))
                     .count()
                     .max(1);
-                let p_send =
-                    self.cfg.forward_probability / (competitors * my_overlap) as f64;
+                let p_send = self.cfg.forward_probability / (competitors * my_overlap) as f64;
                 if self.rng.random::<f64>() < p_send {
                     fallback = Some((packet, receiver));
                 }

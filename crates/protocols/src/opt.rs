@@ -120,8 +120,14 @@ mod tests {
         let topo = Topology::grid(4, 4, LinkQuality::new(0.9));
         let (report, _) = Engine::new(topo, cfg(5), Opt::new()).run();
         assert!(report.all_covered());
-        assert_eq!(report.collisions, 0, "OPT is collision-free by construction");
-        assert!(report.transmission_failures > 0, "loss still applies at PRR 0.9");
+        assert_eq!(
+            report.collisions, 0,
+            "OPT is collision-free by construction"
+        );
+        assert!(
+            report.transmission_failures > 0,
+            "loss still applies at PRR 0.9"
+        );
     }
 
     #[test]
@@ -137,9 +143,24 @@ mod tests {
         // Receiver 2 neighbors both the source (q 0.4) and node 1 (q 0.95).
         // Once node 1 holds the packet, 2 must receive from 1.
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::PERFECT, LinkQuality::PERFECT);
-        topo.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.4), LinkQuality::new(0.4));
-        topo.add_edge(NodeId(1), NodeId(2), LinkQuality::new(0.95), LinkQuality::new(0.95));
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::PERFECT,
+            LinkQuality::PERFECT,
+        );
+        topo.add_edge(
+            NodeId(0),
+            NodeId(2),
+            LinkQuality::new(0.4),
+            LinkQuality::new(0.4),
+        );
+        topo.add_edge(
+            NodeId(1),
+            NodeId(2),
+            LinkQuality::new(0.95),
+            LinkQuality::new(0.95),
+        );
         let schedules = NeighborTable::new(vec![WorkingSchedule::always_on(); 3]);
         let mut engine = Engine::with_schedules(topo, cfg(1), schedules, Opt::new());
         // Slot 0: node 1 and node 2 both want the packet; 0 can serve
@@ -184,7 +205,12 @@ mod tests {
         let n_sensors = 10;
         let mut topo = Topology::empty(n_sensors + 1);
         for i in 1..=n_sensors {
-            topo.add_edge(NodeId(0), NodeId::from(i), LinkQuality::PERFECT, LinkQuality::PERFECT);
+            topo.add_edge(
+                NodeId(0),
+                NodeId::from(i),
+                LinkQuality::PERFECT,
+                LinkQuality::PERFECT,
+            );
         }
         let c = SimConfig {
             coverage: 0.9, // 9 of 10 sensors

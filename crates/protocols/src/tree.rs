@@ -121,9 +121,24 @@ mod tests {
         // Triangle with a bad direct edge: tree should route through the
         // good relay.
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::new(0.9), LinkQuality::new(0.9));
-        topo.add_edge(NodeId(1), NodeId(2), LinkQuality::new(0.9), LinkQuality::new(0.9));
-        topo.add_edge(NodeId(0), NodeId(2), LinkQuality::new(0.3), LinkQuality::new(0.3));
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.9),
+        );
+        topo.add_edge(
+            NodeId(1),
+            NodeId(2),
+            LinkQuality::new(0.9),
+            LinkQuality::new(0.9),
+        );
+        topo.add_edge(
+            NodeId(0),
+            NodeId(2),
+            LinkQuality::new(0.3),
+            LinkQuality::new(0.3),
+        );
         let tree = EnergyTree::build(&topo);
         assert_eq!(tree.parent(NodeId(2)), Some(NodeId(1)));
     }
@@ -131,7 +146,12 @@ mod tests {
     #[test]
     fn unreachable_nodes_have_no_parent() {
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::PERFECT, LinkQuality::PERFECT);
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::PERFECT,
+            LinkQuality::PERFECT,
+        );
         let tree = EnergyTree::build(&topo);
         assert_eq!(tree.parent(NodeId(2)), None);
         assert!(tree.cost(NodeId(2)).is_infinite());

@@ -7,6 +7,7 @@ use crate::protocol::FloodingProtocol;
 use crate::queue::FcfsQueue;
 use crate::stats::SimReport;
 use ldcf_net::{NeighborTable, NodeId, PacketId, Topology, SOURCE};
+use ldcf_obs::{NullObserver, SimEvent, SimObserver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -79,13 +80,19 @@ impl SimState {
 }
 
 /// The simulation engine: owns state, protocol, RNG and statistics.
-pub struct Engine<P: FloodingProtocol> {
+///
+/// Generic over a [`SimObserver`]; the default [`NullObserver`] has
+/// `ENABLED = false`, so every emission site below compiles away and an
+/// un-observed engine pays nothing for observability. Attach a real
+/// observer with [`Engine::with_observer`].
+pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver> {
     state: SimState,
     protocol: P,
     rng: StdRng,
     report: SimReport,
     energy: EnergyLedger,
     intents_buf: Vec<TxIntent>,
+    obs: O,
 }
 
 impl<P: FloodingProtocol> Engine<P> {
@@ -127,7 +134,8 @@ impl<P: FloodingProtocol> Engine<P> {
         let m = cfg.n_packets as usize;
         let coverage_target = ((cfg.coverage * n_sensors as f64).ceil() as u32).max(1);
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut report = SimReport::new(protocol.name(), n_sensors, cfg.duty_ratio(), cfg.n_packets);
+        let mut report =
+            SimReport::new(protocol.name(), n_sensors, cfg.duty_ratio(), cfg.n_packets);
         let mut state = SimState {
             cfg,
             topo,
@@ -152,7 +160,31 @@ impl<P: FloodingProtocol> Engine<P> {
             report,
             energy: EnergyLedger::default(),
             intents_buf: Vec::new(),
+            obs: NullObserver,
         }
+    }
+}
+
+impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
+    /// Attach an observer, consuming the engine. Typically called right
+    /// after construction:
+    ///
+    /// `Engine::new(topo, cfg, proto).with_observer(JsonlSink::new(file))`
+    pub fn with_observer<O2: SimObserver>(self, obs: O2) -> Engine<P, O2> {
+        Engine {
+            state: self.state,
+            protocol: self.protocol,
+            rng: self.rng,
+            report: self.report,
+            energy: self.energy,
+            intents_buf: self.intents_buf,
+            obs,
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
     }
 
     /// Immutable view of the state (for tests and tools).
@@ -192,21 +224,33 @@ impl<P: FloodingProtocol> Engine<P> {
         // nothing is received.
         if self.state.cfg.mistiming_prob > 0.0 {
             let p = self.state.cfg.mistiming_prob;
+            let slot = self.state.now;
+            let report = &mut self.report;
+            let energy = &mut self.energy;
             let rng = &mut self.rng;
-            let mut kept = Vec::with_capacity(intents.len());
-            for it in intents.drain(..) {
-                if rand::Rng::random::<f64>(rng) < p {
-                    self.report.transmissions += 1;
-                    self.report.transmission_failures += 1;
-                    self.report.mistimed += 1;
-                    self.report.packets[it.packet as usize].failures += 1;
-                    self.energy.tx_slots += 1;
-                    self.energy.failed_tx_slots += 1;
-                } else {
-                    kept.push(it);
+            let obs = &mut self.obs;
+            // In-place retain: the per-slot scratch Vec this used to
+            // allocate showed up in the engine profile at high duty.
+            intents.retain(|it| {
+                if rand::Rng::random::<f64>(rng) >= p {
+                    return true;
                 }
-            }
-            intents = kept;
+                report.transmissions += 1;
+                report.transmission_failures += 1;
+                report.mistimed += 1;
+                report.packets[it.packet as usize].failures += 1;
+                energy.tx_slots += 1;
+                energy.failed_tx_slots += 1;
+                if O::ENABLED {
+                    obs.on_event(&SimEvent::Mistimed {
+                        slot,
+                        sender: it.sender,
+                        receiver: it.receiver,
+                        packet: it.packet,
+                    });
+                }
+                false
+            });
         }
 
         #[cfg(debug_assertions)]
@@ -249,6 +293,25 @@ impl<P: FloodingProtocol> Engine<P> {
         self.report.deferrals += res.deferred.len() as u64;
         self.energy.tx_slots += res.transmitted.len() as u64;
 
+        if O::ENABLED {
+            for &i in &res.committed {
+                let it = &intents[i];
+                self.obs.on_event(&SimEvent::TxAttempt {
+                    slot: now,
+                    sender: it.sender,
+                    receiver: it.receiver,
+                    packet: it.packet,
+                    bypass_mac: it.bypass_mac,
+                });
+            }
+            for &d in &res.deferred {
+                self.obs.on_event(&SimEvent::Deferred {
+                    slot: now,
+                    sender: d,
+                });
+            }
+        }
+
         let mut newly_delivered: Vec<(NodeId, PacketId)> = Vec::new();
         for e in &res.events {
             if e.sender == SOURCE {
@@ -259,13 +322,40 @@ impl<P: FloodingProtocol> Engine<P> {
                     let pi = e.packet as usize;
                     let ri = e.receiver.index();
                     self.energy.rx_slots += 1;
-                    if !self.state.have[ri][pi] {
+                    let fresh = !self.state.have[ri][pi];
+                    if O::ENABLED {
+                        let ev = match e.outcome {
+                            Outcome::Overheard => SimEvent::Overheard {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                                fresh,
+                            },
+                            _ => SimEvent::Delivered {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                                fresh,
+                            },
+                        };
+                        self.obs.on_event(&ev);
+                    }
+                    if fresh {
                         self.state.have[ri][pi] = true;
                         self.state.queues[ri].push(e.packet, now);
                         newly_delivered.push((e.receiver, e.packet));
                         if e.receiver != SOURCE {
                             self.state.holders[pi] += 1;
                             if self.state.holders[pi] >= self.state.coverage_target {
+                                if O::ENABLED && self.report.packets[pi].covered_at.is_none() {
+                                    self.obs.on_event(&SimEvent::CoverageReached {
+                                        slot: now,
+                                        packet: e.packet,
+                                        holders: self.state.holders[pi],
+                                    });
+                                }
                                 self.report.record_coverage(e.packet, now);
                             }
                         }
@@ -286,6 +376,29 @@ impl<P: FloodingProtocol> Engine<P> {
                     self.energy.failed_tx_slots += 1;
                     if o == Outcome::Collision {
                         self.report.collisions += 1;
+                    }
+                    if O::ENABLED {
+                        let ev = match o {
+                            Outcome::Collision => SimEvent::Collision {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                            },
+                            Outcome::LinkLoss => SimEvent::LinkLoss {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                            },
+                            _ => SimEvent::ReceiverBusy {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                            },
+                        };
+                        self.obs.on_event(&ev);
                     }
                 }
                 _ => unreachable!("all outcomes handled"),
@@ -326,6 +439,15 @@ impl<P: FloodingProtocol> Engine<P> {
         self.energy.active_slots += active_now;
         self.energy.sleep_slots += n - active_now;
 
+        if O::ENABLED {
+            let queued: u64 = self.state.queues.iter().map(|q| q.len() as u64).sum();
+            self.obs.on_event(&SimEvent::SlotEnd {
+                slot: now,
+                queued,
+                active_nodes: active_now as u32,
+            });
+        }
+
         self.state.now += 1;
         self.report.slots_elapsed = self.state.now;
         self.intents_buf = intents;
@@ -333,13 +455,22 @@ impl<P: FloodingProtocol> Engine<P> {
     }
 
     /// Run to termination and return the report.
-    pub fn run(mut self) -> (SimReport, EnergyLedger) {
+    pub fn run(self) -> (SimReport, EnergyLedger) {
+        let (report, energy, _) = self.run_traced();
+        (report, energy)
+    }
+
+    /// Run to termination, returning the observer alongside the report
+    /// (a [`ldcf_obs::JsonlSink`] to flush, a
+    /// [`ldcf_obs::MetricsObserver`] to snapshot, ...).
+    pub fn run_traced(mut self) -> (SimReport, EnergyLedger, O) {
         while self.step() {}
         // Final holder counts.
         for p in 0..self.state.cfg.n_packets {
             self.report.packets[p as usize].final_holders = self.state.holders[p as usize];
         }
-        (self.report, self.energy)
+        self.obs.on_finish();
+        (self.report, self.energy, self.obs)
     }
 }
 
@@ -426,7 +557,11 @@ mod tests {
             assert!(p.flooding_delay().is_some());
         }
         // FCFS at the source: packets are pushed in order.
-        let pushes: Vec<u64> = report.packets.iter().map(|p| p.pushed_at.unwrap()).collect();
+        let pushes: Vec<u64> = report
+            .packets
+            .iter()
+            .map(|p| p.pushed_at.unwrap())
+            .collect();
         let mut sorted = pushes.clone();
         sorted.sort_unstable();
         assert_eq!(pushes, sorted);
@@ -446,7 +581,12 @@ mod tests {
     fn max_slots_terminates_unreachable_runs() {
         // Disconnected topology: packet can never cover all sensors.
         let mut topo = Topology::empty(3);
-        topo.add_edge(NodeId(0), NodeId(1), LinkQuality::PERFECT, LinkQuality::PERFECT);
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::PERFECT,
+            LinkQuality::PERFECT,
+        );
         let cfg = SimConfig {
             max_slots: 500,
             ..line_cfg(1)
@@ -480,7 +620,10 @@ mod tests {
         };
         let engine = Engine::new(topo, cfg, GreedyFlood);
         let (report, _) = engine.run();
-        assert!(report.all_covered(), "99% coverage must tolerate 1 straggler");
+        assert!(
+            report.all_covered(),
+            "99% coverage must tolerate 1 straggler"
+        );
         // The engine stops as soon as the target (198 = ceil(0.99*200)) is
         // met, so the isolated sensor never blocks termination.
         assert_eq!(report.packets[0].final_holders, 198);

@@ -36,3 +36,9 @@ pub use engine::{Engine, SimState};
 pub use mac::{DeliveryEvent, TxIntent};
 pub use protocol::FloodingProtocol;
 pub use stats::{PacketStats, SimReport};
+
+// Observability is defined in `ldcf-obs`; re-exported here so callers
+// attaching observers to an [`Engine`] need only this crate.
+pub use ldcf_obs::{
+    JsonlSink, MetricsObserver, MetricsRegistry, NullObserver, SimEvent, SimObserver, VecObserver,
+};

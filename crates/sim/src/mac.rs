@@ -77,7 +77,10 @@ impl Outcome {
     /// transmission). Overhearing misses are not failures — nobody spent
     /// a dedicated transmission on them.
     pub fn is_failure(self) -> bool {
-        matches!(self, Outcome::LinkLoss | Outcome::Collision | Outcome::ReceiverBusy)
+        matches!(
+            self,
+            Outcome::LinkLoss | Outcome::Collision | Outcome::ReceiverBusy
+        )
     }
 }
 
@@ -86,6 +89,11 @@ impl Outcome {
 pub struct SlotResolution {
     /// Senders that actually transmitted (committed after carrier sense).
     pub transmitted: Vec<NodeId>,
+    /// Indices into the input intent slice of the committed
+    /// transmissions, in commit (backoff) order; parallel to
+    /// `transmitted`. Lets callers recover the full intent (receiver,
+    /// packet, bypass flag) behind each transmission.
+    pub committed: Vec<usize>,
     /// Senders that deferred to an audible committed sender.
     pub deferred: Vec<NodeId>,
     /// All reception events, including failures and overhears.
@@ -214,9 +222,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
             .count();
         let outcome = if targeting >= 2 {
             Outcome::Collision
-        } else if rng.random::<f64>()
-            < topo.quality(it.sender, r).expect("validated above").prr()
-        {
+        } else if rng.random::<f64>() < topo.quality(it.sender, r).expect("validated above").prr() {
             Outcome::Delivered
         } else {
             Outcome::LinkLoss
@@ -279,8 +285,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
                         .iter()
                         .copied()
                         .filter(|&i| {
-                            !intents[i].bypass_mac
-                                && topo.are_neighbors(intents[i].sender, r)
+                            !intents[i].bypass_mac && topo.are_neighbors(intents[i].sender, r)
                         })
                         .collect();
                     match audible[..] {
@@ -290,8 +295,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
                 };
                 if let Some(i) = chosen {
                     let it = &intents[i];
-                    if rng.random::<f64>() < topo.quality(it.sender, r).expect("neighbors").prr()
-                    {
+                    if rng.random::<f64>() < topo.quality(it.sender, r).expect("neighbors").prr() {
                         res.events.push(DeliveryEvent {
                             sender: it.sender,
                             receiver: r,
@@ -304,6 +308,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
         }
     }
 
+    res.committed = committed;
     res
 }
 
@@ -412,11 +417,7 @@ mod tests {
         let topo = Topology::complete(3, LinkQuality::PERFECT);
         let res = resolve(&topo, &[intent(0, 1, 7, 0)], Overhearing::Enabled, 1);
         assert_eq!(res.events.len(), 2);
-        let overheard = res
-            .events
-            .iter()
-            .find(|e| e.receiver == NodeId(2))
-            .unwrap();
+        let overheard = res.events.iter().find(|e| e.receiver == NodeId(2)).unwrap();
         assert_eq!(overheard.outcome, Outcome::Overheard);
         assert_eq!(overheard.packet, 7);
     }
@@ -505,6 +506,18 @@ mod tests {
         assert!(Outcome::ReceiverBusy.is_failure());
         assert!(!Outcome::Delivered.is_failure());
         assert!(!Outcome::Overheard.is_failure());
+    }
+
+    #[test]
+    fn committed_indices_parallel_transmitted() {
+        let topo = Topology::complete(3, LinkQuality::PERFECT);
+        let intents = [intent(0, 1, 0, 5), intent(2, 1, 1, 2)];
+        let res = resolve(&topo, &intents, Overhearing::Disabled, 1);
+        assert_eq!(res.committed.len(), res.transmitted.len());
+        for (k, &i) in res.committed.iter().enumerate() {
+            assert_eq!(intents[i].sender, res.transmitted[k]);
+        }
+        assert_eq!(res.committed, vec![1], "rank 2 commits, rank 5 defers");
     }
 
     #[test]

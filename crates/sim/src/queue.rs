@@ -60,7 +60,10 @@ impl FcfsQueue {
 
     /// The earliest-arrived entry matching `has_work`, i.e. the FCFS
     /// head after skipping packets with nothing to do this slot.
-    pub fn first_with_work(&self, mut has_work: impl FnMut(PacketId) -> bool) -> Option<QueueEntry> {
+    pub fn first_with_work(
+        &self,
+        mut has_work: impl FnMut(PacketId) -> bool,
+    ) -> Option<QueueEntry> {
         self.entries.iter().copied().find(|e| has_work(e.packet))
     }
 

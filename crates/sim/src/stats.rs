@@ -146,7 +146,10 @@ impl SimReport {
         if self.packets.is_empty() {
             return 0.0;
         }
-        self.packets.iter().filter(|p| p.covered_at.is_some()).count() as f64
+        self.packets
+            .iter()
+            .filter(|p| p.covered_at.is_some())
+            .count() as f64
             / self.packets.len() as f64
     }
 }

@@ -110,11 +110,7 @@ mod tests {
         let draws: Vec<f64> = (0..n).map(|_| p.shadowed_rssi(d, &mut rng)).collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
         assert!((mean - p.mean_rssi(d)).abs() < 0.2);
-        let var = draws
-            .iter()
-            .map(|x| (x - mean) * (x - mean))
-            .sum::<f64>()
-            / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((var.sqrt() - p.shadowing_sigma_db).abs() < 0.2);
     }
 }

@@ -37,8 +37,13 @@ fn main() {
     }
 
     let (best, gain) = advisor.best_duty(&DutyCycleAdvisor::default_grid());
-    println!("\nadvisor optimum: duty {:.0}% (gain {gain:.4})", best * 100.0);
-    println!("paper's conclusion: it is NOT always beneficial to set the duty cycle extremely low.\n");
+    println!(
+        "\nadvisor optimum: duty {:.0}% (gain {gain:.4})",
+        best * 100.0
+    );
+    println!(
+        "paper's conclusion: it is NOT always beneficial to set the duty cycle extremely low.\n"
+    );
 
     // Simulated spot-check with DBAO at three duty cycles.
     println!("simulated spot-check (DBAO, M = 20):\n");

@@ -46,8 +46,14 @@ fn main() {
     println!("| protocol | mean delay (slots) | transmissions | failures | collisions |");
     println!("|---|---|---|---|---|");
     for (name, report) in [
-        ("OPT", Engine::new(topo.clone(), cfg.clone(), Opt::new()).run().0),
-        ("DBAO", Engine::new(topo.clone(), cfg.clone(), Dbao::new()).run().0),
+        (
+            "OPT",
+            Engine::new(topo.clone(), cfg.clone(), Opt::new()).run().0,
+        ),
+        (
+            "DBAO",
+            Engine::new(topo.clone(), cfg.clone(), Dbao::new()).run().0,
+        ),
         (
             "OF",
             Engine::new(topo.clone(), cfg.clone(), OpportunisticFlooding::new())

@@ -25,15 +25,17 @@ fn main() {
     }
 
     // The headline: the loss penalty GROWS as the duty cycle falls.
-    let penalty = |duty: f64| {
-        link_loss::fig7_delay(298, duty, 0.5) - link_loss::fig7_delay(298, duty, 0.8)
-    };
+    let penalty =
+        |duty: f64| link_loss::fig7_delay(298, duty, 0.5) - link_loss::fig7_delay(298, duty, 0.8);
     println!(
         "\nextra delay of 50% links over 80% links: {:.0} slots at duty 20%, {:.0} slots at duty 2%",
         penalty(0.2),
         penalty(0.02)
     );
-    println!("loss magnifies the duty-cycle penalty ~{:.1}x.\n", penalty(0.02) / penalty(0.2));
+    println!(
+        "loss magnifies the duty-cycle penalty ~{:.1}x.\n",
+        penalty(0.02) / penalty(0.2)
+    );
 
     // Simulated check: a 6x6 uniform-quality grid, single packet, DBAO.
     println!("simulated check (6x6 grid, DBAO, single packet, mean of 5 seeds):\n");

@@ -26,22 +26,28 @@ fn main() {
         let lemma = fdl::lemma3_compact_slots(m, n as u64);
         let marginal = prev
             .map(|(pm, ps): (u32, u64)| {
-                format!("{:.2}", (report.compact_slots - ps) as f64 / (m - pm) as f64)
+                format!(
+                    "{:.2}",
+                    (report.compact_slots - ps) as f64 / (m - pm) as f64
+                )
             })
             .unwrap_or_else(|| "-".into());
-        println!(
-            "| {m} | {} | {lemma} | {marginal} |",
-            report.compact_slots
-        );
+        println!("| {m} | {} | {lemma} | {marginal} |", report.compact_slots);
         prev = Some((m, report.compact_slots));
     }
 
     println!("\nonce M > 1, each extra packet costs exactly one compact slot —");
-    println!("the blocking effect is limited to {} packets (Corollary 1).", fdl::blocking_depth(n as u64));
+    println!(
+        "the blocking effect is limited to {} packets (Corollary 1).",
+        fdl::blocking_depth(n as u64)
+    );
 
     // Per-packet waitings of a deep flood: they grow then cap at 2m-1.
     let report = MatrixFlood::new(n, 16).run();
-    println!("\nper-packet waitings, M = 16 (Table I caps W_p at m + (m-1) = {}):", 2 * m_horizon - 1);
+    println!(
+        "\nper-packet waitings, M = 16 (Table I caps W_p at m + (m-1) = {}):",
+        2 * m_horizon - 1
+    );
     for (p, w) in report.waitings().iter().enumerate() {
         println!("  packet {p:>2}: {w} waitings");
     }

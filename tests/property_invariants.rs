@@ -44,7 +44,11 @@ fn run(topo: &Topology, m: u32, period: u32, seed: u64, which: u8) -> SimReport 
     match which {
         0 => Engine::new(topo.clone(), cfg, Opt::new()).run().0,
         1 => Engine::new(topo.clone(), cfg, Dbao::new()).run().0,
-        2 => Engine::new(topo.clone(), cfg, OpportunisticFlooding::new()).run().0,
+        2 => {
+            Engine::new(topo.clone(), cfg, OpportunisticFlooding::new())
+                .run()
+                .0
+        }
         _ => Engine::new(topo.clone(), cfg, NaiveFlood::new()).run().0,
     }
 }

@@ -86,7 +86,9 @@ fn eq1_fdl_reconstruction_from_algorithm1_timeline() {
     // CompactTimeScale.
     let report = MatrixFlood::new(16, 4).run();
     let gap = 3u64; // pretend every waiting lasted 3 idle slots
-    let busy: Vec<u64> = (0..report.compact_slots).map(|c| c * (gap + 1) + gap).collect();
+    let busy: Vec<u64> = (0..report.compact_slots)
+        .map(|c| c * (gap + 1) + gap)
+        .collect();
     let cts = CompactTimeScale::from_busy_slots(busy);
     assert_eq!(cts.len() as u64, report.compact_slots);
     let total: u64 = cts.gaps().iter().map(|d| d + 1).sum();
@@ -107,7 +109,10 @@ fn growth_rate_interpolates_between_known_extremes() {
     let t = link_loss::predicted_flooding_delay(n, 1.0, 1.0);
     let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
     let fib = ((1 + n) as f64).ln() / phi.ln();
-    assert!((t - fib).abs() < 1e-6, "eigen-prediction {t} vs log_phi {fib}");
+    assert!(
+        (t - fib).abs() < 1e-6,
+        "eigen-prediction {t} vs log_phi {fib}"
+    );
     assert!(t >= fdl::m_of(n) as f64);
 }
 

@@ -1,0 +1,345 @@
+//! Vendored, dependency-free shim of the subset of the `criterion` API
+//! used by this workspace (see `vendor/README.md`).
+//!
+//! A real (if minimal) wall-clock benchmark harness: each benchmark is
+//! warmed up for `warm_up_time`, then measured in `sample_size` batches
+//! sized so measurement fills `measurement_time`; the per-iteration
+//! mean, min, and max over the batches are printed to stdout. There are
+//! no plots, no statistics beyond min/mean/max, and no saved baselines.
+//!
+//! Honors `--bench` / benchmark-name filter arguments the way cargo
+//! invokes bench binaries, and supports `CRITERION_QUICK=1` to clamp
+//! warm-up/measurement to a few milliseconds for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to benchmark functions.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`;
+        // anything that is not a flag is a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let quick = std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks sharing timing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Benchmark `f` under `id` with default group settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name();
+        self.benchmark_group(name.clone()).run(&name, f);
+        self
+    }
+}
+
+/// A group of benchmarks with shared sample/timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// How long to run the routine before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        self.run(&full, f);
+        self
+    }
+
+    /// Benchmark `f`, handing it a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full_name());
+        self.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, full_name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let (warm_up, measurement) = if self.criterion.quick {
+            (Duration::from_millis(1), Duration::from_millis(5))
+        } else {
+            (self.warm_up_time, self.measurement_time)
+        };
+
+        // Warm-up: run single iterations until the budget elapses, using
+        // the observed rate to size measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warm_up || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.sample_size as u64;
+        let batch = ((measurement.as_secs_f64() / samples as f64 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / batch as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{full_name:<50} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples,
+            batch,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// How inputs are batched in `iter_batched` (advisory in this shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: one setup per routine call.
+    SmallInput,
+    /// Large inputs: identical behaviour in this shim.
+    LargeInput,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` evaluated at `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_time() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert_eq!(n, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_iter() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 10);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("flood", "dbao").full_name(), "flood/dbao");
+        assert_eq!(BenchmarkId::from("solo").full_name(), "solo");
+    }
+
+    #[test]
+    fn quick_group_runs_everything() {
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        let mut g = c.benchmark_group("shimtest");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(calls >= 2);
+    }
+}

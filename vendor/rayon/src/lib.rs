@@ -1,0 +1,186 @@
+//! Vendored, dependency-free shim of the subset of the `rayon` API used
+//! by this workspace (see `vendor/README.md`).
+//!
+//! `par_iter()` on slices returns a [`ParIter`] supporting `map` followed
+//! by `collect`/`sum` — the only combinators the workspace uses. Unlike a
+//! sequential facade, `collect`/`sum` genuinely run the mapped function
+//! on `std::thread::available_parallelism()` scoped threads, preserving
+//! input order in the output. Nested `par_iter` calls simply nest scopes.
+
+use std::num::NonZeroUsize;
+
+/// Everything needed for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references to the items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A pending parallel iteration over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item (executed when the result is consumed).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped parallel iteration, ready to execute.
+pub struct ParMap<'a, T, R, F> {
+    items: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, R, F> {
+    /// Run the map on scoped threads; results keep input order.
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if n <= 1 || threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            out = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect();
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// Execute and collect into any `FromIterator` container, in order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Execute and sum the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let total: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn arrays_and_slices_work() {
+        let out: Vec<u32> = [1u32, 2, 3].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let slice: &[u32] = &[5, 6];
+        let out: Vec<u32> = slice.par_iter().map(|&x| x).collect();
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core environment: nothing to assert
+        }
+        let xs: Vec<u32> = (0..64).collect();
+        let calls = AtomicUsize::new(0);
+        let ids: HashSet<ThreadId> = xs
+            .par_iter()
+            .map(|_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                std::thread::current().id()
+            })
+            .collect();
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert!(ids.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn nested_par_iter() {
+        let grid: Vec<Vec<u64>> = (0..8)
+            .map(|i| (0..8).map(|j| i * 8 + j).collect())
+            .collect();
+        let sums: Vec<u64> = grid
+            .par_iter()
+            .map(|row| row.par_iter().map(|&x| x).sum::<u64>())
+            .collect();
+        let expected: Vec<u64> = grid.iter().map(|r| r.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+}

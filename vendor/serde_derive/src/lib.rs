@@ -1,0 +1,335 @@
+//! Vendored derive macros for the workspace `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with
+//! hand-rolled token parsing (no `syn`/`quote` — the build environment
+//! has no access to the crates registry). Supported input shapes, which
+//! cover every type this workspace derives on:
+//!
+//! * named-field structs, with optional `#[serde(default)]` on fields,
+//! * newtype structs (serialized transparently) and tuple structs
+//!   (serialized as arrays),
+//! * enums whose variants are all unit-like (serialized as the variant
+//!   name string).
+//!
+//! Generics are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a struct/enum looks like, as far as the derives care.
+enum Shape {
+    /// Named fields: `(name, has_serde_default)` pairs.
+    Named(Vec<(String, bool)>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum with these unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Whether an attribute token group (the `[...]` contents) is
+/// `serde(default)`.
+fn attr_is_serde_default(group: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.len() != 2 || !is_ident(&tokens[0], "serde") {
+        return false;
+    }
+    match &tokens[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().any(|t| is_ident(&t, "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes starting at `i`; returns the next index and whether a
+/// `#[serde(default)]` was among them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                if attr_is_serde_default(&g.stream()) {
+                    has_default = true;
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, has_default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, has_default) = skip_attrs(&tokens, i);
+        let j = skip_vis(&tokens, j);
+        if j >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        assert!(
+            j + 1 < tokens.len() && is_punct(&tokens[j + 1], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Tuples/parens arrive as single Group tokens, so only `<`/`>`
+        // need explicit depth tracking.
+        let mut k = j + 2;
+        let mut depth = 0i32;
+        while k < tokens.len() {
+            if is_punct(&tokens[k], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[k], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&tokens[k], ',') {
+                break;
+            }
+            k += 1;
+        }
+        fields.push((name, has_default));
+        i = k + 1;
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        if j >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        if j + 1 < tokens.len() && !is_punct(&tokens[j + 1], ',') {
+            panic!("serde_derive: only unit enum variants are supported (variant `{name}`)");
+        }
+        variants.push(name);
+        i = j + 2;
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attrs(&tokens, 0);
+    let i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`");
+    };
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    let body = i + 2;
+    assert!(
+        body < tokens.len() && !is_punct(&tokens[body], '<'),
+        "serde_derive: generic types are not supported (type `{name}`)"
+    );
+    let shape = match &tokens[body] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::UnitEnum(parse_unit_variants(g.stream()))
+            } else {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Shape::Tuple(parse_tuple_fields(g.stream()))
+        }
+        other => panic!("serde_derive: unsupported type body for `{name}`: `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// `#[derive(Serialize)]` for the workspace serde shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]` for the workspace serde shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    let missing = if *has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(\
+                             ::serde::Error::missing_field(\"{name}\", \"{f}\"))"
+                        )
+                    };
+                    format!(
+                        "{f}: match __v.get(\"{f}\") {{\n\
+                             ::std::option::Option::Some(__fv) => \
+                                 ::serde::Deserialize::from_value(__fv)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(_) => \
+                         ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"object\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({inits})),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"array of {n}\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match __v.as_str() {{\n\
+                     ::std::option::Option::Some(__s) => match __s {{\n\
+                         {arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::std::option::Option::None => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"string\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated invalid Deserialize impl")
+}
