@@ -23,4 +23,13 @@ cargo build --workspace --release
 step "cargo test"
 cargo test -q --workspace
 
+step "flood forensics (fig9 --quick traces, fail on theory violations)"
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./target/release/experiments fig9 --quick --trace-events "$TRACE_DIR" > /dev/null
+for trace in "$TRACE_DIR"/*.events.jsonl; do
+    echo "forensics: $(basename "$trace")"
+    ./target/release/experiments forensics --trace "$trace" | grep -v '^  note:'
+done
+
 step "OK"

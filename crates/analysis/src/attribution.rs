@@ -1,0 +1,289 @@
+//! Per-node flooding-delay attribution (paper §III–IV).
+//!
+//! A node's flooding delay — the slots between the packet's push at the
+//! source and the node's first copy — is decomposed along its informing
+//! chain into five exhaustive, mutually exclusive causes:
+//!
+//! * [`Cause::SleepWait`] — duty-cycle waiting: the receiver's working
+//!   schedule had it dormant (Lemma 2 / Theorem 1's `T(m/2 + M - 1)`
+//!   term). The rendezvous slot of the successful hop itself also
+//!   counts here: even at full duty (`T = 1`) every hop costs one slot,
+//!   exactly as the theory's per-hop floor.
+//! * [`Cause::LinkLoss`] — a transmission aimed at the receiver was
+//!   dropped by the link (the `x^{kT+1} = x^{kT} + 1` growth-rate
+//!   magnifier of §IV-C); mistimed rendezvous from residual sync error
+//!   lands here too — the copy was lost in flight either way.
+//! * [`Cause::Collision`] — hidden-terminal interference garbled a
+//!   transmission aimed at the receiver.
+//! * [`Cause::BusyDefer`] — the semi-duplex MAC got in the way: the
+//!   intended receiver was itself transmitting, or carrier sense
+//!   silenced the sender for the slot.
+//! * [`Cause::QueueBlock`] — the informing neighborhood held the packet
+//!   and the receiver was awake, but the slot was spent serving other
+//!   packets or receivers (Corollary 1's blocking, plus unicast
+//!   fan-out serialisation).
+//!
+//! [`attribute_hop`] classifies every slot of one hop's informing
+//! window `(parent_ready, delivered_at]` into exactly one cause, so hop
+//! windows telescope along a dissemination-tree chain and the five
+//! components sum *exactly* to the node's flooding delay — an identity
+//! `ldcf_analysis::forensics` checks against the engine's own report.
+
+use serde::Value;
+
+/// One cause of one slot of flooding delay. See the module docs for
+/// the paper mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cause {
+    /// Receiver dormant per its working schedule (or the rendezvous
+    /// slot of the successful hop).
+    SleepWait,
+    /// Transmission toward the receiver lost in flight (Bernoulli link
+    /// loss or mistimed rendezvous).
+    LinkLoss,
+    /// Hidden-terminal collision at the receiver.
+    Collision,
+    /// Semi-duplex receiver-busy failure or carrier-sense deferral.
+    BusyDefer,
+    /// Informing neighborhood busy with other packets/receivers.
+    QueueBlock,
+}
+
+impl Cause {
+    /// Stable snake_case label used in JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::SleepWait => "sleep_wait",
+            Cause::LinkLoss => "link_loss",
+            Cause::Collision => "collision",
+            Cause::BusyDefer => "busy_defer",
+            Cause::QueueBlock => "queue_block",
+        }
+    }
+}
+
+/// Merge two failure classifications of the same slot. A slot can carry
+/// several failure events for one `(receiver, packet)` (e.g. two
+/// colliding senders, or a mistimed attempt beside a deferral); the
+/// most specific physical cause wins: collision > link loss > deferral.
+pub fn merge_failures(existing: Cause, new: Cause) -> Cause {
+    fn rank(c: Cause) -> u8 {
+        match c {
+            Cause::Collision => 3,
+            Cause::LinkLoss => 2,
+            Cause::BusyDefer => 1,
+            Cause::SleepWait | Cause::QueueBlock => 0,
+        }
+    }
+    if rank(new) > rank(existing) {
+        new
+    } else {
+        existing
+    }
+}
+
+/// Slots of flooding delay, split by cause. The five fields are
+/// mutually exclusive and exhaustive: [`DelayAttribution::total`]
+/// equals the attributed delay exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DelayAttribution {
+    /// Slots waiting out the receiver's sleep schedule.
+    pub sleep_wait: u64,
+    /// Slots lost to link loss or mistimed rendezvous.
+    pub link_loss: u64,
+    /// Slots lost to hidden-terminal collisions.
+    pub collision: u64,
+    /// Slots lost to semi-duplex busy receivers / carrier-sense defers.
+    pub busy_defer: u64,
+    /// Slots the informing neighborhood spent on other work.
+    pub queue_block: u64,
+}
+
+impl DelayAttribution {
+    /// Charge one slot to `cause`.
+    pub fn add(&mut self, cause: Cause) {
+        match cause {
+            Cause::SleepWait => self.sleep_wait += 1,
+            Cause::LinkLoss => self.link_loss += 1,
+            Cause::Collision => self.collision += 1,
+            Cause::BusyDefer => self.busy_defer += 1,
+            Cause::QueueBlock => self.queue_block += 1,
+        }
+    }
+
+    /// Component-wise sum (for chain and fleet aggregates).
+    pub fn merge(&mut self, other: &DelayAttribution) {
+        self.sleep_wait += other.sleep_wait;
+        self.link_loss += other.link_loss;
+        self.collision += other.collision;
+        self.busy_defer += other.busy_defer;
+        self.queue_block += other.queue_block;
+    }
+
+    /// Total attributed slots — equals the attributed flooding delay.
+    pub fn total(&self) -> u64 {
+        self.sleep_wait + self.link_loss + self.collision + self.busy_defer + self.queue_block
+    }
+
+    /// `(label, slots)` pairs in report order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("sleep_wait", self.sleep_wait),
+            ("link_loss", self.link_loss),
+            ("collision", self.collision),
+            ("busy_defer", self.busy_defer),
+            ("queue_block", self.queue_block),
+        ]
+    }
+
+    /// Render as a JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::Object(
+            self.components()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Value::UInt(v)))
+                .collect(),
+        )
+    }
+}
+
+/// Attribute every slot of one hop's informing window.
+///
+/// The window is `(parent_ready, delivered_at]`: `parent_ready` is the
+/// slot the informing parent obtained the packet (the push slot when
+/// the parent is the source), `delivered_at` the slot the child's first
+/// copy landed. Each slot is classified by, in order:
+///
+/// 1. `failure_at(s)` — a recorded failure/deferral event aimed at this
+///    `(receiver, packet)` pins the slot on its physical cause;
+/// 2. the receiver being dormant (`receiver_active(s) == false`) —
+///    [`Cause::SleepWait`];
+/// 3. the rendezvous slot itself (`s == delivered_at`) —
+///    [`Cause::SleepWait`] (the per-hop floor; see module docs);
+/// 4. otherwise [`Cause::QueueBlock`].
+///
+/// Windows telescope: summing the attributions along a node's informing
+/// chain yields exactly `delivered_at(node) - pushed_at`.
+pub fn attribute_hop(
+    parent_ready: u64,
+    delivered_at: u64,
+    mut receiver_active: impl FnMut(u64) -> bool,
+    mut failure_at: impl FnMut(u64) -> Option<Cause>,
+) -> DelayAttribution {
+    let mut attr = DelayAttribution::default();
+    for s in (parent_ready + 1)..=delivered_at {
+        let cause = if let Some(f) = failure_at(s) {
+            f
+        } else if !receiver_active(s) || s == delivered_at {
+            Cause::SleepWait
+        } else {
+            Cause::QueueBlock
+        };
+        attr.add(cause);
+    }
+    attr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_window_is_exhaustive_and_exact() {
+        // Window (10, 20]: 10 slots. Failures at 12 (loss) and 13
+        // (collision); active only at even slots; delivery at 20.
+        let attr = attribute_hop(
+            10,
+            20,
+            |s| s % 2 == 0,
+            |s| match s {
+                12 => Some(Cause::LinkLoss),
+                13 => Some(Cause::Collision),
+                _ => None,
+            },
+        );
+        assert_eq!(attr.total(), 10, "every slot classified exactly once");
+        assert_eq!(attr.link_loss, 1);
+        assert_eq!(attr.collision, 1);
+        // Odd slots 11,15,17,19 dormant + the delivery slot 20.
+        assert_eq!(attr.sleep_wait, 5);
+        // Even, awake, failure-free, non-final: 14,16,18.
+        assert_eq!(attr.queue_block, 3);
+    }
+
+    #[test]
+    fn empty_window_attributes_nothing() {
+        let attr = attribute_hop(7, 7, |_| true, |_| None);
+        assert_eq!(attr, DelayAttribution::default());
+        assert_eq!(attr.total(), 0);
+    }
+
+    #[test]
+    fn delivery_slot_counts_as_sleep_wait_even_at_full_duty() {
+        // Full duty, no failures: a 1-slot hop still costs 1 slot,
+        // matching Theorem 1's nonzero delay at T = 1.
+        let attr = attribute_hop(4, 5, |_| true, |_| None);
+        assert_eq!(attr.sleep_wait, 1);
+        assert_eq!(attr.total(), 1);
+    }
+
+    #[test]
+    fn failure_priority_is_collision_loss_defer() {
+        assert_eq!(
+            merge_failures(Cause::LinkLoss, Cause::Collision),
+            Cause::Collision
+        );
+        assert_eq!(
+            merge_failures(Cause::Collision, Cause::BusyDefer),
+            Cause::Collision
+        );
+        assert_eq!(
+            merge_failures(Cause::BusyDefer, Cause::LinkLoss),
+            Cause::LinkLoss
+        );
+        assert_eq!(
+            merge_failures(Cause::BusyDefer, Cause::BusyDefer),
+            Cause::BusyDefer
+        );
+    }
+
+    #[test]
+    fn chains_telescope() {
+        // SOURCE(push@3) -> a(delivered@9) -> b(delivered@31): summing
+        // the two hop windows must give b's full delay 31 - 3 = 28.
+        let hop_a = attribute_hop(3, 9, |s| s % 3 == 0, |_| None);
+        let hop_b = attribute_hop(9, 31, |s| s % 3 == 0, |_| None);
+        let mut chain = hop_a;
+        chain.merge(&hop_b);
+        assert_eq!(chain.total(), 28);
+        assert_eq!(hop_a.total(), 6, "a's own delay 9 - 3");
+    }
+
+    #[test]
+    fn merge_and_components_cover_all_causes() {
+        let mut a = DelayAttribution::default();
+        for c in [
+            Cause::SleepWait,
+            Cause::LinkLoss,
+            Cause::Collision,
+            Cause::BusyDefer,
+            Cause::QueueBlock,
+        ] {
+            a.add(c);
+            assert_eq!(c.label(), {
+                let mut b = DelayAttribution::default();
+                b.add(c);
+                b.components()
+                    .iter()
+                    .find(|&&(_, v)| v == 1)
+                    .expect("one component set")
+                    .0
+            });
+        }
+        assert_eq!(a.total(), 5);
+        let json = serde_json::to_string(&a.to_value()).unwrap();
+        for (label, _) in a.components() {
+            assert!(json.contains(label), "{json} lacks {label}");
+        }
+    }
+}

@@ -118,6 +118,8 @@ impl ReplayReport {
                     }
                 }
                 SimEvent::SlotEnd { .. } => r.slots_elapsed += 1,
+                // Static schedule metadata; no counter corresponds.
+                SimEvent::ScheduleSlot { .. } => {}
             }
         }
         r

@@ -8,16 +8,26 @@
 //! sweep duty cycles, which is embarrassingly parallel — and replay of
 //! slot-level JSONL event traces back into delay distributions
 //! ([`events`]).
+//!
+//! Flood forensics lives in [`forensics`]: dissemination-tree
+//! reconstruction and per-node delay attribution ([`attribution`])
+//! from the same JSONL traces, with hard checks against the paper's
+//! theory (exact attribution sums, spanning trees, Corollary 1
+//! blocking bounds).
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod events;
+pub mod forensics;
 pub mod plot;
 pub mod series;
 pub mod stats;
 pub mod sweep;
 
+pub use attribution::{attribute_hop, Cause, DelayAttribution};
 pub use events::{PacketReplay, ReplayReport};
+pub use forensics::{ForensicsError, ForensicsReport, PacketForensics, Via, Violation};
 pub use plot::{ascii_chart, PlotOptions};
 pub use series::{Series, Table};
 pub use stats::Summary;

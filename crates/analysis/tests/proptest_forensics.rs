@@ -1,0 +1,233 @@
+//! Property-based contract of the forensics layer against the *real*
+//! engine: on arbitrary small duty-cycled topologies, the reconstructed
+//! dissemination tree is a spanning tree of the informed set (every
+//! informed node except the source has exactly one fresh-copy parent,
+//! informed strictly before it), every node's five-way delay
+//! attribution sums exactly to its flooding delay, and the tree-derived
+//! mean flooding delay matches `SimReport` bit-for-bit.
+//!
+//! Also hosts the forced-duplicate regression: a protocol that keeps
+//! retransmitting to an already-informed receiver produces
+//! `Delivered { fresh: false }` events, which must count as duplicates
+//! but never create tree edges.
+
+use ldcf_analysis::ForensicsReport;
+use ldcf_net::{LinkQuality, NodeId, Topology, SOURCE};
+use ldcf_protocols::{Dbao, OpportunisticFlooding};
+use ldcf_sim::{Engine, FloodingProtocol, SimConfig, SimState, TxIntent, VecObserver};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random connected topology of `n` nodes (random tree plus chords).
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (3usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topo = Topology::empty(n);
+        for i in 1..n {
+            let parent = rng.random_range(0..i);
+            let q = LinkQuality::new(rng.random_range(0.4..=1.0));
+            topo.add_edge(NodeId::from(parent), NodeId::from(i), q, q);
+        }
+        for _ in 0..n / 2 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b && !topo.are_neighbors(NodeId::from(a), NodeId::from(b)) {
+                let q = LinkQuality::new(rng.random_range(0.4..=1.0));
+                topo.add_edge(NodeId::from(a), NodeId::from(b), q, q);
+            }
+        }
+        topo
+    })
+}
+
+fn arb_cfg() -> impl Strategy<Value = SimConfig> {
+    (2u32..8, 1u32..4, 1u32..4, any::<u64>(), any::<bool>()).prop_map(
+        |(period, active, n_packets, seed, mistimed)| SimConfig {
+            period,
+            active_per_period: active.min(period),
+            n_packets,
+            coverage: 1.0,
+            max_slots: 20_000,
+            seed,
+            mistiming_prob: if mistimed { 0.1 } else { 0.0 },
+        },
+    )
+}
+
+/// Run one traced flood and check every forensic invariant against the
+/// engine's own report.
+fn check_forensics<P: FloodingProtocol>(
+    topo: &Topology,
+    cfg: &SimConfig,
+    protocol: P,
+) -> Result<(), TestCaseError> {
+    let engine =
+        Engine::new(topo.clone(), cfg.clone(), protocol).with_observer(VecObserver::default());
+    let (report, _, obs) = engine.run_traced();
+    let forensics = ForensicsReport::from_events(&obs.events)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+    // Hard checks: exact attribution, one parent per informed node,
+    // parents informed first. (Heuristic MAC protocols: the Corollary 1
+    // bound is advisory, so `is_clean` is exactly these.)
+    prop_assert!(
+        forensics.is_clean(),
+        "theory violations: {:?}",
+        forensics.violations
+    );
+
+    prop_assert_eq!(
+        forensics.mean_flooding_delay,
+        report.mean_flooding_delay(),
+        "tree-derived mean flooding delay must match the engine"
+    );
+
+    for (pf, st) in forensics.packets.iter().zip(&report.packets) {
+        // Spanning: the tree's node set is exactly the engine's fresh
+        // receptions, each node appearing once.
+        prop_assert_eq!(
+            pf.nodes.len() as u32,
+            st.deliveries + st.overhears,
+            "packet {}: tree must span the informed set",
+            pf.packet
+        );
+        let mut seen = std::collections::HashSet::new();
+        for nf in &pf.nodes {
+            prop_assert!(nf.node != SOURCE, "source can never be informed");
+            prop_assert!(seen.insert(nf.node), "node {} informed twice", nf.node);
+
+            // Exactly one parent, informed strictly before the child
+            // (the source is ready at the push slot).
+            if nf.parent == SOURCE {
+                prop_assert!(nf.informed_at >= pf.pushed_at);
+            } else {
+                let parent = pf
+                    .nodes
+                    .iter()
+                    .find(|o| o.node == nf.parent)
+                    .expect("parent is in the tree (no OrphanNode fired)");
+                prop_assert!(
+                    parent.informed_at < nf.informed_at,
+                    "parent {} informed at {}, child {} at {}",
+                    parent.node,
+                    parent.informed_at,
+                    nf.node,
+                    nf.informed_at
+                );
+            }
+
+            // Exact five-way attribution, per node.
+            prop_assert_eq!(
+                nf.attribution.total(),
+                nf.delay,
+                "packet {} node {}: attribution must sum to the delay",
+                pf.packet,
+                nf.node
+            );
+            prop_assert_eq!(nf.delay, nf.informed_at - pf.pushed_at);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dbao_floods_reconstruct_to_spanning_trees(
+        topo in arb_topology(),
+        cfg in arb_cfg(),
+    ) {
+        check_forensics(&topo, &cfg, Dbao::new())?;
+    }
+
+    #[test]
+    fn opportunistic_floods_reconstruct_to_spanning_trees(
+        topo in arb_topology(),
+        cfg in arb_cfg(),
+    ) {
+        check_forensics(&topo, &cfg, OpportunisticFlooding::new())?;
+    }
+}
+
+/// A pathological protocol: the source keeps unicasting packet 0 to
+/// node 1 at its every active slot, even after node 1 holds it. Every
+/// reception past the first is a `Delivered { fresh: false }`.
+struct DuplicateSpammer;
+
+impl FloodingProtocol for DuplicateSpammer {
+    fn name(&self) -> &str {
+        "DUP-SPAM"
+    }
+
+    fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
+        if state.is_active(NodeId(1)) {
+            out.push(TxIntent {
+                sender: SOURCE,
+                receiver: NodeId(1),
+                packet: 0,
+                backoff_rank: 0,
+                bypass_mac: false,
+            });
+        }
+    }
+}
+
+/// Forced-duplicate regression (ISSUE 2 satellite): duplicates are
+/// counted — they cost energy — but never create tree edges, so the
+/// dissemination tree keeps exactly one parent per informed node.
+#[test]
+fn forced_duplicates_count_but_never_create_tree_edges() {
+    // Node 2 hangs off node 1 and is never served, so coverage is never
+    // reached and the spammer runs for the full `max_slots`.
+    let mut topo = Topology::empty(3);
+    topo.add_edge(
+        SOURCE,
+        NodeId(1),
+        LinkQuality::PERFECT,
+        LinkQuality::PERFECT,
+    );
+    topo.add_edge(
+        NodeId(1),
+        NodeId(2),
+        LinkQuality::PERFECT,
+        LinkQuality::PERFECT,
+    );
+    let cfg = SimConfig {
+        period: 2,
+        active_per_period: 2,
+        n_packets: 1,
+        coverage: 1.0,
+        max_slots: 40,
+        seed: 11,
+        mistiming_prob: 0.0,
+    };
+    let engine = Engine::new(topo, cfg, DuplicateSpammer).with_observer(VecObserver::default());
+    let (report, _, obs) = engine.run_traced();
+    let forensics = ForensicsReport::from_events(&obs.events).unwrap();
+
+    assert!(forensics.is_clean(), "{:?}", forensics.violations);
+    // Every delivery after the first is a duplicate; with full duty and
+    // perfect links that is one per remaining slot.
+    assert!(
+        forensics.duplicate_deliveries >= 10,
+        "expected a pile of duplicates, got {}",
+        forensics.duplicate_deliveries
+    );
+    // ... none of which added a tree edge: node 1 has exactly one
+    // parent and node 2 was never informed.
+    let pf = &forensics.packets[0];
+    assert_eq!(pf.nodes.len(), 1, "only node 1 is informed");
+    assert_eq!(pf.nodes[0].node, NodeId(1));
+    assert_eq!(pf.nodes[0].parent, SOURCE);
+    assert_eq!(pf.covered_at, None, "node 2 never informed");
+    // The engine agrees: exactly one fresh delivery.
+    assert_eq!(report.packets[0].deliveries, 1);
+    assert_eq!(
+        forensics.duplicate_deliveries + 1,
+        report.transmissions - report.transmission_failures,
+        "every successful transmission is the fresh copy or a duplicate"
+    );
+}

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]
+//! experiments forensics --trace FILE [--out DIR]
 //!
 //! artefacts:
 //!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
 //!   fig9 | fig10 | fig11                          (trace-driven sims)
 //!   ablation-overhearing | ablation-opportunistic (ablations)
 //!   lifetime-gain | theorem1-check                (extensions)
+//!   forensics                                     (trace post-mortem)
 //!   analytical                                    (all instant artefacts)
 //!   all                                           (everything)
 //! ```
@@ -20,6 +22,15 @@
 //! `--trace-events DIR` streams every flood's slot-level events to one
 //! JSONL file per run; `--metrics DIR` snapshots per-run metric
 //! registries (delay histogram, per-node load, coverage growth) as JSON.
+//!
+//! `forensics` replays one `--trace-events` JSONL file through
+//! `ldcf_analysis::ForensicsReport`: it reconstructs each packet's
+//! dissemination tree, attributes every node's flooding delay to five
+//! causes, extracts critical paths, and checks the run against the
+//! paper's theory (exact attribution sums, spanning trees, Corollary 1
+//! blocking bounds). It prints a human summary, writes
+//! `DIR/<stem>.forensics.json` under `--out`, and exits non-zero if any
+//! hard theory check fails — CI runs it on every quick fig9 trace.
 
 use ldcf_bench::runner;
 use ldcf_bench::{experiments, ExpOptions};
@@ -32,12 +43,14 @@ struct Cli {
     opts: ExpOptions,
     quick: bool,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Cli {
     let mut artefact = None;
     let mut quick = false;
     let mut out = None;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -47,6 +60,10 @@ fn parse_args() -> Cli {
                     .next()
                     .unwrap_or_else(|| usage("--out needs a directory"));
                 out = Some(PathBuf::from(dir));
+            }
+            "--trace" => {
+                let file = args.next().unwrap_or_else(|| usage("--trace needs a file"));
+                trace = Some(PathBuf::from(file));
             }
             "--trace-events" => {
                 let dir = args
@@ -76,6 +93,7 @@ fn parse_args() -> Cli {
         },
         quick,
         out,
+        trace,
     }
 }
 
@@ -85,11 +103,54 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]\n\
+         \u{20}      experiments forensics --trace FILE [--out DIR]\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
-         \u{20}          lifetime-gain theorem1-check cross-layer sync-error analytical all"
+         \u{20}          lifetime-gain theorem1-check cross-layer sync-error forensics\n\
+         \u{20}          analytical all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// The `forensics` artefact: replay one JSONL trace, print the summary,
+/// optionally write the JSON report, and exit non-zero on any hard
+/// theory violation.
+fn run_forensics(cli: &Cli) -> ! {
+    let trace = cli
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| usage("forensics needs --trace FILE"));
+    let text = std::fs::read_to_string(trace)
+        .unwrap_or_else(|e| usage(&format!("--trace {}: {e}", trace.display())));
+    let report = match ldcf_analysis::ForensicsReport::from_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.summary(5));
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let stem = trace
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .trim_end_matches(".events");
+        std::fs::write(
+            dir.join(format!("{stem}.forensics.json")),
+            report.to_json_pretty() + "\n",
+        )
+        .expect("write forensics report");
+    }
+    if report.is_clean() {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "forensics: {} theory violation(s) — see summary above",
+        report.violations.len()
+    );
+    std::process::exit(1);
 }
 
 /// Markdown table followed by its ASCII chart (fenced for markdown).
@@ -129,6 +190,9 @@ fn opts_value(opts: &ExpOptions, ledger: &runner::WorkLedger) -> Value {
 
 fn main() {
     let cli = parse_args();
+    if cli.artefact == "forensics" {
+        run_forensics(&cli);
+    }
     let names: Vec<&str> = match cli.artefact.as_str() {
         "analytical" => vec![
             "table1",

@@ -102,6 +102,10 @@ pub enum SimEvent {
         slot: u64,
         /// The silenced sender.
         sender: NodeId,
+        /// Receiver the silenced intent was aimed at.
+        receiver: NodeId,
+        /// Packet the silenced intent carried.
+        packet: PacketId,
     },
     /// A packet reached its coverage target.
     CoverageReached {
@@ -121,6 +125,20 @@ pub enum SimEvent {
         /// Nodes whose working schedule had them awake this slot.
         active_nodes: u32,
     },
+    /// One active slot of a node's periodic working schedule, emitted
+    /// once per `(node, offset)` at the start of the run (slot 0). The
+    /// full set lets trace consumers reconstruct every node's duty
+    /// cycle — e.g. to tell sleep-waiting apart from queue blocking.
+    ScheduleSlot {
+        /// Always 0 (schedules are fixed for the whole run).
+        slot: u64,
+        /// The node whose schedule this describes.
+        node: NodeId,
+        /// The schedule period `T` in slots.
+        period: u32,
+        /// One active offset within `[0, period)`.
+        offset: u32,
+    },
 }
 
 impl SimEvent {
@@ -136,7 +154,8 @@ impl SimEvent {
             | SimEvent::Mistimed { slot, .. }
             | SimEvent::Deferred { slot, .. }
             | SimEvent::CoverageReached { slot, .. }
-            | SimEvent::SlotEnd { slot, .. } => slot,
+            | SimEvent::SlotEnd { slot, .. }
+            | SimEvent::ScheduleSlot { slot, .. } => slot,
         }
     }
 
@@ -153,6 +172,7 @@ impl SimEvent {
             SimEvent::Deferred { .. } => "deferred",
             SimEvent::CoverageReached { .. } => "coverage_reached",
             SimEvent::SlotEnd { .. } => "slot_end",
+            SimEvent::ScheduleSlot { .. } => "schedule_slot",
         }
     }
 }
@@ -238,10 +258,17 @@ impl Serialize for SimEvent {
                 ("receiver", Value::UInt(receiver.0 as u64)),
                 ("packet", Value::UInt(packet as u64)),
             ]),
-            SimEvent::Deferred { slot, sender } => obj(vec![
+            SimEvent::Deferred {
+                slot,
+                sender,
+                receiver,
+                packet,
+            } => obj(vec![
                 ("t", t),
                 ("slot", Value::UInt(slot)),
                 ("sender", Value::UInt(sender.0 as u64)),
+                ("receiver", Value::UInt(receiver.0 as u64)),
+                ("packet", Value::UInt(packet as u64)),
             ]),
             SimEvent::CoverageReached {
                 slot,
@@ -262,6 +289,18 @@ impl Serialize for SimEvent {
                 ("slot", Value::UInt(slot)),
                 ("queued", Value::UInt(queued)),
                 ("active_nodes", Value::UInt(active_nodes as u64)),
+            ]),
+            SimEvent::ScheduleSlot {
+                slot,
+                node,
+                period,
+                offset,
+            } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("node", Value::UInt(node.0 as u64)),
+                ("period", Value::UInt(period as u64)),
+                ("offset", Value::UInt(offset as u64)),
             ]),
         }
     }
@@ -344,6 +383,8 @@ impl Deserialize for SimEvent {
             "deferred" => Ok(SimEvent::Deferred {
                 slot,
                 sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
             }),
             "coverage_reached" => Ok(SimEvent::CoverageReached {
                 slot,
@@ -354,6 +395,12 @@ impl Deserialize for SimEvent {
                 slot,
                 queued: field_u64(v, "queued")?,
                 active_nodes: field_u64(v, "active_nodes")? as u32,
+            }),
+            "schedule_slot" => Ok(SimEvent::ScheduleSlot {
+                slot,
+                node: field_node(v, "node")?,
+                period: field_u64(v, "period")? as u32,
+                offset: field_u64(v, "offset")? as u32,
             }),
             other => Err(Error::custom(format!("unknown SimEvent tag `{other}`"))),
         }
@@ -422,6 +469,8 @@ mod tests {
         roundtrip(SimEvent::Deferred {
             slot: 16,
             sender: s,
+            receiver: r,
+            packet: 2,
         });
         roundtrip(SimEvent::CoverageReached {
             slot: 17,
@@ -433,6 +482,12 @@ mod tests {
             queued: 42,
             active_nodes: 5,
         });
+        roundtrip(SimEvent::ScheduleSlot {
+            slot: 0,
+            node: s,
+            period: 100,
+            offset: 37,
+        });
     }
 
     #[test]
@@ -440,6 +495,8 @@ mod tests {
         let ev = SimEvent::Deferred {
             slot: 0,
             sender: NodeId(0),
+            receiver: NodeId(1),
+            packet: 0,
         };
         assert_eq!(ev.kind(), "deferred");
         assert_eq!(ev.slot(), 0);

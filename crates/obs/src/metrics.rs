@@ -265,6 +265,14 @@ impl MetricsObserver {
                 ("deferrals".into(), self.deferrals),
                 ("slots".into(), self.slots),
                 ("coverage_reached".into(), self.coverage_reached),
+                // Duplicate copies cost a listening slot of energy but
+                // carry no new information (and create no dissemination
+                // tree edges — see `ldcf_analysis::forensics`).
+                (
+                    "duplicate_receptions".into(),
+                    (self.delivered - self.delivered_fresh)
+                        + (self.overheard - self.overheard_fresh),
+                ),
             ],
             histograms: vec![
                 self.delay_hist,
@@ -340,6 +348,8 @@ impl SimObserver for MetricsObserver {
                 self.coverage_curve
                     .push_if_changed(slot, self.holders_total);
             }
+            // Static schedule description, not a run-time occurrence.
+            SimEvent::ScheduleSlot { .. } => {}
         }
     }
 }

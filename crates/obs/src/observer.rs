@@ -108,6 +108,8 @@ mod tests {
         let ev = SimEvent::Deferred {
             slot: 1,
             sender: NodeId(2),
+            receiver: NodeId(3),
+            packet: 0,
         };
         pair.on_event(&ev);
         pair.on_finish();
@@ -125,6 +127,8 @@ mod tests {
                 &SimEvent::Deferred {
                     slot: 9,
                     sender: NodeId(1),
+                    receiver: NodeId(0),
+                    packet: 4,
                 },
             );
         }

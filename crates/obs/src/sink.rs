@@ -125,16 +125,19 @@ mod tests {
 
     #[test]
     fn reader_skips_blanks_and_reports_bad_lines() {
-        let ok = "\n{\"t\":\"deferred\",\"slot\":3,\"sender\":2}\n\n";
+        let ok = "\n{\"t\":\"deferred\",\"slot\":3,\"sender\":2,\"receiver\":5,\"packet\":1}\n\n";
         let events = read_jsonl(ok).unwrap();
         assert_eq!(
             events,
             vec![SimEvent::Deferred {
                 slot: 3,
-                sender: NodeId(2)
+                sender: NodeId(2),
+                receiver: NodeId(5),
+                packet: 1,
             }]
         );
-        let bad = "{\"t\":\"deferred\",\"slot\":3,\"sender\":2}\nnot json\n";
+        let bad =
+            "{\"t\":\"deferred\",\"slot\":3,\"sender\":2,\"receiver\":5,\"packet\":1}\nnot json\n";
         let err = read_jsonl(bad).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
     }

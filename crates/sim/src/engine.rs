@@ -209,6 +209,24 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
             return false;
         }
         if self.state.now == 0 {
+            if O::ENABLED {
+                // Dump every node's working schedule up front so a trace
+                // is self-contained: consumers (forensics) can tell a
+                // receiver that was asleep from one that was awake but
+                // starved. Schedules never change after construction.
+                for ni in 0..self.state.n_nodes() {
+                    let node = NodeId::from(ni);
+                    let sched = self.state.schedules.schedule(node);
+                    for &offset in sched.active_slots() {
+                        self.obs.on_event(&SimEvent::ScheduleSlot {
+                            slot: 0,
+                            node,
+                            period: sched.period(),
+                            offset,
+                        });
+                    }
+                }
+            }
             self.protocol.on_start(&self.state);
         }
 
@@ -305,9 +323,12 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
                 });
             }
             for &d in &res.deferred {
+                let it = &intents[d];
                 self.obs.on_event(&SimEvent::Deferred {
                     slot: now,
-                    sender: d,
+                    sender: it.sender,
+                    receiver: it.receiver,
+                    packet: it.packet,
                 });
             }
         }

@@ -94,8 +94,11 @@ pub struct SlotResolution {
     /// `transmitted`. Lets callers recover the full intent (receiver,
     /// packet, bypass flag) behind each transmission.
     pub committed: Vec<usize>,
-    /// Senders that deferred to an audible committed sender.
-    pub deferred: Vec<NodeId>,
+    /// Indices into the input intent slice of the intents silenced by
+    /// carrier sense (the sender heard an audible committed sender).
+    /// The full intent is kept so callers can attribute the deferral to
+    /// the receiver/packet that had to wait.
+    pub deferred: Vec<usize>,
     /// All reception events, including failures and overhears.
     pub events: Vec<DeliveryEvent>,
 }
@@ -144,7 +147,9 @@ pub fn resolve_slot<R: Rng + ?Sized>(
         // One transmission per sender per slot (semi-duplex radio) —
         // enforced for oracle intents too; a radio is a radio. A sender
         // that already deferred stays silent for the whole slot.
-        if committed_senders.contains(&it.sender) || res.deferred.contains(&it.sender) {
+        if committed_senders.contains(&it.sender)
+            || res.deferred.iter().any(|&j| intents[j].sender == it.sender)
+        {
             continue;
         }
         if it.bypass_mac {
@@ -157,7 +162,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
             .iter()
             .any(|&j| !intents[j].bypass_mac && topo.are_neighbors(it.sender, intents[j].sender));
         if busy {
-            res.deferred.push(it.sender);
+            res.deferred.push(i);
         } else {
             committed.push(i);
             committed_senders.push(it.sender);
@@ -359,7 +364,7 @@ mod tests {
             1,
         );
         assert_eq!(res.transmitted, vec![NodeId(0)]);
-        assert_eq!(res.deferred, vec![NodeId(2)]);
+        assert_eq!(res.deferred, vec![1], "intent index of the deferred sender");
         assert_eq!(res.events.len(), 1);
         assert_eq!(res.events[0].outcome, Outcome::Delivered);
     }
@@ -475,7 +480,7 @@ mod tests {
             1,
         );
         assert_eq!(res.transmitted, vec![NodeId(1)]);
-        assert_eq!(res.deferred, vec![NodeId(2)]);
+        assert_eq!(res.deferred, vec![1]);
         // …while a hidden pair targeting the same receiver collides.
         let topo5 = Topology::line(5, LinkQuality::PERFECT);
         let res = resolve(

@@ -69,8 +69,8 @@ proptest! {
         prop_assert_eq!(tx.len(), before, "duplicate sender in a slot");
 
         // 2. No sender both transmits and defers.
-        for d in &res.deferred {
-            prop_assert!(!res.transmitted.contains(d));
+        for &d in &res.deferred {
+            prop_assert!(!res.transmitted.contains(&intents[d].sender));
         }
 
         // 3. Every contended event's sender actually transmitted, and
@@ -81,11 +81,12 @@ proptest! {
         }
 
         // 4. Deferred senders were audible to some committed sender.
-        for d in &res.deferred {
+        for &d in &res.deferred {
+            let silenced = intents[d].sender;
             prop_assert!(
                 res.transmitted
                     .iter()
-                    .any(|s| topo.are_neighbors(*s, *d)),
+                    .any(|s| topo.are_neighbors(*s, silenced)),
                 "deferral without an audible committed sender"
             );
         }
