@@ -32,4 +32,15 @@ for trace in "$TRACE_DIR"/*.events.jsonl; do
     ./target/release/experiments forensics --trace "$trace" | grep -v '^  note:'
 done
 
+step "resilience campaign (--quick) + forensics over a burst+drift faulted trace"
+RES_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR" "$RES_DIR"' EXIT
+./target/release/experiments resilience --quick --out "$RES_DIR" \
+    --trace-events "$RES_DIR/events" > /dev/null
+# The isolation table's burst+drift row keeps schedules static, so its
+# trace must replay cleanly through the forensics hard checks.
+FAULTED="$RES_DIR/events/dbao-p100-a5-m30-s1-fbd.events.jsonl"
+echo "forensics: $(basename "$FAULTED")"
+./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
+
 step "OK"

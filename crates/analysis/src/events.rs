@@ -118,6 +118,13 @@ impl ReplayReport {
                     }
                 }
                 SimEvent::SlotEnd { .. } => r.slots_elapsed += 1,
+                // Fault-injection annotations: a BurstLoss rides with a
+                // LinkLoss already counted, and churn/retry events have
+                // no SimReport counterpart in this replay.
+                SimEvent::BurstLoss { .. }
+                | SimEvent::NodeCrashed { .. }
+                | SimEvent::NodeRecovered { .. }
+                | SimEvent::SourceRetry { .. } => {}
                 // Static schedule metadata; no counter corresponds.
                 SimEvent::ScheduleSlot { .. } => {}
             }

@@ -438,6 +438,15 @@ impl ForensicsReport {
                     })?;
                     covered.entry(packet).or_insert((slot, who));
                 }
+                // Fault-injection annotations: BurstLoss is tagged onto
+                // a LinkLoss already attributed above; churn and retry
+                // events carry no delay attribution of their own (and
+                // churn traces are rejected later for their schedule
+                // changes anyway).
+                SimEvent::BurstLoss { .. }
+                | SimEvent::NodeCrashed { .. }
+                | SimEvent::NodeRecovered { .. }
+                | SimEvent::SourceRetry { .. } => {}
                 SimEvent::SlotEnd { .. } => {}
             }
         }

@@ -9,6 +9,7 @@
 //!   fig9 | fig10 | fig11                          (trace-driven sims)
 //!   ablation-overhearing | ablation-opportunistic (ablations)
 //!   lifetime-gain | theorem1-check                (extensions)
+//!   resilience                                    (fault-injection campaign)
 //!   forensics                                     (trace post-mortem)
 //!   analytical                                    (all instant artefacts)
 //!   all                                           (everything)
@@ -106,8 +107,8 @@ fn usage(err: &str) -> ! {
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
-         \u{20}          lifetime-gain theorem1-check cross-layer sync-error forensics\n\
-         \u{20}          analytical all"
+         \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
+         \u{20}          forensics analytical all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -220,6 +221,7 @@ fn main() {
             "ablation-policy",
             "cross-layer",
             "sync-error",
+            "resilience",
         ],
         single => vec![single],
     };
@@ -263,6 +265,7 @@ fn main() {
             "ablation-policy" => experiments::ablation_policy(),
             "cross-layer" => experiments::cross_layer(&cli.opts),
             "sync-error" => with_chart(&experiments::sync_error(&cli.opts)),
+            "resilience" => ldcf_bench::resilience::resilience(&cli.opts, cli.quick),
             other => usage(&format!("unknown artefact '{other}'")),
         };
         let wall = t0.elapsed();

@@ -9,8 +9,9 @@
 
 pub mod experiments;
 pub mod options;
+pub mod resilience;
 pub mod runner;
 
 pub use experiments::*;
 pub use options::ExpOptions;
-pub use runner::{run_flood, ProtocolKind};
+pub use runner::{run_flood, run_flood_faulted, ProtocolKind};

@@ -17,8 +17,8 @@ use ldcf_net::Topology;
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
 use ldcf_sim::{
-    Engine, FloodingProtocol, JsonlSink, MetricsObserver, SimConfig, SimEvent, SimObserver,
-    SimReport,
+    Engine, FaultConfig, FloodingProtocol, JsonlSink, MetricsObserver, SimConfig, SimEvent,
+    SimObserver, SimReport,
 };
 use std::collections::BTreeSet;
 use std::fs::File;
@@ -140,10 +140,13 @@ pub fn enable_metrics(dir: &Path) -> std::io::Result<()> {
         .map_err(|_| std::io::Error::other("metrics capture already enabled"))
 }
 
-/// Deterministic per-run file stem: the same `(protocol, config)` pair
-/// always maps to the same files, so re-running an artefact overwrites
-/// traces with byte-identical content instead of accumulating.
-fn run_stem(protocol: &str, cfg: &SimConfig) -> String {
+/// Deterministic per-run file stem: the same `(protocol, config,
+/// fault tag)` triple always maps to the same files, so re-running an
+/// artefact overwrites traces with byte-identical content instead of
+/// accumulating. `fault_tag` is empty for fault-free runs; faulted runs
+/// pass a short filename-safe label (e.g. `"f100"`, `"fburst"`) so
+/// their traces never collide with the clean ones.
+fn run_stem(protocol: &str, cfg: &SimConfig, fault_tag: &str) -> String {
     let mut stem = format!(
         "{}-p{}-a{}-m{}-s{}",
         protocol.to_lowercase(),
@@ -155,6 +158,10 @@ fn run_stem(protocol: &str, cfg: &SimConfig) -> String {
     if cfg.mistiming_prob > 0.0 {
         // Encode e.g. 0.05 as "e5000": stable, filename-safe.
         stem.push_str(&format!("-e{:.0}", cfg.mistiming_prob * 100_000.0));
+    }
+    if !fault_tag.is_empty() {
+        stem.push('-');
+        stem.push_str(fault_tag);
     }
     stem
 }
@@ -169,8 +176,8 @@ struct TraceObserver {
 
 impl TraceObserver {
     /// `None` when neither tracing nor metrics are configured.
-    fn for_run(protocol: &str, cfg: &SimConfig, n_nodes: usize) -> Option<Self> {
-        let stem = run_stem(protocol, cfg);
+    fn for_run(protocol: &str, cfg: &SimConfig, n_nodes: usize, fault_tag: &str) -> Option<Self> {
+        let stem = run_stem(protocol, cfg, fault_tag);
         let sink = TRACE_DIR.get().and_then(|dir| {
             let path = dir.join(format!("{stem}.events.jsonl"));
             match File::create(&path) {
@@ -222,20 +229,8 @@ impl SimObserver for TraceObserver {
 // Flood dispatch
 // ---------------------------------------------------------------------
 
-fn run_one<P: FloodingProtocol>(
-    topo: &Topology,
-    cfg: &SimConfig,
-    kind: ProtocolKind,
-    protocol: P,
-) -> (SimReport, EnergyLedger) {
-    let engine = Engine::new(topo.clone(), cfg.clone(), protocol);
-    let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes()) {
-        Some(obs) => {
-            let (report, energy, _) = engine.with_observer(obs).run_traced();
-            (report, energy)
-        }
-        None => engine.run(),
-    };
+/// Book one finished flood into the work ledger.
+fn book_run(kind: ProtocolKind, cfg: &SimConfig, report: &SimReport) {
     SIMS_RUN.fetch_add(1, Ordering::Relaxed);
     SLOTS_SIMULATED.fetch_add(report.slots_elapsed, Ordering::Relaxed);
     PROTOCOLS_RUN
@@ -243,6 +238,44 @@ fn run_one<P: FloodingProtocol>(
         .expect("ledger lock")
         .insert(kind.name());
     SEEDS_RUN.lock().expect("ledger lock").insert(cfg.seed);
+}
+
+fn run_one<P: FloodingProtocol>(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+    protocol: P,
+) -> (SimReport, EnergyLedger) {
+    let engine = Engine::new(topo.clone(), cfg.clone(), protocol);
+    let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), "") {
+        Some(obs) => {
+            let (report, energy, _) = engine.with_observer(obs).run_traced();
+            (report, energy)
+        }
+        None => engine.run(),
+    };
+    book_run(kind, cfg, &report);
+    (report, energy)
+}
+
+fn run_one_faulted<P: FloodingProtocol>(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+    protocol: P,
+    faults: &FaultConfig,
+    fault_tag: &str,
+) -> (SimReport, EnergyLedger) {
+    let engine = Engine::new(topo.clone(), cfg.clone(), protocol).with_faults(faults.build());
+    let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), fault_tag)
+    {
+        Some(obs) => {
+            let (report, energy, _) = engine.with_observer(obs).run_traced();
+            (report, energy)
+        }
+        None => engine.run(),
+    };
+    book_run(kind, cfg, &report);
     (report, energy)
 }
 
@@ -275,6 +308,53 @@ pub fn run_flood(
             }),
         ),
         ProtocolKind::Naive => run_one(topo, cfg, kind, NaiveFlood::new()),
+    }
+}
+
+/// Like [`run_flood`], but with the given fault plan injected into the
+/// engine. `fault_tag` is a short filename-safe label appended to the
+/// run's trace/metrics file stem so faulted traces never overwrite
+/// fault-free ones (the engine otherwise sees an identical config).
+pub fn run_flood_faulted(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+    faults: &FaultConfig,
+    fault_tag: &str,
+) -> (SimReport, EnergyLedger) {
+    match kind {
+        ProtocolKind::Opt => run_one_faulted(topo, cfg, kind, Opt::new(), faults, fault_tag),
+        ProtocolKind::Dbao => run_one_faulted(topo, cfg, kind, Dbao::new(), faults, fault_tag),
+        ProtocolKind::DbaoNoOverhear => run_one_faulted(
+            topo,
+            cfg,
+            kind,
+            Dbao::with_config(DbaoConfig { overhearing: false }),
+            faults,
+            fault_tag,
+        ),
+        ProtocolKind::Of => run_one_faulted(
+            topo,
+            cfg,
+            kind,
+            OpportunisticFlooding::new(),
+            faults,
+            fault_tag,
+        ),
+        ProtocolKind::OfPureTree => run_one_faulted(
+            topo,
+            cfg,
+            kind,
+            OpportunisticFlooding::with_config(OfConfig {
+                opportunistic: false,
+                ..OfConfig::default()
+            }),
+            faults,
+            fault_tag,
+        ),
+        ProtocolKind::Naive => {
+            run_one_faulted(topo, cfg, kind, NaiveFlood::new(), faults, fault_tag)
+        }
     }
 }
 
@@ -354,11 +434,33 @@ mod tests {
             seed: 1,
             mistiming_prob: 0.0,
         };
-        assert_eq!(run_stem("DBAO", &cfg), "dbao-p100-a5-m30-s1");
+        assert_eq!(run_stem("DBAO", &cfg, ""), "dbao-p100-a5-m30-s1");
         let noisy = SimConfig {
             mistiming_prob: 0.05,
-            ..cfg
+            ..cfg.clone()
         };
-        assert_eq!(run_stem("OF", &noisy), "of-p100-a5-m30-s1-e5000");
+        assert_eq!(run_stem("OF", &noisy, ""), "of-p100-a5-m30-s1-e5000");
+        assert_eq!(run_stem("OF", &cfg, "f100"), "of-p100-a5-m30-s1-f100");
+    }
+
+    #[test]
+    fn faulted_run_flood_covers_and_books() {
+        let topo = Topology::grid(3, 3, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 4,
+            active_per_period: 1,
+            n_packets: 2,
+            coverage: 0.9,
+            max_slots: 200_000,
+            seed: 3,
+            mistiming_prob: 0.0,
+        };
+        let faults = FaultConfig::at_intensity(3, 0.5).burst_and_drift_only();
+        let before = ledger_snapshot();
+        let (r, energy) = run_flood_faulted(&topo, &cfg, ProtocolKind::Of, &faults, "f50bd");
+        let after = ledger_snapshot();
+        assert!(r.all_covered(), "OF under mild faults must still cover");
+        assert_eq!(after.sims - before.sims, 1);
+        assert_eq!(energy.tx_slots, r.transmissions);
     }
 }

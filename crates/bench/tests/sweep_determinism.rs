@@ -1,0 +1,69 @@
+//! Seed-determinism regression: parallel sweeps must be bit-identical
+//! whatever the worker count.
+//!
+//! The sweep helpers fan `(param, seed)` jobs across threads and reduce
+//! serially in input order; every simulation draws its randomness from
+//! its own seeded RNG. Nothing may therefore depend on scheduling — the
+//! same seeds must produce the same f64s, to the bit, with 1 worker,
+//! 2 workers, or the machine's full parallelism. This test lives in its
+//! own integration binary because the vendored rayon thread limit is
+//! process-global.
+
+use ldcf_analysis::sweep::{parallel_sweep, sweep_with_seeds};
+use ldcf_net::{LinkQuality, Topology};
+use ldcf_protocols::OpportunisticFlooding;
+use ldcf_sim::{Engine, SimConfig};
+
+/// One real simulation: mean flooding delay of OF on a lossy grid.
+fn mean_delay(period: u32, seed: u64) -> f64 {
+    let topo = Topology::grid(5, 5, LinkQuality::new(0.8));
+    let cfg = SimConfig {
+        period,
+        active_per_period: 1,
+        n_packets: 5,
+        coverage: 0.9,
+        max_slots: 200_000,
+        seed,
+        mistiming_prob: 0.0,
+    };
+    let (report, _) = Engine::new(topo, cfg, OpportunisticFlooding::new()).run();
+    report.mean_flooding_delay().unwrap_or(f64::NAN)
+}
+
+#[test]
+fn sweeps_are_bit_identical_across_worker_counts() {
+    let periods = [10u32, 20, 40];
+    let seeds = [1u64, 2, 3];
+    let snapshot = || {
+        (
+            sweep_with_seeds(&periods, &seeds, |&p, s| mean_delay(p, s)),
+            parallel_sweep(&periods, |&p| mean_delay(p, 7)),
+        )
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+
+    let mut runs = Vec::new();
+    for limit in [Some(1), Some(2), None] {
+        rayon::set_thread_limit(limit);
+        runs.push((limit, snapshot()));
+    }
+    rayon::set_thread_limit(None);
+
+    let (_, baseline) = &runs[0];
+    assert!(
+        baseline.0.iter().chain(&baseline.1).all(|x| x.is_finite()),
+        "sweeps must produce real delays: {baseline:?}"
+    );
+    for (limit, run) in &runs[1..] {
+        assert_eq!(
+            bits(&baseline.0),
+            bits(&run.0),
+            "sweep_with_seeds differs at thread limit {limit:?}"
+        );
+        assert_eq!(
+            bits(&baseline.1),
+            bits(&run.1),
+            "parallel_sweep differs at thread limit {limit:?}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Time-varying k-class PRR degradation.
+//!
+//! The paper's §IV-D loss analysis buckets links into `k` quality
+//! classes and shows the duty-cycle penalty is magnified most on the
+//! worst classes. This model replays that structure dynamically:
+//! periodic *interference episodes* (e.g. a co-located WiFi burst or
+//! rain fade) scale every link's PRR down for `episode_len` out of
+//! every `cycle_len` slots, and the reduction grows with the link's
+//! class — already-poor links degrade hardest, exactly the §IV-D
+//! magnification effect.
+//!
+//! The model is deterministic (no RNG): the episode phase is part of
+//! the configuration, so a run is reproducible from its seed alone.
+
+/// Parameters of the k-class degradation schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationConfig {
+    /// Number of quality classes `k` (the paper's §IV-D buckets).
+    pub classes: u32,
+    /// Maximal fractional PRR reduction, applied to the worst class at
+    /// the peak of an episode. In `[0, 1]`.
+    pub depth: f64,
+    /// Length of each degraded episode, in slots.
+    pub episode_len: u64,
+    /// Episodes repeat every `cycle_len` slots.
+    pub cycle_len: u64,
+    /// Phase offset of the first episode, in slots.
+    pub phase: u64,
+}
+
+impl DegradationConfig {
+    fn validate(&self) {
+        assert!(self.classes >= 1, "need at least one class");
+        assert!((0.0..=1.0).contains(&self.depth), "depth must be in [0,1]");
+        assert!(self.cycle_len >= 1, "cycle_len must be >= 1");
+        assert!(
+            self.episode_len <= self.cycle_len,
+            "episode cannot exceed its cycle"
+        );
+    }
+}
+
+/// The k-class degradation model.
+#[derive(Clone, Copy, Debug)]
+pub struct KClassDegradation {
+    cfg: DegradationConfig,
+}
+
+impl KClassDegradation {
+    /// Build the model.
+    pub fn new(cfg: DegradationConfig) -> Self {
+        cfg.validate();
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DegradationConfig {
+        &self.cfg
+    }
+
+    /// Whether `slot` falls inside a degraded episode.
+    pub fn in_episode(&self, slot: u64) -> bool {
+        (slot + self.cfg.phase) % self.cfg.cycle_len < self.cfg.episode_len
+    }
+
+    /// Quality class of a link with static PRR `base`: class 0 is the
+    /// best links, class `k − 1` the worst.
+    pub fn class_of(&self, base: f64) -> u32 {
+        let k = self.cfg.classes;
+        (((1.0 - base.clamp(0.0, 1.0)) * k as f64) as u32).min(k - 1)
+    }
+
+    /// PRR multiplier for a link with static PRR `base` at `slot`:
+    /// 1 outside episodes; inside, class `c` loses
+    /// `depth · (c + 1) / k` of its PRR.
+    pub fn multiplier(&self, base: f64, slot: u64) -> f64 {
+        if !self.in_episode(slot) {
+            return 1.0;
+        }
+        let k = self.cfg.classes;
+        1.0 - self.cfg.depth * (self.class_of(base) + 1) as f64 / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(depth: f64) -> KClassDegradation {
+        KClassDegradation::new(DegradationConfig {
+            classes: 3,
+            depth,
+            episode_len: 10,
+            cycle_len: 100,
+            phase: 0,
+        })
+    }
+
+    #[test]
+    fn episodes_repeat_on_the_cycle() {
+        let m = model(0.5);
+        assert!(m.in_episode(0) && m.in_episode(9));
+        assert!(!m.in_episode(10) && !m.in_episode(99));
+        assert!(m.in_episode(100) && m.in_episode(205));
+    }
+
+    #[test]
+    fn worse_links_degrade_harder() {
+        let m = model(0.6);
+        // In-episode: class 0 (PRR .9) loses 0.2, class 2 (PRR .3) loses 0.6.
+        let good = m.multiplier(0.9, 5);
+        let poor = m.multiplier(0.3, 5);
+        assert!(
+            good > poor,
+            "good {good} must keep more PRR than poor {poor}"
+        );
+        assert!((good - 0.8).abs() < 1e-12);
+        assert!((poor - 0.4).abs() < 1e-12);
+        // Out of episode: untouched.
+        assert_eq!(m.multiplier(0.3, 50), 1.0);
+    }
+
+    #[test]
+    fn class_boundaries() {
+        let m = model(0.5);
+        assert_eq!(m.class_of(1.0), 0);
+        assert_eq!(m.class_of(0.7), 0);
+        assert_eq!(m.class_of(0.5), 1);
+        assert_eq!(m.class_of(0.0), 2);
+    }
+
+    #[test]
+    fn zero_depth_is_identity() {
+        let m = model(0.0);
+        for slot in 0..200 {
+            assert_eq!(m.multiplier(0.2, slot), 1.0);
+        }
+    }
+}

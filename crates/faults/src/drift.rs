@@ -1,0 +1,152 @@
+//! Per-node clock drift and stale schedules.
+//!
+//! The paper assumes perfect local synchronization: a sender always
+//! wakes exactly into its neighbor's active slot. Real motes drift
+//! (tens of ppm, exaggerated here to be observable at simulation
+//! scale) and re-synchronize only every `resync_interval` slots, so a
+//! sender's estimate of a neighbor's schedule goes stale between
+//! re-syncs. A transmission whose accumulated skew exceeds the slot
+//! boundary misses its rendezvous entirely — the engine surfaces such
+//! misses through the existing `mistimed` path (wasted energy, counted
+//! as a link-loss cause in forensics attribution).
+
+use ldcf_net::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the drift model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Maximal per-node drift rate, in slot-fractions of error
+    /// accumulated per slot. Each node draws its rate uniformly from
+    /// `[-max_rate, max_rate]` at start-up.
+    pub max_rate: f64,
+    /// Slots between re-synchronizations (error resets to zero).
+    pub resync_interval: u64,
+    /// Cap on the per-transmission miss probability.
+    pub max_miss_prob: f64,
+}
+
+impl DriftConfig {
+    fn validate(&self) {
+        assert!(self.max_rate >= 0.0, "max_rate must be >= 0");
+        assert!(self.resync_interval >= 1, "resync_interval must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.max_miss_prob),
+            "max_miss_prob must be in [0,1]"
+        );
+    }
+}
+
+/// The per-node drift model.
+#[derive(Clone, Debug)]
+pub struct ClockDrift {
+    cfg: DriftConfig,
+    rng: StdRng,
+    /// Absolute drift rate per node, drawn at [`ClockDrift::on_start`].
+    rates: Vec<f64>,
+}
+
+impl ClockDrift {
+    /// Build the model; rates are drawn when the engine starts.
+    pub fn new(cfg: DriftConfig, seed: u64) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            rates: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Draw every node's drift rate.
+    pub fn on_start(&mut self, n_nodes: usize) {
+        let max = self.cfg.max_rate;
+        self.rates = (0..n_nodes)
+            .map(|_| {
+                if max > 0.0 {
+                    self.rng.random_range(-max..=max).abs()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+    }
+
+    /// Probability that `sender` misses a rendezvous at `slot`:
+    /// accumulated error `|rate| · (slot mod resync)`, capped.
+    pub fn miss_probability(&self, sender: NodeId, slot: u64) -> f64 {
+        let rate = match self.rates.get(sender.index()) {
+            Some(&r) => r,
+            None => return 0.0,
+        };
+        (rate * (slot % self.cfg.resync_interval) as f64).min(self.cfg.max_miss_prob)
+    }
+
+    /// Draw whether `sender` misses its rendezvous at `slot`.
+    pub fn miss(&mut self, sender: NodeId, slot: u64) -> bool {
+        let p = self.miss_probability(sender, slot);
+        p > 0.0 && self.rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drift(max_rate: f64) -> ClockDrift {
+        let mut d = ClockDrift::new(
+            DriftConfig {
+                max_rate,
+                resync_interval: 100,
+                max_miss_prob: 0.3,
+            },
+            5,
+        );
+        d.on_start(10);
+        d
+    }
+
+    #[test]
+    fn error_grows_between_resyncs_and_resets() {
+        let d = drift(0.005);
+        let n = NodeId(3);
+        let early = d.miss_probability(n, 1);
+        let late = d.miss_probability(n, 99);
+        assert!(late >= early, "drift must accumulate: {early} -> {late}");
+        // Re-sync at multiples of the interval zeroes the error.
+        assert_eq!(d.miss_probability(n, 100), 0.0);
+        assert_eq!(d.miss_probability(n, 200), 0.0);
+    }
+
+    #[test]
+    fn miss_probability_is_capped() {
+        let d = drift(1.0);
+        assert!(d.miss_probability(NodeId(1), 99) <= 0.3);
+    }
+
+    #[test]
+    fn zero_rate_never_misses() {
+        let mut d = drift(0.0);
+        for slot in 0..500 {
+            assert!(!d.miss(NodeId(2), slot));
+        }
+    }
+
+    #[test]
+    fn nonzero_rate_misses_sometimes() {
+        let mut d = drift(0.01);
+        let misses = (0..5_000).filter(|&slot| d.miss(NodeId(1), slot)).count();
+        assert!(misses > 0, "1%/slot drift over 5k slots must miss");
+    }
+
+    #[test]
+    fn unknown_node_is_safe() {
+        let d = drift(0.01);
+        assert_eq!(d.miss_probability(NodeId(999), 50), 0.0);
+    }
+}

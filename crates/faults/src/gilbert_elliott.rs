@@ -1,0 +1,207 @@
+//! Gilbert–Elliott burst loss: a two-state Markov channel per link.
+//!
+//! Each directed link is independently in a *good* or *bad* state. Per
+//! slot, a good link turns bad with probability `p_gb` and a bad link
+//! recovers with probability `p_bg`, giving geometric burst and gap
+//! lengths (mean burst `1/p_bg` slots). In the bad state the link's
+//! static PRR is multiplied by `bad_factor` (≈ 0 for deep fades).
+//!
+//! States advance lazily: a link's chain is only stepped when the
+//! engine queries it for a loss draw, using the closed-form k-step
+//! transition probability, so idle links cost nothing.
+
+use ldcf_net::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters of the two-state burst-loss chain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertElliottConfig {
+    /// Per-slot probability of a good link turning bad.
+    pub p_gb: f64,
+    /// Per-slot probability of a bad link recovering.
+    pub p_bg: f64,
+    /// Multiplier applied to the static PRR while the link is bad.
+    pub bad_factor: f64,
+}
+
+impl GilbertElliottConfig {
+    /// Stationary probability of the bad state, `p_gb / (p_gb + p_bg)`.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Long-run mean PRR multiplier,
+    /// `1 − π_bad · (1 − bad_factor)` — the stationary PRR a link with
+    /// static PRR 1 would exhibit.
+    pub fn mean_multiplier(&self) -> f64 {
+        1.0 - self.stationary_bad() * (1.0 - self.bad_factor)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.p_gb > 0.0 && self.p_gb <= 1.0,
+            "p_gb must be in (0, 1]"
+        );
+        assert!(
+            self.p_bg > 0.0 && self.p_bg <= 1.0,
+            "p_bg must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.bad_factor),
+            "bad_factor must be in [0, 1]"
+        );
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LinkState {
+    bad: bool,
+    last_slot: u64,
+}
+
+/// Lazily-evaluated per-link Gilbert–Elliott chains.
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    cfg: GilbertElliottConfig,
+    rng: StdRng,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+}
+
+impl GilbertElliott {
+    /// Build the model; `seed` makes every chain deterministic given
+    /// the query sequence.
+    pub fn new(cfg: GilbertElliottConfig, seed: u64) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            links: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GilbertElliottConfig {
+        &self.cfg
+    }
+
+    /// PRR multiplier for the link `sender → receiver` at `slot`,
+    /// advancing its chain to `slot` (lazily, via the closed-form
+    /// k-step transition).
+    pub fn multiplier(&mut self, sender: NodeId, receiver: NodeId, slot: u64) -> f64 {
+        let pi_b = self.cfg.stationary_bad();
+        let lambda = 1.0 - self.cfg.p_gb - self.cfg.p_bg;
+        let rng = &mut self.rng;
+        let state = self
+            .links
+            .entry((sender, receiver))
+            .or_insert_with(|| LinkState {
+                // A link first observed mid-run starts in its
+                // stationary distribution.
+                bad: rng.random::<f64>() < pi_b,
+                last_slot: slot,
+            });
+        let k = slot.saturating_sub(state.last_slot);
+        if k > 0 {
+            // k-step bad-state probability from the spectral form of
+            // the 2x2 chain: P_bad(k) = π_b + λ^k (1{bad} − π_b).
+            let start = if state.bad { 1.0 } else { 0.0 };
+            let p_bad = pi_b + lambda.powi(k.min(i32::MAX as u64) as i32) * (start - pi_b);
+            state.bad = rng.random::<f64>() < p_bad;
+            state.last_slot = slot;
+        }
+        if state.bad {
+            self.cfg.bad_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether the link is currently (as of its last query) bad.
+    pub fn is_bad(&self, sender: NodeId, receiver: NodeId) -> bool {
+        self.links
+            .get(&(sender, receiver))
+            .map(|s| s.bad)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(p_gb: f64, p_bg: f64, bad: f64) -> GilbertElliottConfig {
+        GilbertElliottConfig {
+            p_gb,
+            p_bg,
+            bad_factor: bad,
+        }
+    }
+
+    #[test]
+    fn stationary_math() {
+        let c = cfg(0.01, 0.04, 0.0);
+        assert!((c.stationary_bad() - 0.2).abs() < 1e-12);
+        assert!((c.mean_multiplier() - 0.8).abs() < 1e-12);
+        let half = cfg(0.1, 0.1, 0.5);
+        assert!((half.mean_multiplier() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursts_cluster_losses() {
+        // A slow chain: once bad, stays bad ~50 slots on average.
+        let mut ge = GilbertElliott::new(cfg(0.02, 0.02, 0.0), 9);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let states: Vec<bool> = (0..5_000)
+            .map(|t| {
+                ge.multiplier(a, b, t);
+                ge.is_bad(a, b)
+            })
+            .collect();
+        // Count state flips: a memoryless 50/50 coin would flip ~2500
+        // times; the chain must flip far less (bursty).
+        let flips = states.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(flips < 500, "chain flipped {flips} times — not bursty");
+        // Both states visited.
+        assert!(states.iter().any(|&s| s) && states.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn long_run_multiplier_matches_stationary() {
+        let c = cfg(0.01, 0.03, 0.1);
+        let mut ge = GilbertElliott::new(c, 4);
+        let (a, b) = (NodeId(3), NodeId(7));
+        let n = 60_000u64;
+        let sum: f64 = (0..n).map(|t| ge.multiplier(a, b, t)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - c.mean_multiplier()).abs() < 0.03,
+            "empirical {empirical} vs stationary {}",
+            c.mean_multiplier()
+        );
+    }
+
+    #[test]
+    fn lazy_advancement_skips_idle_gaps() {
+        let mut ge = GilbertElliott::new(cfg(0.5, 0.5, 0.0), 1);
+        let (a, b) = (NodeId(0), NodeId(1));
+        ge.multiplier(a, b, 10);
+        // A huge gap must neither loop nor panic.
+        ge.multiplier(a, b, 1_000_000_000);
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let mut ge = GilbertElliott::new(cfg(0.2, 0.2, 0.0), 2);
+        let mut differs = false;
+        for t in 0..200 {
+            ge.multiplier(NodeId(0), NodeId(1), t);
+            ge.multiplier(NodeId(2), NodeId(3), t);
+            if ge.is_bad(NodeId(0), NodeId(1)) != ge.is_bad(NodeId(2), NodeId(3)) {
+                differs = true;
+            }
+        }
+        assert!(differs, "two links never diverged in 200 slots");
+    }
+}

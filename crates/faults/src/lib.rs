@@ -1,0 +1,48 @@
+//! # ldcf-faults — fault injection & network dynamics for the LDCF simulator
+//!
+//! The paper's analysis (§IV-D) shows that link loss *magnifies* the
+//! duty-cycle delay penalty, yet the base simulator models only static
+//! per-link PRR, perfect local synchronization, and immortal nodes.
+//! This crate provides composable, seeded fault models that inject the
+//! dynamics real low-power deployments actually exhibit:
+//!
+//! * **[`gilbert_elliott`]** — two-state Markov burst loss per link
+//!   (good/bad channel states with geometric sojourn times);
+//! * **[`degradation`]** — time-varying k-class PRR degradation
+//!   (interference episodes that hit poor links hardest, mirroring the
+//!   paper's §IV-D k-class loss structure);
+//! * **[`drift`]** — per-node clock drift that turns perfect local sync
+//!   into an error model: accumulated skew since the last re-sync makes
+//!   rendezvous transmissions miss their window;
+//! * **[`churn`]** — node crash/reboot with schedule re-randomization on
+//!   recovery, plus a source-side retry/backoff policy so floods degrade
+//!   gracefully instead of wedging.
+//!
+//! Models plug into the engine through the zero-cost [`FaultPlan`]
+//! trait: the default [`NullFaultPlan`] has `ENABLED = false`, so every
+//! fault hook in the engine monomorphizes to dead code and the
+//! fault-free hot path is byte-identical to a build without this crate.
+//! [`FaultInjector`] composes any subset of the models from a
+//! [`FaultConfig`], whose [`FaultConfig::at_intensity`] knob scales all
+//! of them together for degradation-curve sweeps.
+//!
+//! Every model draws randomness from its own seeded RNG, never from the
+//! engine's: enabling a fault model changes *parameters* of the engine's
+//! existing Bernoulli draws (e.g. the effective PRR behind a loss draw)
+//! but never the engine's draw count or order.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod degradation;
+pub mod drift;
+pub mod gilbert_elliott;
+pub mod injector;
+pub mod plan;
+
+pub use churn::{ChurnConfig, NodeChurn};
+pub use degradation::{DegradationConfig, KClassDegradation};
+pub use drift::{ClockDrift, DriftConfig};
+pub use gilbert_elliott::{GilbertElliott, GilbertElliottConfig};
+pub use injector::{FaultConfig, FaultInjector};
+pub use plan::{ChurnAction, FaultPlan, NullFaultPlan};

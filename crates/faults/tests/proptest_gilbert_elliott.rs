@@ -1,0 +1,71 @@
+//! Property: the Gilbert–Elliott model's empirical long-run behaviour
+//! converges to its configured stationary distribution, over random
+//! burst/recovery parameters.
+//!
+//! Two layers, matching how the engine consumes the model:
+//! * the *mean PRR multiplier* over many slots approaches
+//!   `1 − π_bad · (1 − bad_factor)` (the stationary PRR of a link whose
+//!   static PRR is 1);
+//! * the empirical *loss rate* of Bernoulli draws against the modulated
+//!   PRR approaches `1 − base · mean_multiplier` — i.e. a configured
+//!   stationary PRR really is what a long trace measures.
+
+use ldcf_faults::{GilbertElliott, GilbertElliottConfig};
+use ldcf_net::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mean_multiplier_converges_to_stationary(
+        p_gb in 0.02f64..0.5,
+        p_bg in 0.02f64..0.5,
+        bad_factor in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GilbertElliottConfig { p_gb, p_bg, bad_factor };
+        let mut ge = GilbertElliott::new(cfg, seed);
+        let n = 60_000u64;
+        let sum: f64 = (0..n).map(|t| ge.multiplier(NodeId(0), NodeId(1), t)).sum();
+        let empirical = sum / n as f64;
+        // Worst mixing here is λ = 1 − p_gb − p_bg = 0.96; the
+        // occupancy-fraction s.d. over 60k slots is then ~1.4%, so a
+        // 5% tolerance sits beyond 3σ.
+        prop_assert!(
+            (empirical - cfg.mean_multiplier()).abs() < 0.05,
+            "empirical multiplier {} vs stationary {} (p_gb={}, p_bg={})",
+            empirical, cfg.mean_multiplier(), p_gb, p_bg
+        );
+    }
+
+    #[test]
+    fn empirical_loss_rate_matches_stationary_prr(
+        p_gb in 0.05f64..0.5,
+        p_bg in 0.05f64..0.5,
+        base in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // Deep fades (bad_factor 0) and a Bernoulli draw per slot, as
+        // the engine performs it.
+        let cfg = GilbertElliottConfig { p_gb, p_bg, bad_factor: 0.0 };
+        let mut ge = GilbertElliott::new(cfg, seed);
+        let mut draw_rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let n = 60_000u64;
+        let delivered = (0..n)
+            .filter(|&t| {
+                let prr = base * ge.multiplier(NodeId(4), NodeId(5), t);
+                draw_rng.random::<f64>() < prr
+            })
+            .count();
+        let empirical_loss = 1.0 - delivered as f64 / n as f64;
+        let stationary_loss = 1.0 - base * cfg.mean_multiplier();
+        prop_assert!(
+            (empirical_loss - stationary_loss).abs() < 0.05,
+            "empirical loss {} vs stationary loss {}",
+            empirical_loss, stationary_loss
+        );
+    }
+}

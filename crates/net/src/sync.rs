@@ -59,6 +59,18 @@ impl NeighborTable {
         self.schedules[node.index()].is_active(t)
     }
 
+    /// Replace the schedule of `node` (a rebooted mote re-enters the
+    /// duty-cycle lottery with a fresh working schedule). The new
+    /// schedule must keep the network-wide period.
+    pub fn set_schedule(&mut self, node: NodeId, schedule: WorkingSchedule) {
+        assert_eq!(
+            schedule.period(),
+            self.schedules[node.index()].period(),
+            "replacement schedule must keep the period"
+        );
+        self.schedules[node.index()] = schedule;
+    }
+
     /// Next slot `>= t` at which `node` is active (sleep-latency query).
     pub fn next_active(&self, node: NodeId, t: u64) -> u64 {
         self.schedules[node.index()].next_active_at_or_after(t)

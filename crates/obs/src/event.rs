@@ -125,6 +125,42 @@ pub enum SimEvent {
         /// Nodes whose working schedule had them awake this slot.
         active_nodes: u32,
     },
+    /// A sole transmission was dropped while its link sat in the bad
+    /// state of an injected Gilbert–Elliott burst. Supplementary to the
+    /// `LinkLoss` already emitted for the same drop — trace consumers
+    /// count the loss once and use this tag to attribute it to a burst.
+    BurstLoss {
+        /// Slot of the loss.
+        slot: u64,
+        /// Transmitting node.
+        sender: NodeId,
+        /// Intended receiver.
+        receiver: NodeId,
+        /// Packet lost.
+        packet: PacketId,
+    },
+    /// A node crashed (fault injection): RAM wiped, off the air until
+    /// it recovers.
+    NodeCrashed {
+        /// Slot of the crash.
+        slot: u64,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node rebooted with a fresh random working schedule.
+    NodeRecovered {
+        /// Slot of the reboot.
+        slot: u64,
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// The source re-queued a packet that node crashes had orphaned.
+    SourceRetry {
+        /// Slot of the retry.
+        slot: u64,
+        /// The re-queued packet.
+        packet: PacketId,
+    },
     /// One active slot of a node's periodic working schedule, emitted
     /// once per `(node, offset)` at the start of the run (slot 0). The
     /// full set lets trace consumers reconstruct every node's duty
@@ -155,6 +191,10 @@ impl SimEvent {
             | SimEvent::Deferred { slot, .. }
             | SimEvent::CoverageReached { slot, .. }
             | SimEvent::SlotEnd { slot, .. }
+            | SimEvent::BurstLoss { slot, .. }
+            | SimEvent::NodeCrashed { slot, .. }
+            | SimEvent::NodeRecovered { slot, .. }
+            | SimEvent::SourceRetry { slot, .. }
             | SimEvent::ScheduleSlot { slot, .. } => slot,
         }
     }
@@ -172,6 +212,10 @@ impl SimEvent {
             SimEvent::Deferred { .. } => "deferred",
             SimEvent::CoverageReached { .. } => "coverage_reached",
             SimEvent::SlotEnd { .. } => "slot_end",
+            SimEvent::BurstLoss { .. } => "burst_loss",
+            SimEvent::NodeCrashed { .. } => "node_crashed",
+            SimEvent::NodeRecovered { .. } => "node_recovered",
+            SimEvent::SourceRetry { .. } => "source_retry",
             SimEvent::ScheduleSlot { .. } => "schedule_slot",
         }
     }
@@ -251,6 +295,12 @@ impl Serialize for SimEvent {
                 sender,
                 receiver,
                 packet,
+            }
+            | SimEvent::BurstLoss {
+                slot,
+                sender,
+                receiver,
+                packet,
             } => obj(vec![
                 ("t", t),
                 ("slot", Value::UInt(slot)),
@@ -289,6 +339,18 @@ impl Serialize for SimEvent {
                 ("slot", Value::UInt(slot)),
                 ("queued", Value::UInt(queued)),
                 ("active_nodes", Value::UInt(active_nodes as u64)),
+            ]),
+            SimEvent::NodeCrashed { slot, node } | SimEvent::NodeRecovered { slot, node } => {
+                obj(vec![
+                    ("t", t),
+                    ("slot", Value::UInt(slot)),
+                    ("node", Value::UInt(node.0 as u64)),
+                ])
+            }
+            SimEvent::SourceRetry { slot, packet } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("packet", Value::UInt(packet as u64)),
             ]),
             SimEvent::ScheduleSlot {
                 slot,
@@ -396,6 +458,24 @@ impl Deserialize for SimEvent {
                 queued: field_u64(v, "queued")?,
                 active_nodes: field_u64(v, "active_nodes")? as u32,
             }),
+            "burst_loss" => Ok(SimEvent::BurstLoss {
+                slot,
+                sender: field_node(v, "sender")?,
+                receiver: field_node(v, "receiver")?,
+                packet: field_packet(v, "packet")?,
+            }),
+            "node_crashed" => Ok(SimEvent::NodeCrashed {
+                slot,
+                node: field_node(v, "node")?,
+            }),
+            "node_recovered" => Ok(SimEvent::NodeRecovered {
+                slot,
+                node: field_node(v, "node")?,
+            }),
+            "source_retry" => Ok(SimEvent::SourceRetry {
+                slot,
+                packet: field_packet(v, "packet")?,
+            }),
             "schedule_slot" => Ok(SimEvent::ScheduleSlot {
                 slot,
                 node: field_node(v, "node")?,
@@ -481,6 +561,18 @@ mod tests {
             slot: 18,
             queued: 42,
             active_nodes: 5,
+        });
+        roundtrip(SimEvent::BurstLoss {
+            slot: 19,
+            sender: s,
+            receiver: r,
+            packet: 1,
+        });
+        roundtrip(SimEvent::NodeCrashed { slot: 20, node: r });
+        roundtrip(SimEvent::NodeRecovered { slot: 21, node: r });
+        roundtrip(SimEvent::SourceRetry {
+            slot: 22,
+            packet: 0,
         });
         roundtrip(SimEvent::ScheduleSlot {
             slot: 0,

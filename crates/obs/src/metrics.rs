@@ -182,6 +182,11 @@ pub struct MetricsObserver {
     deferrals: u64,
     slots: u64,
     coverage_reached: u64,
+    links_burst_dropped: u64,
+    missed_rendezvous: u64,
+    node_crashes: u64,
+    node_recoveries: u64,
+    source_retries: u64,
     /// pushed_at per packet (first source transmission), grown on demand.
     pushed_at: Vec<Option<u64>>,
     delay_hist: Histogram,
@@ -210,6 +215,11 @@ impl MetricsObserver {
             deferrals: 0,
             slots: 0,
             coverage_reached: 0,
+            links_burst_dropped: 0,
+            missed_rendezvous: 0,
+            node_crashes: 0,
+            node_recoveries: 0,
+            source_retries: 0,
             pushed_at: Vec::new(),
             delay_hist: Histogram::new("flooding_delay_slots", delay_bucket, 64),
             queue_hist: Histogram::new("queue_depth_total", 4, 64),
@@ -273,6 +283,12 @@ impl MetricsObserver {
                     (self.delivered - self.delivered_fresh)
                         + (self.overheard - self.overheard_fresh),
                 ),
+                // Fault-injection counters (all zero in fault-free runs).
+                ("links_burst_dropped".into(), self.links_burst_dropped),
+                ("missed_rendezvous".into(), self.missed_rendezvous),
+                ("node_crashes".into(), self.node_crashes),
+                ("node_recoveries".into(), self.node_recoveries),
+                ("source_retries".into(), self.source_retries),
             ],
             histograms: vec![
                 self.delay_hist,
@@ -333,6 +349,7 @@ impl SimObserver for MetricsObserver {
             SimEvent::ReceiverBusy { .. } => self.receiver_busy += 1,
             SimEvent::Mistimed { sender, .. } => {
                 self.mistimed += 1;
+                self.missed_rendezvous += 1;
                 Self::bump_node(&mut self.tx_by_node, sender.index());
             }
             SimEvent::Deferred { .. } => self.deferrals += 1,
@@ -348,6 +365,11 @@ impl SimObserver for MetricsObserver {
                 self.coverage_curve
                     .push_if_changed(slot, self.holders_total);
             }
+            // Burst tags ride alongside the LinkLoss already counted.
+            SimEvent::BurstLoss { .. } => self.links_burst_dropped += 1,
+            SimEvent::NodeCrashed { .. } => self.node_crashes += 1,
+            SimEvent::NodeRecovered { .. } => self.node_recoveries += 1,
+            SimEvent::SourceRetry { .. } => self.source_retries += 1,
             // Static schedule description, not a run-time occurrence.
             SimEvent::ScheduleSlot { .. } => {}
         }

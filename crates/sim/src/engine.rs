@@ -6,10 +6,13 @@ use crate::mac::{self, Outcome, TxIntent};
 use crate::protocol::FloodingProtocol;
 use crate::queue::FcfsQueue;
 use crate::stats::SimReport;
+use ldcf_faults::{ChurnAction, FaultPlan, NullFaultPlan};
 use ldcf_net::{NeighborTable, NodeId, PacketId, Topology, SOURCE};
 use ldcf_obs::{NullObserver, SimEvent, SimObserver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Read-only world + dynamic state exposed to protocols.
 pub struct SimState {
@@ -30,6 +33,9 @@ pub struct SimState {
     holders: Vec<u32>,
     /// Sensors needed for a packet to count as flooded.
     coverage_target: u32,
+    /// `down[node]`: crashed by fault injection (off the air). All
+    /// `false` unless a fault plan with churn is attached.
+    down: Vec<bool>,
 }
 
 impl SimState {
@@ -44,10 +50,17 @@ impl SimState {
         &self.queues[node.index()]
     }
 
-    /// Whether `node` is active (can receive) this slot.
+    /// Whether `node` is active (can receive) this slot. A node crashed
+    /// by fault injection is never active, whatever its schedule says.
     #[inline]
     pub fn is_active(&self, node: NodeId) -> bool {
-        self.schedules.is_active(node, self.now)
+        self.schedules.is_active(node, self.now) && !self.down[node.index()]
+    }
+
+    /// Whether `node` is currently crashed (fault injection).
+    #[inline]
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
     }
 
     /// Number of sensors holding `packet`.
@@ -85,7 +98,16 @@ impl SimState {
 /// `ENABLED = false`, so every emission site below compiles away and an
 /// un-observed engine pays nothing for observability. Attach a real
 /// observer with [`Engine::with_observer`].
-pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver> {
+///
+/// Likewise generic over a [`FaultPlan`]; the default [`NullFaultPlan`]
+/// has `ENABLED = false`, so every fault hook compiles away and the
+/// fault-free hot path is byte-identical to an engine that never heard
+/// of faults. Attach a real plan with [`Engine::with_faults`]. Fault
+/// randomness lives in the plan's own RNGs: an enabled plan only moves
+/// the thresholds of the engine's existing Bernoulli draws, never their
+/// count or order, so the engine RNG stream is untouched.
+pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver, F: FaultPlan = NullFaultPlan>
+{
     state: SimState,
     protocol: P,
     rng: StdRng,
@@ -93,6 +115,15 @@ pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver> {
     energy: EnergyLedger,
     intents_buf: Vec<TxIntent>,
     obs: O,
+    faults: F,
+    /// Scratch buffer for [`FaultPlan::churn_actions`].
+    churn_buf: Vec<ChurnAction>,
+    /// Pending source retries `(due_slot, packet)` (churn recovery).
+    retry_heap: BinaryHeap<Reverse<(u64, PacketId)>>,
+    /// Per-packet retry count (drives exponential backoff).
+    retry_attempts: Vec<u32>,
+    /// Per-packet flag: a retry is already queued in `retry_heap`.
+    retry_pending: Vec<bool>,
 }
 
 impl<P: FloodingProtocol> Engine<P> {
@@ -145,6 +176,7 @@ impl<P: FloodingProtocol> Engine<P> {
             queues: vec![FcfsQueue::new(); n],
             holders: vec![0; m],
             coverage_target,
+            down: vec![false; n],
         };
         // The source injects all M packets up front; FCFS order at the
         // source realises the paper's sequential injection.
@@ -161,16 +193,21 @@ impl<P: FloodingProtocol> Engine<P> {
             energy: EnergyLedger::default(),
             intents_buf: Vec::new(),
             obs: NullObserver,
+            faults: NullFaultPlan,
+            churn_buf: Vec::new(),
+            retry_heap: BinaryHeap::new(),
+            retry_attempts: vec![0; m],
+            retry_pending: vec![false; m],
         }
     }
 }
 
-impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
+impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
     /// Attach an observer, consuming the engine. Typically called right
     /// after construction:
     ///
     /// `Engine::new(topo, cfg, proto).with_observer(JsonlSink::new(file))`
-    pub fn with_observer<O2: SimObserver>(self, obs: O2) -> Engine<P, O2> {
+    pub fn with_observer<O2: SimObserver>(self, obs: O2) -> Engine<P, O2, F> {
         Engine {
             state: self.state,
             protocol: self.protocol,
@@ -179,6 +216,31 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
             energy: self.energy,
             intents_buf: self.intents_buf,
             obs,
+            faults: self.faults,
+            churn_buf: self.churn_buf,
+            retry_heap: self.retry_heap,
+            retry_attempts: self.retry_attempts,
+            retry_pending: self.retry_pending,
+        }
+    }
+
+    /// Attach a fault plan, consuming the engine:
+    ///
+    /// `Engine::new(topo, cfg, proto).with_faults(fault_cfg.build())`
+    pub fn with_faults<F2: FaultPlan>(self, faults: F2) -> Engine<P, O, F2> {
+        Engine {
+            state: self.state,
+            protocol: self.protocol,
+            rng: self.rng,
+            report: self.report,
+            energy: self.energy,
+            intents_buf: self.intents_buf,
+            obs: self.obs,
+            faults,
+            churn_buf: self.churn_buf,
+            retry_heap: self.retry_heap,
+            retry_attempts: self.retry_attempts,
+            retry_pending: self.retry_pending,
         }
     }
 
@@ -202,6 +264,137 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
         &self.energy
     }
 
+    /// Execute the fault plan's churn transitions due this slot: crashes
+    /// wipe RAM (possession + queue) and take the node off the air;
+    /// recoveries bring it back with a fresh working schedule. After any
+    /// transition, a repair pass re-queues packets whose dissemination
+    /// the churn may have wedged.
+    fn apply_churn(&mut self) {
+        let now = self.state.now;
+        let mut actions = std::mem::take(&mut self.churn_buf);
+        actions.clear();
+        self.faults.churn_actions(now, &mut actions);
+        let churned = !actions.is_empty();
+        let backoff = self.faults.source_retry_backoff();
+        for a in actions.drain(..) {
+            match a {
+                ChurnAction::Crash(v) => {
+                    debug_assert_ne!(v, SOURCE, "fault plans must not crash the source");
+                    let vi = v.index();
+                    if self.state.down[vi] {
+                        continue;
+                    }
+                    self.state.down[vi] = true;
+                    self.report.node_crashes += 1;
+                    if O::ENABLED {
+                        self.obs
+                            .on_event(&SimEvent::NodeCrashed { slot: now, node: v });
+                    }
+                    // RAM wipe: forwarding queue and packet possession.
+                    self.state.queues[vi].clear();
+                    for p in 0..self.state.cfg.n_packets {
+                        let pi = p as usize;
+                        if !self.state.have[vi][pi] {
+                            continue;
+                        }
+                        self.state.have[vi][pi] = false;
+                        self.state.holders[pi] -= 1;
+                        // Arm a source-side retry for packets the crash
+                        // may have orphaned mid-flood.
+                        if backoff.is_some()
+                            && self.report.packets[pi].covered_at.is_none()
+                            && !self.retry_pending[pi]
+                        {
+                            self.retry_pending[pi] = true;
+                            self.retry_heap
+                                .push(Reverse((now + backoff.unwrap_or(1), p)));
+                        }
+                    }
+                }
+                ChurnAction::Recover(v, schedule) => {
+                    let vi = v.index();
+                    if !self.state.down[vi] {
+                        continue;
+                    }
+                    self.state.down[vi] = false;
+                    self.state.schedules.set_schedule(v, schedule);
+                    self.report.node_recoveries += 1;
+                    if O::ENABLED {
+                        self.obs
+                            .on_event(&SimEvent::NodeRecovered { slot: now, node: v });
+                    }
+                }
+            }
+        }
+        self.churn_buf = actions;
+        if !churned {
+            return;
+        }
+        // Repair pass: queue pruning assumed possession was monotone, so
+        // a crash (which destroys copies) or a recovery (which revives a
+        // needy neighbor) can leave live holders with real forwarding
+        // work but empty queues. Re-queue each uncovered packet at every
+        // live holder that has a live neighbor still missing it.
+        for p in 0..self.state.cfg.n_packets {
+            let pi = p as usize;
+            if self.report.packets[pi].covered_at.is_some() {
+                continue;
+            }
+            for ui in 0..self.state.n_nodes() {
+                let u = NodeId::from(ui);
+                if self.state.down[ui]
+                    || !self.state.have[ui][pi]
+                    || self.state.queues[ui].contains(p)
+                {
+                    continue;
+                }
+                let needy =
+                    self.state.topo.neighbors(u).iter().any(|&(v, _)| {
+                        !self.state.down[v.index()] && !self.state.have[v.index()][pi]
+                    });
+                if needy {
+                    self.state.queues[ui].push(p, now);
+                }
+            }
+        }
+    }
+
+    /// Fire due source retries: re-queue still-uncovered packets at the
+    /// source with exponential backoff, so a flood interrupted by node
+    /// crashes degrades instead of wedging.
+    fn fire_retries(&mut self) {
+        let Some(base) = self.faults.source_retry_backoff() else {
+            return;
+        };
+        let now = self.state.now;
+        while let Some(&Reverse((at, p))) = self.retry_heap.peek() {
+            if at > now {
+                break;
+            }
+            self.retry_heap.pop();
+            let pi = p as usize;
+            self.retry_pending[pi] = false;
+            if self.report.packets[pi].covered_at.is_some() {
+                continue;
+            }
+            if !self.state.queues[SOURCE.index()].contains(p) {
+                self.state.queues[SOURCE.index()].push(p, now);
+                self.report.source_retries += 1;
+                if O::ENABLED {
+                    self.obs.on_event(&SimEvent::SourceRetry {
+                        slot: now,
+                        packet: p,
+                    });
+                }
+            }
+            // Re-arm with exponential backoff (capped) until covered.
+            let shift = self.retry_attempts[pi].min(6);
+            self.retry_attempts[pi] += 1;
+            self.retry_pending[pi] = true;
+            self.retry_heap.push(Reverse((now + (base << shift), p)));
+        }
+    }
+
     /// Advance one slot. Returns `false` once the run has terminated
     /// (all packets covered, or `max_slots` reached).
     pub fn step(&mut self) -> bool {
@@ -213,7 +406,9 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
                 // Dump every node's working schedule up front so a trace
                 // is self-contained: consumers (forensics) can tell a
                 // receiver that was asleep from one that was awake but
-                // starved. Schedules never change after construction.
+                // starved. Schedules only change after construction when
+                // a fault plan's churn reboots a node (such traces are
+                // not forensics-compatible).
                 for ni in 0..self.state.n_nodes() {
                     let node = NodeId::from(ni);
                     let sched = self.state.schedules.schedule(node);
@@ -227,7 +422,20 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
                     }
                 }
             }
+            if F::ENABLED {
+                self.faults.on_start(
+                    self.state.n_nodes(),
+                    self.state.cfg.period,
+                    self.state.cfg.active_per_period,
+                );
+            }
             self.protocol.on_start(&self.state);
+        }
+
+        // --- fault dynamics (churn + source retries) -------------------------
+        if F::ENABLED {
+            self.apply_churn();
+            self.fire_retries();
         }
 
         // --- gather intents ------------------------------------------------
@@ -251,6 +459,38 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
             // allocate showed up in the engine profile at high duty.
             intents.retain(|it| {
                 if rand::Rng::random::<f64>(rng) >= p {
+                    return true;
+                }
+                report.transmissions += 1;
+                report.transmission_failures += 1;
+                report.mistimed += 1;
+                report.packets[it.packet as usize].failures += 1;
+                energy.tx_slots += 1;
+                energy.failed_tx_slots += 1;
+                if O::ENABLED {
+                    obs.on_event(&SimEvent::Mistimed {
+                        slot,
+                        sender: it.sender,
+                        receiver: it.receiver,
+                        packet: it.packet,
+                    });
+                }
+                false
+            });
+        }
+
+        // Injected clock drift: the fault plan draws (from its own RNG)
+        // whether each sender's accumulated skew makes it miss the
+        // rendezvous. Same bookkeeping as residual mis-sync above — the
+        // transmission is spent but nothing reaches the MAC.
+        if F::ENABLED {
+            let slot = self.state.now;
+            let report = &mut self.report;
+            let energy = &mut self.energy;
+            let faults = &mut self.faults;
+            let obs = &mut self.obs;
+            intents.retain(|it| {
+                if !faults.drift_miss(it.sender, slot) {
                     return true;
                 }
                 report.transmissions += 1;
@@ -297,12 +537,21 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
         let now = self.state.now;
         let schedules = &self.state.schedules;
         let have = &self.state.have;
-        let res = mac::resolve_slot(
+        let down = &self.state.down;
+        let faults = &mut self.faults;
+        let res = mac::resolve_slot_with(
             &self.state.topo,
             &intents,
             self.protocol.overhearing(),
-            |r| schedules.is_active(r, now),
+            |r| schedules.is_active(r, now) && (!F::ENABLED || !down[r.index()]),
             |r, p| !have[r.index()][p as usize],
+            |s, r, base| {
+                if F::ENABLED {
+                    faults.link_prr(s, r, base, now)
+                } else {
+                    base
+                }
+            },
             &mut self.rng,
         );
 
@@ -420,6 +669,20 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
                             },
                         };
                         self.obs.on_event(&ev);
+                        // Tag losses taken while the link sat in an
+                        // injected burst's bad state (supplementary to
+                        // the LinkLoss above; consumers count once).
+                        if F::ENABLED
+                            && o == Outcome::LinkLoss
+                            && self.faults.in_burst(e.sender, e.receiver)
+                        {
+                            self.obs.on_event(&SimEvent::BurstLoss {
+                                slot: now,
+                                sender: e.sender,
+                                receiver: e.receiver,
+                                packet: e.packet,
+                            });
+                        }
                     }
                 }
                 _ => unreachable!("all outcomes handled"),
@@ -455,8 +718,19 @@ impl<P: FloodingProtocol, O: SimObserver> Engine<P, O> {
         self.protocol.on_events(&self.state, &res.events);
 
         // --- energy for scheduled duty cycling -------------------------------
+        // Crashed nodes draw no power: they count as asleep, keeping the
+        // ledger identity `active + sleep == slots * n` under churn.
         let n = self.state.n_nodes() as u64;
-        let active_now = self.state.schedules.all_active(now).count() as u64;
+        let active_now = if F::ENABLED {
+            let down = &self.state.down;
+            self.state
+                .schedules
+                .all_active(now)
+                .filter(|r| !down[r.index()])
+                .count() as u64
+        } else {
+            self.state.schedules.all_active(now).count() as u64
+        };
         self.energy.active_slots += active_now;
         self.energy.sleep_slots += n - active_now;
 
@@ -737,6 +1011,108 @@ mod tests {
         assert!(
             noisy.mean_flooding_delay().unwrap() >= clean.mean_flooding_delay().unwrap(),
             "mistimed rendezvous must not speed the flood up"
+        );
+    }
+
+    #[test]
+    fn null_fault_plan_changes_nothing() {
+        // `with_faults(NullFaultPlan)` must reproduce the plain engine
+        // bit for bit: same RNG stream, same outcomes.
+        let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+        let (plain, plain_energy) = Engine::new(topo.clone(), line_cfg(4), GreedyFlood).run();
+        let (nulled, nulled_energy) = Engine::new(topo, line_cfg(4), GreedyFlood)
+            .with_faults(ldcf_faults::NullFaultPlan)
+            .run();
+        assert_eq!(plain.slots_elapsed, nulled.slots_elapsed);
+        assert_eq!(plain.transmissions, nulled.transmissions);
+        assert_eq!(plain.transmission_failures, nulled.transmission_failures);
+        assert_eq!(plain.mean_flooding_delay(), nulled.mean_flooding_delay());
+        assert_eq!(plain_energy.tx_slots, nulled_energy.tx_slots);
+        assert_eq!(plain_energy.active_slots, nulled_energy.active_slots);
+    }
+
+    #[test]
+    fn accounting_identities_hold_under_active_faults() {
+        // A full-intensity fault campaign (bursts + degradation + drift
+        // + churn) must not break any ledger/report identity.
+        let topo = Topology::grid(5, 5, LinkQuality::new(0.8));
+        let cfg = SimConfig {
+            period: 10,
+            coverage: 0.9,
+            max_slots: 60_000,
+            ..line_cfg(3)
+        };
+        let mut faults = ldcf_faults::FaultConfig::at_intensity(9, 1.0);
+        // Crash hard enough that churn provably bites within the run.
+        if let Some(c) = &mut faults.churn {
+            c.mean_uptime = 2_000.0;
+            c.mean_downtime = 500.0;
+        }
+        let engine = Engine::new(topo, cfg, GreedyFlood).with_faults(faults.build());
+        let n = engine.state().n_nodes() as u64;
+        let (report, energy) = engine.run();
+        assert!(report.node_crashes > 0, "churn at this rate must crash");
+        assert!(report.node_recoveries > 0, "and some nodes must reboot");
+        // Ledger <-> report identities, exactly as in fault-free runs.
+        assert_eq!(energy.tx_slots, report.transmissions);
+        assert_eq!(energy.failed_tx_slots, report.transmission_failures);
+        assert_eq!(
+            energy.active_slots + energy.sleep_slots,
+            report.slots_elapsed * n,
+            "crashed nodes must be booked asleep, never dropped"
+        );
+        assert!(report.transmission_failures >= report.mistimed);
+    }
+
+    #[test]
+    fn drift_only_plan_causes_mistimed_failures() {
+        let topo = Topology::line(6, LinkQuality::PERFECT);
+        let cfg = line_cfg(6);
+        let faults = ldcf_faults::FaultConfig {
+            drift: Some(ldcf_faults::DriftConfig {
+                max_rate: 0.1,
+                resync_interval: 50,
+                max_miss_prob: 0.4,
+            }),
+            ..ldcf_faults::FaultConfig::none(5)
+        };
+        let (report, energy) = Engine::new(topo, cfg, GreedyFlood)
+            .with_faults(faults.build())
+            .run();
+        assert!(report.all_covered(), "drift degrades, it must not wedge");
+        assert!(report.mistimed > 0, "this much drift must miss sometimes");
+        assert_eq!(energy.failed_tx_slots, report.transmission_failures);
+        assert_eq!(energy.tx_slots, report.transmissions);
+    }
+
+    #[test]
+    fn flood_survives_churn_with_source_retry() {
+        // Aggressive churn on a complete graph: every sensor crashes and
+        // reboots repeatedly, yet the flood must still reach coverage —
+        // the repair pass plus source retries un-wedge it.
+        let topo = Topology::complete(8, LinkQuality::PERFECT);
+        let cfg = SimConfig {
+            coverage: 0.6,
+            max_slots: 400_000,
+            ..line_cfg(8)
+        };
+        let faults = ldcf_faults::FaultConfig {
+            churn: Some(ldcf_faults::ChurnConfig {
+                mean_uptime: 60.0,
+                mean_downtime: 15.0,
+                retry_backoff: 40,
+            }),
+            ..ldcf_faults::FaultConfig::none(13)
+        };
+        let (report, _) = Engine::new(topo, cfg, GreedyFlood)
+            .with_faults(faults.build())
+            .run();
+        assert!(report.node_crashes > 0);
+        assert!(
+            report.all_covered(),
+            "flood must degrade, not wedge: crashes={} retries={}",
+            report.node_crashes,
+            report.source_retries
         );
     }
 

@@ -42,3 +42,7 @@ pub use stats::{PacketStats, SimReport};
 pub use ldcf_obs::{
     JsonlSink, MetricsObserver, MetricsRegistry, NullObserver, SimEvent, SimObserver, VecObserver,
 };
+
+// Fault injection is defined in `ldcf-faults`; re-exported here so
+// callers attaching fault plans to an [`Engine`] need only this crate.
+pub use ldcf_faults::{ChurnAction, FaultConfig, FaultInjector, FaultPlan, NullFaultPlan};

@@ -121,8 +121,36 @@ pub fn resolve_slot<R: Rng + ?Sized>(
     topo: &Topology,
     intents: &[TxIntent],
     overhearing: Overhearing,
+    is_active: impl FnMut(NodeId) -> bool,
+    wants: impl FnMut(NodeId, PacketId) -> bool,
+    rng: &mut R,
+) -> SlotResolution {
+    resolve_slot_with(
+        topo,
+        intents,
+        overhearing,
+        is_active,
+        wants,
+        |_, _, base| base,
+        rng,
+    )
+}
+
+/// [`resolve_slot`] with a per-link PRR override hook.
+///
+/// `link_prr(sender, receiver, base)` returns the effective PRR to use
+/// for each loss draw, given the topology's static `base` PRR — fault
+/// injection modulates links here (burst loss, episodic degradation)
+/// without touching the draw count or order, so a hook returning `base`
+/// reproduces [`resolve_slot`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_slot_with<R: Rng + ?Sized>(
+    topo: &Topology,
+    intents: &[TxIntent],
+    overhearing: Overhearing,
     mut is_active: impl FnMut(NodeId) -> bool,
     mut wants: impl FnMut(NodeId, PacketId) -> bool,
+    mut link_prr: impl FnMut(NodeId, NodeId, f64) -> f64,
     rng: &mut R,
 ) -> SlotResolution {
     let mut res = SlotResolution::default();
@@ -180,7 +208,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
         let q = topo
             .quality(it.sender, it.receiver)
             .expect("validated above");
-        let outcome = if rng.random::<f64>() < q.prr() {
+        let outcome = if rng.random::<f64>() < link_prr(it.sender, it.receiver, q.prr()) {
             Outcome::Delivered
         } else {
             Outcome::LinkLoss
@@ -227,7 +255,13 @@ pub fn resolve_slot<R: Rng + ?Sized>(
             .count();
         let outcome = if targeting >= 2 {
             Outcome::Collision
-        } else if rng.random::<f64>() < topo.quality(it.sender, r).expect("validated above").prr() {
+        } else if rng.random::<f64>()
+            < link_prr(
+                it.sender,
+                r,
+                topo.quality(it.sender, r).expect("validated above").prr(),
+            )
+        {
             Outcome::Delivered
         } else {
             Outcome::LinkLoss
@@ -300,7 +334,13 @@ pub fn resolve_slot<R: Rng + ?Sized>(
                 };
                 if let Some(i) = chosen {
                     let it = &intents[i];
-                    if rng.random::<f64>() < topo.quality(it.sender, r).expect("neighbors").prr() {
+                    if rng.random::<f64>()
+                        < link_prr(
+                            it.sender,
+                            r,
+                            topo.quality(it.sender, r).expect("neighbors").prr(),
+                        )
+                    {
                         res.events.push(DeliveryEvent {
                             sender: it.sender,
                             receiver: r,

@@ -86,6 +86,11 @@ impl FcfsQueue {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Drop every entry (a node crash wipes its RAM).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]

@@ -82,8 +82,18 @@ pub struct SimReport {
     /// CSMA deferrals (carrier sense suppressed a would-be sender).
     pub deferrals: u64,
     /// Transmissions lost to residual local-synchronisation error
-    /// (mistimed rendezvous; see `SimConfig::mistiming_prob`).
+    /// (mistimed rendezvous; see `SimConfig::mistiming_prob`) or to
+    /// injected clock drift.
     pub mistimed: u64,
+    /// Injected node crashes (fault injection; 0 in fault-free runs).
+    #[serde(default)]
+    pub node_crashes: u64,
+    /// Injected node recoveries (fault injection).
+    #[serde(default)]
+    pub node_recoveries: u64,
+    /// Source-side re-queues of packets orphaned by crashes.
+    #[serde(default)]
+    pub source_retries: u64,
 }
 
 impl SimReport {
@@ -101,6 +111,9 @@ impl SimReport {
             overhears: 0,
             deferrals: 0,
             mistimed: 0,
+            node_crashes: 0,
+            node_recoveries: 0,
+            source_retries: 0,
         }
     }
 

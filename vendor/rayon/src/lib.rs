@@ -8,10 +8,32 @@
 //! input order in the output. Nested `par_iter` calls simply nest scopes.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Everything needed for `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Global worker-count cap; 0 means "auto" (available parallelism).
+static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads every subsequent parallel execution
+/// may use (`Some(1)` forces sequential execution); `None` restores the
+/// default of `std::thread::available_parallelism()`. Unlike real
+/// rayon's thread-pool builder this is a process-global switch — it
+/// exists so tests can assert results are bit-identical across worker
+/// counts.
+pub fn set_thread_limit(limit: Option<usize>) {
+    THREAD_LIMIT.store(limit.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The currently configured thread limit (`None` = auto).
+pub fn thread_limit() -> Option<usize> {
+    match THREAD_LIMIT.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
 }
 
 /// `.par_iter()` on slice-like containers.
@@ -78,10 +100,13 @@ impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, R, F> {
     /// Run the map on scoped threads; results keep input order.
     fn run(self) -> Vec<R> {
         let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = match THREAD_LIMIT.load(Ordering::SeqCst) {
+            0 => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            limit => limit,
+        }
+        .min(n.max(1));
         if n <= 1 || threads <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
@@ -124,7 +149,11 @@ mod tests {
     use super::prelude::*;
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use std::thread::ThreadId;
+
+    /// Serializes tests that read or write the global thread limit.
+    static LIMIT_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn map_collect_preserves_order() {
@@ -151,6 +180,7 @@ mod tests {
 
     #[test]
     fn actually_uses_multiple_threads_when_available() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
         if std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -169,6 +199,18 @@ mod tests {
             .collect();
         assert_eq!(calls.load(Ordering::Relaxed), 64);
         assert!(ids.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn thread_limit_caps_worker_count() {
+        let _guard = LIMIT_LOCK.lock().unwrap();
+        let xs: Vec<u32> = (0..64).collect();
+        crate::set_thread_limit(Some(1));
+        assert_eq!(crate::thread_limit(), Some(1));
+        let ids: HashSet<ThreadId> = xs.par_iter().map(|_| std::thread::current().id()).collect();
+        assert_eq!(ids.len(), 1, "limit 1 must run sequentially");
+        crate::set_thread_limit(None);
+        assert_eq!(crate::thread_limit(), None);
     }
 
     #[test]
