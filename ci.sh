@@ -23,24 +23,41 @@ cargo build --workspace --release
 step "cargo test"
 cargo test -q --workspace
 
+step "regenerate fig9 + resilience (--quick) and gate byte-identity vs pinned baselines"
+ART_DIR="$(mktemp -d)"
+trap 'rm -rf "$ART_DIR"' EXIT
+./target/release/experiments fig9 --quick --out "$ART_DIR" \
+    --trace-events "$ART_DIR/traces" > /dev/null
+./target/release/experiments resilience --quick --out "$ART_DIR" \
+    --trace-events "$ART_DIR/traces" > /dev/null
+# Performance work must not move a single byte of any artefact: tables
+# and event traces are diffed against crates/bench/baselines/quick/.
+diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/fig9.md"
+diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/resilience.md"
+(cd "$ART_DIR/traces" \
+    && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
+echo "byte-identical"
+
 step "flood forensics (fig9 --quick traces, fail on theory violations)"
-TRACE_DIR="$(mktemp -d)"
-trap 'rm -rf "$TRACE_DIR"' EXIT
-./target/release/experiments fig9 --quick --trace-events "$TRACE_DIR" > /dev/null
-for trace in "$TRACE_DIR"/*.events.jsonl; do
+for trace in "$ART_DIR"/traces/*-s[0-9].events.jsonl; do
     echo "forensics: $(basename "$trace")"
     ./target/release/experiments forensics --trace "$trace" | grep -v '^  note:'
 done
 
-step "resilience campaign (--quick) + forensics over a burst+drift faulted trace"
-RES_DIR="$(mktemp -d)"
-trap 'rm -rf "$TRACE_DIR" "$RES_DIR"' EXIT
-./target/release/experiments resilience --quick --out "$RES_DIR" \
-    --trace-events "$RES_DIR/events" > /dev/null
+step "forensics over a burst+drift faulted trace"
 # The isolation table's burst+drift row keeps schedules static, so its
 # trace must replay cleanly through the forensics hard checks.
-FAULTED="$RES_DIR/events/dbao-p100-a5-m30-s1-fbd.events.jsonl"
+FAULTED="$ART_DIR/traces/dbao-p100-a5-m30-s1-fbd.events.jsonl"
 echo "forensics: $(basename "$FAULTED")"
 ./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
+
+step "perf campaign (--quick) + BENCH schema validation"
+cp BENCH_baseline.json "$ART_DIR/"
+./target/release/experiments perf --quick --label ci --out "$ART_DIR" \
+    | grep -E 'speedup|slots/sec' || true
+./target/release/experiments perf --validate "$ART_DIR/BENCH_ci.json"
+
+step "criterion benches compile"
+cargo bench --workspace --no-run
 
 step "OK"

@@ -3,6 +3,8 @@
 //! ```text
 //! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]
 //! experiments forensics --trace FILE [--out DIR]
+//! experiments perf [--quick] [--label NAME] [--out DIR]
+//! experiments perf --validate FILE
 //!
 //! artefacts:
 //!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
@@ -11,6 +13,7 @@
 //!   lifetime-gain | theorem1-check                (extensions)
 //!   resilience                                    (fault-injection campaign)
 //!   forensics                                     (trace post-mortem)
+//!   perf                                          (throughput benchmark → BENCH_<label>.json)
 //!   analytical                                    (all instant artefacts)
 //!   all                                           (everything)
 //! ```
@@ -45,6 +48,8 @@ struct Cli {
     quick: bool,
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
+    label: Option<String>,
+    validate: Option<PathBuf>,
 }
 
 fn parse_args() -> Cli {
@@ -52,10 +57,22 @@ fn parse_args() -> Cli {
     let mut quick = false;
     let mut out = None;
     let mut trace = None;
+    let mut label = None;
+    let mut validate = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--label" => {
+                let l = args.next().unwrap_or_else(|| usage("--label needs a name"));
+                label = Some(l);
+            }
+            "--validate" => {
+                let file = args
+                    .next()
+                    .unwrap_or_else(|| usage("--validate needs a file"));
+                validate = Some(PathBuf::from(file));
+            }
             "--out" => {
                 let dir = args
                     .next()
@@ -95,6 +112,8 @@ fn parse_args() -> Cli {
         quick,
         out,
         trace,
+        label,
+        validate,
     }
 }
 
@@ -105,10 +124,12 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]\n\
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
+         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR]\n\
+         \u{20}      experiments perf --validate FILE\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
-         \u{20}          forensics analytical all"
+         \u{20}          forensics perf analytical all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -154,6 +175,65 @@ fn run_forensics(cli: &Cli) -> ! {
     std::process::exit(1);
 }
 
+/// The `perf` artefact: run the throughput campaign, print the summary
+/// table, write + validate `BENCH_<label>.json`, and report per-case
+/// speedups against `BENCH_baseline.json` when one is present beside
+/// it. `--validate FILE` instead checks an existing BENCH file only.
+fn run_perf(cli: &Cli) -> ! {
+    use ldcf_bench::perf;
+
+    if let Some(file) = &cli.validate {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| usage(&format!("--validate {}: {e}", file.display())));
+        match perf::validate_bench_json(&text) {
+            Ok(names) => {
+                println!(
+                    "{}: valid BENCH file ({} cases)",
+                    file.display(),
+                    names.len()
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{}: invalid BENCH file: {e}", file.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let label = cli
+        .label
+        .clone()
+        .unwrap_or_else(|| if cli.quick { "quick" } else { "full" }.to_string());
+    let report = perf::perf(&cli.opts, cli.quick, &label);
+    println!("\n## perf\n\n{}", report.to_markdown());
+
+    let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let path = dir.join(format!("BENCH_{label}.json"));
+    let json = report.to_json_pretty() + "\n";
+    std::fs::write(&path, &json).expect("write BENCH file");
+    if let Err(e) = perf::validate_bench_json(&json) {
+        eprintln!("perf: emitted {} fails validation: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("perf: wrote {} (validated)", path.display());
+
+    let baseline = dir.join("BENCH_baseline.json");
+    if label != "baseline" && baseline.exists() {
+        let text = std::fs::read_to_string(&baseline).expect("read baseline");
+        match perf::speedup_vs_baseline(&text, &report) {
+            Ok(ups) => {
+                for (name, x) in ups {
+                    println!("speedup vs baseline: {name} {x:.2}x");
+                }
+            }
+            Err(e) => eprintln!("perf: baseline not comparable: {e}"),
+        }
+    }
+    std::process::exit(0);
+}
+
 /// Markdown table followed by its ASCII chart (fenced for markdown).
 fn with_chart(table: &ldcf_analysis::Table) -> String {
     format!(
@@ -193,6 +273,9 @@ fn main() {
     let cli = parse_args();
     if cli.artefact == "forensics" {
         run_forensics(&cli);
+    }
+    if cli.artefact == "perf" {
+        run_perf(&cli);
     }
     let names: Vec<&str> = match cli.artefact.as_str() {
         "analytical" => vec![

@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod options;
+pub mod perf;
 pub mod resilience;
 pub mod runner;
 

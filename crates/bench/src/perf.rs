@@ -1,0 +1,455 @@
+//! The `experiments perf` artefact: machine-readable simulation
+//! throughput over the fig9 GreenOrbs workloads.
+//!
+//! Six cases — OPT/DBAO/OF at duty 5 % over the GreenOrbs-style trace,
+//! clean and under the composed fault stack at intensity 0.5 — are run
+//! sequentially (no rayon fan-out, so each case's wall clock measures
+//! the engine alone) and written as `BENCH_<label>.json`:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "baseline",
+//!   "git_rev": "abc1234",
+//!   "quick": true,
+//!   "config_digest": "9f…",
+//!   "cases": [ { "name": "fig9-dbao", "protocol": "DBAO",
+//!                "faulted": false, "sims": 1, "slots": 123,
+//!                "wall_ms": 45, "slots_per_sec": 2733.3 }, … ],
+//!   "total": { "sims": 6, "slots": …, "wall_ms": …, "slots_per_sec": … }
+//! }
+//! ```
+//!
+//! `config_digest` fingerprints the workload (trace seed, packet count,
+//! seeds, coverage, slot cap, duty, fault intensity): two BENCH files
+//! are comparable iff their digests match. The perf trajectory is
+//! tracked by committing `BENCH_baseline.json` and comparing later
+//! labels against it — meaningful only because every optimisation is
+//! bound by the byte-identity contract (same RNG draw count/order, same
+//! artefacts, only faster).
+
+use crate::options::ExpOptions;
+use crate::runner::{self, run_flood, run_flood_faulted, ProtocolKind};
+use ldcf_sim::{FaultConfig, SimConfig};
+use serde::Value;
+use std::time::Instant;
+
+/// Duty cycle of every perf workload (the fig9 operating point).
+const DUTY: f64 = 0.05;
+
+/// Intensity of the faulted cases' composed fault stack.
+const FAULT_INTENSITY: f64 = 0.5;
+
+/// BENCH file schema version (bump on incompatible layout changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured workload: a protocol over the fig9 trace, clean or
+/// faulted, summed over the option set's seeds.
+#[derive(Clone, Debug)]
+pub struct PerfCase {
+    /// Case name, e.g. `fig9-dbao` or `fig9-dbao-faulted`.
+    pub name: String,
+    /// Protocol display name.
+    pub protocol: String,
+    /// Whether the composed fault stack was injected.
+    pub faulted: bool,
+    /// Floods executed (one per seed).
+    pub sims: u64,
+    /// Slots stepped across those floods.
+    pub slots: u64,
+    /// Wall clock of the case, in milliseconds.
+    pub wall_ms: u64,
+    /// Throughput: slots per wall-clock second.
+    pub slots_per_sec: f64,
+}
+
+/// A full perf run: all cases plus totals and provenance.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Label the report is filed under (`BENCH_<label>.json`).
+    pub label: String,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Quick (reduced-size) option set?
+    pub quick: bool,
+    /// Workload fingerprint; equal digests ⇔ comparable reports.
+    pub config_digest: String,
+    /// The measured cases, in fixed order.
+    pub cases: Vec<PerfCase>,
+}
+
+/// The fig9 workload config at duty 5 % (mirrors `experiments::fig9`).
+fn perf_config(opts: &ExpOptions, seed: u64) -> SimConfig {
+    let period = 100;
+    SimConfig {
+        period,
+        active_per_period: ((DUTY * period as f64).round() as u32).max(1),
+        n_packets: opts.m,
+        coverage: opts.coverage,
+        max_slots: opts.max_slots,
+        seed,
+        mistiming_prob: 0.0,
+    }
+}
+
+/// FNV-1a 64-bit over the canonical workload description.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Workload fingerprint: every knob that changes what is measured.
+pub fn config_digest(opts: &ExpOptions) -> String {
+    let desc = format!(
+        "trace_seed={};m={};seeds={:?};coverage={};max_slots={};duty={};fault_intensity={}",
+        opts.trace_seed, opts.m, opts.seeds, opts.coverage, opts.max_slots, DUTY, FAULT_INTENSITY
+    );
+    format!("{:016x}", fnv1a64(&desc))
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"`.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Run one case: every seed of the option set, sequentially, booking
+/// slots through the work ledger.
+fn run_case(
+    topo: &ldcf_net::Topology,
+    opts: &ExpOptions,
+    kind: ProtocolKind,
+    faulted: bool,
+) -> PerfCase {
+    runner::ledger_reset();
+    let t0 = Instant::now();
+    for &seed in &opts.seeds {
+        let cfg = perf_config(opts, seed);
+        if faulted {
+            let faults = FaultConfig::at_intensity(seed, FAULT_INTENSITY);
+            run_flood_faulted(topo, &cfg, kind, &faults, "perf");
+        } else {
+            run_flood(topo, &cfg, kind);
+        }
+    }
+    let wall = t0.elapsed();
+    let ledger = runner::ledger_snapshot();
+    let suffix = if faulted { "-faulted" } else { "" };
+    PerfCase {
+        name: format!("fig9-{}{suffix}", kind.name().to_lowercase()),
+        protocol: kind.name().to_string(),
+        faulted,
+        sims: ledger.sims,
+        slots: ledger.slots,
+        wall_ms: wall.as_millis() as u64,
+        slots_per_sec: ledger.slots as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Run the full perf campaign: OPT/DBAO/OF, clean then faulted, over
+/// the fig9 trace. Cases run one at a time so wall clocks don't share
+/// cores.
+pub fn perf(opts: &ExpOptions, quick: bool, label: &str) -> PerfReport {
+    let topo = ldcf_trace::greenorbs::default_trace(opts.trace_seed);
+    let mut cases = Vec::new();
+    for faulted in [false, true] {
+        for kind in ProtocolKind::paper_set() {
+            cases.push(run_case(&topo, opts, kind, faulted));
+        }
+    }
+    PerfReport {
+        label: label.to_string(),
+        git_rev: git_rev(),
+        quick,
+        config_digest: config_digest(opts),
+        cases,
+    }
+}
+
+impl PerfReport {
+    /// Total work across the cases as `(sims, slots, wall_ms)`.
+    fn totals(&self) -> (u64, u64, u64) {
+        self.cases.iter().fold((0, 0, 0), |(s, sl, w), c| {
+            (s + c.sims, sl + c.slots, w + c.wall_ms)
+        })
+    }
+
+    /// The named case, if present (e.g. `fig9-dbao`).
+    pub fn case(&self, name: &str) -> Option<&PerfCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// The on-disk `BENCH_<label>.json` rendering.
+    pub fn to_json_pretty(&self) -> String {
+        let case_value = |c: &PerfCase| {
+            Value::Object(vec![
+                ("name".into(), Value::Str(c.name.clone())),
+                ("protocol".into(), Value::Str(c.protocol.clone())),
+                ("faulted".into(), Value::Bool(c.faulted)),
+                ("sims".into(), Value::UInt(c.sims)),
+                ("slots".into(), Value::UInt(c.slots)),
+                ("wall_ms".into(), Value::UInt(c.wall_ms)),
+                ("slots_per_sec".into(), Value::Float(c.slots_per_sec)),
+            ])
+        };
+        let (sims, slots, wall_ms) = self.totals();
+        let total_sps = slots as f64 / (wall_ms as f64 / 1000.0).max(1e-9);
+        let root = Value::Object(vec![
+            ("schema_version".into(), Value::UInt(SCHEMA_VERSION)),
+            ("label".into(), Value::Str(self.label.clone())),
+            ("git_rev".into(), Value::Str(self.git_rev.clone())),
+            ("quick".into(), Value::Bool(self.quick)),
+            (
+                "config_digest".into(),
+                Value::Str(self.config_digest.clone()),
+            ),
+            (
+                "cases".into(),
+                Value::Array(self.cases.iter().map(case_value).collect()),
+            ),
+            (
+                "total".into(),
+                Value::Object(vec![
+                    ("sims".into(), Value::UInt(sims)),
+                    ("slots".into(), Value::UInt(slots)),
+                    ("wall_ms".into(), Value::UInt(wall_ms)),
+                    ("slots_per_sec".into(), Value::Float(total_sps)),
+                ]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&root).expect("perf report serializes")
+    }
+
+    /// Human summary table (stdout artefact body).
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Engine throughput over the fig9 GreenOrbs workloads \
+             (duty 5 %, label `{}`, rev {}, digest {}).\n",
+            self.label, self.git_rev, self.config_digest
+        )
+        .unwrap();
+        writeln!(out, "| case | sims | slots | wall ms | slots/sec |").unwrap();
+        writeln!(out, "|---|---|---|---|---|").unwrap();
+        for c in &self.cases {
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.0} |",
+                c.name, c.sims, c.slots, c.wall_ms, c.slots_per_sec
+            )
+            .unwrap();
+        }
+        let (sims, slots, wall_ms) = self.totals();
+        writeln!(
+            out,
+            "| **total** | {} | {} | {} | {:.0} |",
+            sims,
+            slots,
+            wall_ms,
+            slots as f64 / (wall_ms as f64 / 1000.0).max(1e-9)
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// Validate a `BENCH_*.json` document: schema fields present and every
+/// throughput strictly positive. Returns the parsed value's case names
+/// on success (CI uses this via `experiments perf --validate`).
+pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    for field in ["label", "git_rev", "config_digest"] {
+        v.get(field)
+            .and_then(Value::as_str)
+            .ok_or(format!("missing string field '{field}'"))?;
+    }
+    let cases = match v.get("cases") {
+        Some(Value::Array(cases)) if !cases.is_empty() => cases,
+        _ => return Err("missing or empty 'cases' array".into()),
+    };
+    let mut names = Vec::new();
+    for c in cases {
+        let name = c
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("case missing 'name'")?;
+        for field in ["sims", "slots", "wall_ms"] {
+            c.get(field)
+                .and_then(Value::as_u64)
+                .ok_or(format!("case '{name}' missing integer '{field}'"))?;
+        }
+        let sps = c
+            .get("slots_per_sec")
+            .and_then(Value::as_f64)
+            .ok_or(format!("case '{name}' missing 'slots_per_sec'"))?;
+        if !sps.is_finite() || sps <= 0.0 {
+            return Err(format!("case '{name}' slots_per_sec {sps} not > 0"));
+        }
+        names.push(name.to_string());
+    }
+    let total_sps = v
+        .get("total")
+        .and_then(|t| t.get("slots_per_sec"))
+        .and_then(Value::as_f64)
+        .ok_or("missing total.slots_per_sec")?;
+    if !total_sps.is_finite() || total_sps <= 0.0 {
+        return Err(format!("total slots_per_sec {total_sps} not > 0"));
+    }
+    Ok(names)
+}
+
+/// Per-case speedup of `report` over a baseline `BENCH_*.json`
+/// document: `(case name, report slots/sec ÷ baseline slots/sec)` for
+/// every case present in both. `Err` if the baseline is malformed or
+/// its `config_digest` differs (the workloads are not comparable).
+pub fn speedup_vs_baseline(
+    baseline_json: &str,
+    report: &PerfReport,
+) -> Result<Vec<(String, f64)>, String> {
+    validate_bench_json(baseline_json)?;
+    let base: Value = serde_json::from_str(baseline_json).map_err(|e| e.to_string())?;
+    let base_digest = base
+        .get("config_digest")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    if base_digest != report.config_digest {
+        return Err(format!(
+            "config digest mismatch: baseline {base_digest} vs current {}",
+            report.config_digest
+        ));
+    }
+    let Some(Value::Array(base_cases)) = base.get("cases") else {
+        return Err("baseline has no cases".into());
+    };
+    let mut out = Vec::new();
+    for c in &report.cases {
+        let base_sps = base_cases
+            .iter()
+            .find(|b| b.get("name").and_then(Value::as_str) == Some(c.name.as_str()))
+            .and_then(|b| b.get("slots_per_sec"))
+            .and_then(Value::as_f64);
+        if let Some(base_sps) = base_sps {
+            out.push((c.name.clone(), c.slots_per_sec / base_sps));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        PerfReport {
+            label: "test".into(),
+            git_rev: "deadbee".into(),
+            quick: true,
+            config_digest: config_digest(&ExpOptions::quick()),
+            cases: vec![PerfCase {
+                name: "fig9-dbao".into(),
+                protocol: "DBAO".into(),
+                faulted: false,
+                sims: 1,
+                slots: 1000,
+                wall_ms: 10,
+                slots_per_sec: 100_000.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_json_roundtrips_and_validates() {
+        let json = tiny_report().to_json_pretty();
+        let names = validate_bench_json(&json).expect("valid");
+        assert_eq!(names, vec!["fig9-dbao"]);
+    }
+
+    #[test]
+    fn validation_rejects_zero_throughput() {
+        let mut r = tiny_report();
+        r.cases[0].slots_per_sec = 0.0;
+        let err = validate_bench_json(&r.to_json_pretty()).unwrap_err();
+        assert!(err.contains("not > 0"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn digest_tracks_workload_knobs() {
+        let quick = config_digest(&ExpOptions::quick());
+        let full = config_digest(&ExpOptions::full());
+        assert_ne!(quick, full);
+        assert_eq!(quick, config_digest(&ExpOptions::quick()));
+        assert_eq!(quick.len(), 16);
+    }
+
+    #[test]
+    fn speedup_compares_matching_cases_only() {
+        let base = tiny_report();
+        let mut faster = tiny_report();
+        faster.cases[0].slots_per_sec *= 3.0;
+        faster.cases.push(PerfCase {
+            name: "fig9-of".into(),
+            protocol: "OF".into(),
+            faulted: false,
+            sims: 1,
+            slots: 1,
+            wall_ms: 1,
+            slots_per_sec: 1.0,
+        });
+        let ups = speedup_vs_baseline(&base.to_json_pretty(), &faster).unwrap();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].0, "fig9-dbao");
+        assert!((ups[0].1 - 3.0).abs() < 1e-9);
+
+        let mut other = faster.clone();
+        other.config_digest = "0".repeat(16);
+        assert!(speedup_vs_baseline(&base.to_json_pretty(), &other)
+            .unwrap_err()
+            .contains("digest mismatch"));
+    }
+
+    #[test]
+    fn perf_campaign_runs_on_a_small_workload() {
+        // A miniature option set so the test stays fast: the real trace
+        // with 2 packets covers quickly under every protocol.
+        let opts = ExpOptions {
+            m: 2,
+            seeds: vec![1],
+            max_slots: 200_000,
+            ..ExpOptions::quick()
+        };
+        let report = perf(&opts, true, "unit");
+        assert_eq!(report.cases.len(), 6);
+        assert!(report.case("fig9-dbao").is_some());
+        assert!(report.case("fig9-dbao-faulted").is_some());
+        let json = report.to_json_pretty();
+        validate_bench_json(&json).expect("self-produced report validates");
+    }
+}

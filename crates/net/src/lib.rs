@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod clock;
 pub mod link;
 pub mod node;

@@ -8,25 +8,147 @@
 //! * which neighbors are active (receivable) at slot `t`, and
 //! * when is neighbor `v` next active at-or-after slot `t`.
 
+use crate::bitset;
 use crate::schedule::WorkingSchedule;
 use crate::topology::Topology;
 use crate::NodeId;
+
+/// Precomputed wake calendar: for each slot offset of the shared period
+/// `T`, the set of nodes active at that offset, as both a packed bitset
+/// (for word-level intersection with adjacency rows) and a sorted id
+/// list (for "who is awake now" iteration). Exists only when every
+/// schedule shares one period — the simulator's normal configuration —
+/// and is maintained incrementally when churn re-randomizes a schedule.
+#[derive(Clone, Debug)]
+struct WakeCalendar {
+    period: u32,
+    /// Words per offset row of `bits`.
+    words_per_offset: usize,
+    /// Offset-major bitset: node `i` active at offset `o` ⇔ bit `i` of
+    /// row `o`.
+    bits: Vec<u64>,
+    /// Sorted active-node list per offset.
+    lists: Vec<Vec<NodeId>>,
+}
+
+impl WakeCalendar {
+    /// Build from homogeneous-period schedules; `None` if periods mix.
+    fn build(schedules: &[WorkingSchedule]) -> Option<Self> {
+        let period = schedules[0].period();
+        if schedules.iter().any(|s| s.period() != period) {
+            return None;
+        }
+        let words_per_offset = bitset::words_for(schedules.len());
+        let mut cal = Self {
+            period,
+            words_per_offset,
+            bits: vec![0; period as usize * words_per_offset],
+            lists: vec![Vec::new(); period as usize],
+        };
+        for (i, s) in schedules.iter().enumerate() {
+            // Ascending node order keeps every offset list sorted.
+            cal.insert(NodeId::from(i), s.active_slots());
+        }
+        Some(cal)
+    }
+
+    #[inline]
+    fn offset_of(&self, t: u64) -> usize {
+        (t % self.period as u64) as usize
+    }
+
+    #[inline]
+    fn words(&self, offset: usize) -> &[u64] {
+        &self.bits[offset * self.words_per_offset..(offset + 1) * self.words_per_offset]
+    }
+
+    #[inline]
+    fn is_active(&self, node: NodeId, t: u64) -> bool {
+        bitset::test_bit(self.words(self.offset_of(t)), node.index())
+    }
+
+    /// Add `node` at each given offset (keeps lists sorted).
+    fn insert(&mut self, node: NodeId, offsets: &[u32]) {
+        for &o in offsets {
+            let o = o as usize;
+            let row = &mut self.bits[o * self.words_per_offset..(o + 1) * self.words_per_offset];
+            if bitset::set_bit(row, node.index()) {
+                let list = &mut self.lists[o];
+                let at = list.partition_point(|&v| v < node);
+                list.insert(at, node);
+            }
+        }
+    }
+
+    /// Remove `node` from each given offset.
+    fn remove(&mut self, node: NodeId, offsets: &[u32]) {
+        for &o in offsets {
+            let o = o as usize;
+            let row = &mut self.bits[o * self.words_per_offset..(o + 1) * self.words_per_offset];
+            bitset::clear_bit(row, node.index());
+            if let Ok(at) = self.lists[o].binary_search(&node) {
+                self.lists[o].remove(at);
+            }
+        }
+    }
+}
+
+/// Iterator over the nodes active at one slot, from either a calendar
+/// list or a schedule scan (see [`NeighborTable::all_active`]).
+#[derive(Clone, Debug)]
+pub enum ActiveNodes<'a> {
+    /// Calendar-backed: a precomputed sorted slice.
+    Calendar(std::slice::Iter<'a, NodeId>),
+    /// Fallback: filter-scan over heterogeneous-period schedules.
+    Scan {
+        /// Remaining `(index, schedule)` pairs to filter.
+        schedules: std::iter::Enumerate<std::slice::Iter<'a, WorkingSchedule>>,
+        /// The queried slot.
+        t: u64,
+    },
+}
+
+impl Iterator for ActiveNodes<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            ActiveNodes::Calendar(it) => it.next().copied(),
+            ActiveNodes::Scan { schedules, t } => schedules
+                .by_ref()
+                .find(|(_, s)| s.is_active(*t))
+                .map(|(i, _)| NodeId::from(i)),
+        }
+    }
+}
 
 /// Per-network table of working schedules with neighbor-aware queries.
 ///
 /// This models the state each node accumulates via low-cost local
 /// synchronization protocols; we keep it network-global for simulation
 /// convenience (each node only ever queries its own neighborhood).
+///
+/// When all schedules share one period (the normal case), the table
+/// carries a [`WakeCalendar`] making [`NeighborTable::is_active`] an
+/// O(1) bit probe and [`NeighborTable::all_active`] a precomputed-slice
+/// walk; [`NeighborTable::set_schedule`] keeps the calendar in sync when
+/// churn re-randomizes a rebooted node's schedule.
 #[derive(Clone, Debug)]
 pub struct NeighborTable {
     schedules: Vec<WorkingSchedule>,
+    calendar: Option<WakeCalendar>,
 }
 
 impl NeighborTable {
     /// Build from one schedule per node.
     pub fn new(schedules: Vec<WorkingSchedule>) -> Self {
         assert!(!schedules.is_empty());
-        Self { schedules }
+        let calendar = WakeCalendar::build(&schedules);
+        Self {
+            schedules,
+            calendar,
+        }
     }
 
     /// Generate the paper's normalized configuration: every node picks a
@@ -56,18 +178,27 @@ impl NeighborTable {
     /// Whether `node` is active at slot `t`.
     #[inline]
     pub fn is_active(&self, node: NodeId, t: u64) -> bool {
-        self.schedules[node.index()].is_active(t)
+        match &self.calendar {
+            Some(cal) => cal.is_active(node, t),
+            None => self.schedules[node.index()].is_active(t),
+        }
     }
 
     /// Replace the schedule of `node` (a rebooted mote re-enters the
     /// duty-cycle lottery with a fresh working schedule). The new
-    /// schedule must keep the network-wide period.
+    /// schedule must keep the network-wide period. The wake calendar is
+    /// updated incrementally: the node moves from its old offsets to the
+    /// new ones.
     pub fn set_schedule(&mut self, node: NodeId, schedule: WorkingSchedule) {
         assert_eq!(
             schedule.period(),
             self.schedules[node.index()].period(),
             "replacement schedule must keep the period"
         );
+        if let Some(cal) = &mut self.calendar {
+            cal.remove(node, self.schedules[node.index()].active_slots());
+            cal.insert(node, schedule.active_slots());
+        }
         self.schedules[node.index()] = schedule;
     }
 
@@ -89,13 +220,36 @@ impl NeighborTable {
             .filter(move |&v| self.is_active(v, t))
     }
 
-    /// All nodes active at slot `t`.
-    pub fn all_active(&self, t: u64) -> impl Iterator<Item = NodeId> + '_ {
-        self.schedules
-            .iter()
-            .enumerate()
-            .filter(move |(_, s)| s.is_active(t))
-            .map(|(i, _)| NodeId::from(i))
+    /// All nodes active at slot `t`, in ascending id order.
+    #[inline]
+    pub fn all_active(&self, t: u64) -> ActiveNodes<'_> {
+        match &self.calendar {
+            Some(cal) => ActiveNodes::Calendar(cal.lists[cal.offset_of(t)].iter()),
+            None => ActiveNodes::Scan {
+                schedules: self.schedules.iter().enumerate(),
+                t,
+            },
+        }
+    }
+
+    /// Number of nodes active at slot `t` (O(1) with a calendar).
+    #[inline]
+    pub fn active_count(&self, t: u64) -> usize {
+        match &self.calendar {
+            Some(cal) => cal.lists[cal.offset_of(t)].len(),
+            None => self.all_active(t).count(),
+        }
+    }
+
+    /// Packed bitset over the nodes active at slot `t`
+    /// ([`crate::bitset::words_for`]`(n_nodes)` words), when the table
+    /// has a wake calendar. Hot paths intersect this with
+    /// [`Topology::neighbor_words`] to enumerate awake neighbors.
+    #[inline]
+    pub fn active_words(&self, t: u64) -> Option<&[u64]> {
+        self.calendar
+            .as_ref()
+            .map(|cal| cal.words(cal.offset_of(t)))
     }
 
     /// Mean duty ratio across nodes.
@@ -178,5 +332,74 @@ mod tests {
         let t = NeighborTable::random_single_slot(50, 20, &mut rng);
         assert_eq!(t.n_nodes(), 50);
         assert!((t.mean_duty_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    /// The calendar-backed queries must agree with a direct schedule
+    /// scan at every slot, for homogeneous and mixed periods alike.
+    fn assert_queries_match_scan(t: &NeighborTable, slots: u64) {
+        for slot in 0..slots {
+            let scan: Vec<NodeId> = (0..t.n_nodes())
+                .filter(|&i| t.schedule(NodeId::from(i)).is_active(slot))
+                .map(NodeId::from)
+                .collect();
+            let fast: Vec<NodeId> = t.all_active(slot).collect();
+            assert_eq!(fast, scan, "all_active at slot {slot}");
+            assert_eq!(t.active_count(slot), scan.len());
+            for i in 0..t.n_nodes() {
+                let node = NodeId::from(i);
+                assert_eq!(
+                    t.is_active(node, slot),
+                    t.schedule(node).is_active(slot),
+                    "is_active({i}, {slot})"
+                );
+            }
+            if let Some(words) = t.active_words(slot) {
+                let from_words: Vec<NodeId> =
+                    crate::bitset::iter_ones(words).map(NodeId::from).collect();
+                assert_eq!(from_words, scan, "active_words at slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_matches_schedule_scan() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = NeighborTable::new(
+            (0..40)
+                .map(|_| WorkingSchedule::multi_random(12, 3, &mut rng))
+                .collect(),
+        );
+        assert!(
+            t.active_words(0).is_some(),
+            "homogeneous periods ⇒ calendar"
+        );
+        assert_queries_match_scan(&t, 30);
+    }
+
+    #[test]
+    fn mixed_periods_fall_back_to_scan() {
+        let t = NeighborTable::new(vec![
+            WorkingSchedule::new(5, vec![0]),
+            WorkingSchedule::new(3, vec![1]),
+            WorkingSchedule::always_on(),
+        ]);
+        assert!(t.active_words(0).is_none(), "mixed periods ⇒ no calendar");
+        assert_queries_match_scan(&t, 20);
+    }
+
+    #[test]
+    fn set_schedule_updates_calendar_incrementally() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut t = NeighborTable::random_single_slot(20, 10, &mut rng);
+        // Re-randomize a few nodes (the churn-recovery path) and check
+        // every query against the ground truth after each change.
+        for &(node, slot) in &[(3u32, 7u32), (0, 0), (19, 9), (3, 7), (3, 2)] {
+            t.set_schedule(NodeId(node), WorkingSchedule::new(10, vec![slot]));
+            assert!(t.is_active(NodeId(node), slot as u64));
+            assert_queries_match_scan(&t, 20);
+        }
+        // Multi-slot replacement keeps the lists sorted too.
+        t.set_schedule(NodeId(5), WorkingSchedule::new(10, vec![1, 4, 9]));
+        assert_queries_match_scan(&t, 20);
     }
 }

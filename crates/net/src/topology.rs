@@ -6,9 +6,10 @@
 //! the graph representation and generic builders; the GreenOrbs-style
 //! trace generator lives in `ldcf-trace`.
 
+use crate::bitset;
 use crate::link::{Link, LinkQuality};
 use crate::node::{NodeId, Position};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BinaryHeap;
 
 /// An undirected-connectivity, directed-quality network graph.
@@ -18,21 +19,36 @@ use std::collections::BinaryHeap;
 /// `quality(b→a)`), but an edge is present in both directions whenever it
 /// is present in one — real deployments have asymmetric PRR but symmetric
 /// audibility at the carrier-sense level, which the MAC model relies on.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Beside the quality lists, adjacency is mirrored into packed per-node
+/// bitset rows so [`Topology::are_neighbors`] (the MAC's carrier-sense
+/// probe, asked `O(intents²)` times per slot) is a single word test
+/// instead of a binary search. The rows are maintained by every
+/// mutation path (all of which funnel through [`Topology::set_quality`])
+/// and rebuilt on deserialization; they are never serialized.
+#[derive(Clone, Debug)]
 pub struct Topology {
     /// `adj[i]` = outgoing links of node `i`, sorted by target id.
     adj: Vec<Vec<(NodeId, LinkQuality)>>,
     /// Optional node positions (used by geometric generators / traces).
     positions: Option<Vec<Position>>,
+    /// `words[i]` = bitset over target ids of node `i`'s outgoing links
+    /// (`words_per_row` words per node, flattened).
+    words: Vec<u64>,
+    /// Row stride of `words`.
+    words_per_row: usize,
 }
 
 impl Topology {
     /// An edgeless topology over `n_nodes` nodes (source + sensors).
     pub fn empty(n_nodes: usize) -> Self {
         assert!(n_nodes >= 1, "topology needs at least the source node");
+        let words_per_row = bitset::words_for(n_nodes);
         Self {
             adj: vec![Vec::new(); n_nodes],
             positions: None,
+            words: vec![0; n_nodes * words_per_row],
+            words_per_row,
         }
     }
 
@@ -78,6 +94,7 @@ impl Topology {
             Ok(i) => list[i].1 = q,
             Err(i) => list.insert(i, (to, q)),
         }
+        bitset::set_bit(self.neighbor_words_mut(from), to.index());
     }
 
     /// Add an edge in both directions with the given per-direction
@@ -105,13 +122,36 @@ impl Topology {
     }
 
     /// Whether `a` and `b` are neighbors (audible to each other).
+    #[inline]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.quality(a, b).is_some()
+        bitset::test_bit(self.neighbor_words(a), b.index())
     }
 
     /// Outgoing neighbors of `node` with link qualities, sorted by id.
     pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkQuality)] {
         &self.adj[node.index()]
+    }
+
+    /// Packed bitset row over the target ids of `node`'s outgoing links
+    /// ([`crate::bitset::words_for`]`(n_nodes)` words). Hot paths
+    /// intersect this with awake/possession sets instead of scanning
+    /// [`Topology::neighbors`].
+    #[inline]
+    pub fn neighbor_words(&self, node: NodeId) -> &[u64] {
+        let start = node.index() * self.words_per_row;
+        &self.words[start..start + self.words_per_row]
+    }
+
+    /// Words per [`Topology::neighbor_words`] row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    #[inline]
+    fn neighbor_words_mut(&mut self, node: NodeId) -> &mut [u64] {
+        let start = node.index() * self.words_per_row;
+        &mut self.words[start..start + self.words_per_row]
     }
 
     /// Degree of `node`.
@@ -292,6 +332,52 @@ impl Topology {
     }
 }
 
+// Manual serde impls: the wire format carries only `adj` and
+// `positions` (exactly what the former derive emitted); the packed
+// adjacency rows are derived state, rebuilt on deserialization.
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("adj".into(), self.adj.to_value()),
+            ("positions".into(), self.positions.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let adj: Vec<Vec<(NodeId, LinkQuality)>> = Deserialize::from_value(
+            v.get("adj")
+                .ok_or_else(|| serde::Error::custom("Topology: missing field 'adj'"))?,
+        )?;
+        let positions: Option<Vec<Position>> = match v.get("positions") {
+            Some(p) => Deserialize::from_value(p)?,
+            None => None,
+        };
+        let n = adj.len();
+        if n == 0 {
+            return Err(serde::Error::custom("Topology: empty adjacency"));
+        }
+        let words_per_row = bitset::words_for(n);
+        let mut words = vec![0u64; n * words_per_row];
+        for (i, list) in adj.iter().enumerate() {
+            let row = &mut words[i * words_per_row..(i + 1) * words_per_row];
+            for &(to, _) in list {
+                if to.index() >= n {
+                    return Err(serde::Error::custom("Topology: neighbor id out of range"));
+                }
+                bitset::set_bit(row, to.index());
+            }
+        }
+        Ok(Self {
+            adj,
+            positions,
+            words,
+            words_per_row,
+        })
+    }
+}
+
 /// Min-heap entry for Dijkstra (BinaryHeap is a max-heap, so order is
 /// reversed on cost).
 #[derive(PartialEq)]
@@ -455,5 +541,49 @@ mod tests {
     fn rejects_self_link() {
         let mut t = Topology::empty(2);
         t.set_quality(NodeId(1), NodeId(1), Q);
+    }
+
+    #[test]
+    fn neighbor_words_mirror_adjacency() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for t in [
+            Topology::line(70, Q),
+            Topology::grid(9, 9, Q),
+            Topology::complete(65, Q),
+            Topology::random_geometric(80, 100.0, 25.0, 0.9, 0.3, &mut rng),
+        ] {
+            for a in 0..t.n_nodes() {
+                let a = NodeId::from(a);
+                let from_words: Vec<usize> =
+                    crate::bitset::iter_ones(t.neighbor_words(a)).collect();
+                let from_lists: Vec<usize> =
+                    t.neighbors(a).iter().map(|&(v, _)| v.index()).collect();
+                assert_eq!(from_words, from_lists);
+                for b in 0..t.n_nodes() {
+                    let b = NodeId::from(b);
+                    assert_eq!(t.are_neighbors(a, b), t.quality(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_words() {
+        use serde::{Deserialize as _, Serialize as _};
+        let t = Topology::grid(4, 5, Q);
+        let v = t.to_value();
+        // The wire format carries only the quality lists.
+        assert!(v.get("adj").is_some());
+        assert!(v.get("positions").is_some());
+        assert!(v.get("words").is_none());
+        let back = Topology::from_value(&v).unwrap();
+        assert_eq!(back.n_nodes(), t.n_nodes());
+        assert_eq!(back.n_edges(), t.n_edges());
+        for a in 0..t.n_nodes() {
+            let a = NodeId::from(a);
+            assert_eq!(back.neighbor_words(a), t.neighbor_words(a));
+            assert_eq!(back.neighbors(a), t.neighbors(a));
+        }
+        assert!(back.positions().is_some());
     }
 }

@@ -1,6 +1,6 @@
 //! Shared helpers for protocol implementations.
 
-use ldcf_net::{NodeId, PacketId};
+use ldcf_net::{bitset, NodeId, PacketId};
 use ldcf_sim::mac::{DeliveryEvent, Outcome};
 use ldcf_sim::SimState;
 use rand::rngs::StdRng;
@@ -105,6 +105,33 @@ pub fn all_candidates(state: &SimState, u: NodeId) -> Vec<(PacketId, NodeId)> {
         out.extend(targets.into_iter().map(|(v, _)| (e.packet, v)));
     }
     out
+}
+
+/// Allocation-free [`all_candidates`]: same pairs in the same order, but
+/// the active-receiver filter arrives as a packed availability row
+/// (`avail` = neighbors(u) ∩ active ∩ ¬down, one bit per node) and both
+/// vectors are caller-owned scratch reused across slots. The possession
+/// filter is a word probe into the holder bitset instead of a matrix
+/// lookup.
+pub fn all_candidates_into(
+    state: &SimState,
+    u: NodeId,
+    avail: &[u64],
+    targets: &mut Vec<(NodeId, f64)>,
+    out: &mut Vec<(PacketId, NodeId)>,
+) {
+    out.clear();
+    for e in state.queue(u).iter() {
+        let holders = state.holder_words(e.packet);
+        targets.clear();
+        for &(v, q) in state.topo.neighbors(u) {
+            if bitset::test_bit(avail, v.index()) && !bitset::test_bit(holders, v.index()) {
+                targets.push((v, q.prr()));
+            }
+        }
+        targets.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("PRR is finite"));
+        out.extend(targets.iter().map(|&(v, _)| (e.packet, v)));
+    }
 }
 
 #[cfg(test)]

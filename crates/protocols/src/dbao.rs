@@ -20,7 +20,7 @@
 //! attributes the entire remaining DBAO↔OPT gap to exactly this.
 
 use crate::common::CollisionBackoff;
-use ldcf_net::{NodeId, Topology};
+use ldcf_net::{bitset, NodeId, Topology};
 use ldcf_sim::mac::{DeliveryEvent, Overhearing};
 use ldcf_sim::{FloodingProtocol, SimState, TxIntent};
 
@@ -50,8 +50,21 @@ pub struct Dbao {
     /// Number of clique (mutually audible, priority) forwarders per
     /// receiver.
     clique_size: Vec<u32>,
+    /// Per-receiver clique members in rank order (`clique_members[r][k]`
+    /// holds rank `k`), so the clique-priority election scans only the
+    /// few better-ranked members instead of every neighbor.
+    clique_members: Vec<Vec<NodeId>>,
+    /// Per-receiver sorted non-clique ranks, precomputed once — the
+    /// license rotation used to allocate + sort this list on every
+    /// eligibility query.
+    non_clique_ranks: Vec<Vec<u32>>,
     /// Randomized retry back-off after hidden-terminal collisions.
     backoff: CollisionBackoff,
+    /// Scratch: this slot's active nodes, packed (only filled when the
+    /// schedule table cannot supply a calendar row itself).
+    active_buf: Vec<u64>,
+    /// Scratch: awake, live neighbors of the sender under consideration.
+    avail_buf: Vec<u64>,
 }
 
 impl Dbao {
@@ -66,7 +79,11 @@ impl Dbao {
             cfg,
             rank: Vec::new(),
             clique_size: Vec::new(),
+            clique_members: Vec::new(),
+            non_clique_ranks: Vec::new(),
             backoff: CollisionBackoff::new(0xDBA0, 4),
+            active_buf: Vec::new(),
+            avail_buf: Vec::new(),
         }
     }
 
@@ -74,6 +91,8 @@ impl Dbao {
         let n = topo.n_nodes();
         self.rank = vec![Vec::new(); n];
         self.clique_size.clear();
+        self.clique_members = vec![Vec::new(); n];
+        self.non_clique_ranks = vec![Vec::new(); n];
         for ri in 0..n {
             let r = NodeId::from(ri);
             // Neighbors of r sorted by incoming quality (best first).
@@ -105,10 +124,16 @@ impl Dbao {
                 }
             }
             let mut map = vec![u32::MAX; n];
-            self.clique_size.push(clique.len() as u32);
+            let csize = clique.len();
+            self.clique_size.push(csize as u32);
+            self.clique_members[ri] = clique.clone();
             for (rank, s) in clique.into_iter().chain(rest).enumerate() {
                 map[s.index()] = rank as u32;
+                if rank >= csize {
+                    self.non_clique_ranks[ri].push(rank as u32);
+                }
             }
+            debug_assert!(self.non_clique_ranks[ri].is_sorted());
             self.rank[ri] = map;
         }
     }
@@ -138,11 +163,49 @@ impl FloodingProtocol for Dbao {
     }
 
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
+        let now = state.now;
+        let nw = state.topo.words_per_row();
+        let down = state.down_words();
+        let work = state.work_words();
+        let period = state.cfg.period as u64;
+        // One packed row of this slot's active nodes, straight from the
+        // wake calendar; fall back to a scan when the schedule table has
+        // no calendar (heterogeneous periods).
+        let active: &[u64] = match state.schedules.active_words(now) {
+            Some(w) => w,
+            None => {
+                self.active_buf.clear();
+                self.active_buf.resize(nw, 0);
+                for v in state.schedules.all_active(now) {
+                    bitset::set_bit(&mut self.active_buf, v.index());
+                }
+                &self.active_buf
+            }
+        };
         let backoff = &self.backoff;
         let rank = &self.rank;
-        let now = state.now;
-        for ni in 0..state.n_nodes() {
-            let u = NodeId::from(ni);
+        let clique_size = &self.clique_size;
+        let clique_members = &self.clique_members;
+        let non_clique_ranks = &self.non_clique_ranks;
+        let avail = &mut self.avail_buf;
+        avail.clear();
+        avail.resize(nw, 0);
+        // Only nodes with queued work can produce an intent; everyone
+        // else falls through the queue scan without effect, so skip them
+        // wholesale via the work bitset.
+        for u in state.nodes_with_work() {
+            // avail = neighbors(u) ∩ active ∩ ¬down: the only receivers
+            // this slot can serve. Empty ⇒ no candidate, next node.
+            let nbrs = state.topo.neighbor_words(u);
+            let mut any = 0u64;
+            for k in 0..nw {
+                let w = nbrs[k] & active[k] & !down[k];
+                avail[k] = w;
+                any |= w;
+            }
+            if any == 0 {
+                continue;
+            }
             // A receiver r is eligible for u if u wins the deterministic
             // back-off election: u yields to any better-ranked holder
             // that is either in r's forwarder clique (its priority is
@@ -151,7 +214,6 @@ impl FloodingProtocol for Dbao {
             // non-clique* holders are invisible to u — both elect
             // themselves and collide at r: the residual hidden-terminal
             // gap to OPT the paper calls out.
-            let clique_size = &self.clique_size;
             let eligible = |r: NodeId, p: u32| -> bool {
                 let my_rank = rank[r.index()][u.index()];
                 if my_rank == u32::MAX || backoff.blocked(u, r, now) {
@@ -162,17 +224,18 @@ impl FloodingProtocol for Dbao {
                     // Clique member: yield only to a better-ranked clique
                     // holder of this packet. Clique members are mutually
                     // audible, so whatever contention remains is resolved
-                    // by carrier sense, never by collision.
-                    !state.topo.neighbors(r).iter().any(|&(s, _)| {
-                        s != u && rank[r.index()][s.index()] < my_rank && state.has(s, p)
-                    })
+                    // by carrier sense, never by collision. Ranks below
+                    // `my_rank` are exactly `clique_members[r][..my_rank]`.
+                    !clique_members[r.index()][..my_rank as usize]
+                        .iter()
+                        .any(|&s| state.has(s, p))
                 } else {
                     // Non-clique (bootstrap) forwarder. The clique has
                     // absolute priority: stay silent whenever any clique
                     // member has pending work for r (it may serve r this
                     // very slot, and u cannot hear it coming).
-                    let clique_busy = state.topo.neighbors(r).iter().any(|&(s, _)| {
-                        rank[r.index()][s.index()] < csize
+                    let clique_busy = clique_members[r.index()].iter().any(|&s| {
+                        bitset::test_bit(work, s.index())
                             && state.queue(s).iter().any(|e| !state.has(r, e.packet))
                     });
                     if clique_busy {
@@ -184,30 +247,29 @@ impl FloodingProtocol for Dbao {
                     // rotation over the non-clique ranks). One licensed
                     // sender per receiver per period ⇒ no sustained
                     // collisions, at the price of idle bootstrap slots.
-                    let non_clique: Vec<u32> = state
-                        .topo
-                        .neighbors(r)
-                        .iter()
-                        .map(|&(s, _)| rank[r.index()][s.index()])
-                        .filter(|&rk| rk >= csize && rk != u32::MAX)
-                        .collect();
-                    debug_assert!(non_clique.contains(&my_rank));
-                    let mut all = non_clique;
-                    all.sort_unstable();
-                    let pick = (now / state.cfg.period as u64) as usize % all.len();
-                    all[pick] == my_rank
+                    let ncr = &non_clique_ranks[r.index()];
+                    debug_assert!(ncr.binary_search(&my_rank).is_ok());
+                    let pick = (now / period) as usize % ncr.len();
+                    ncr[pick] == my_rank
                 }
             };
             // FCFS packet scan with the election folded into the
             // receiver filter.
             let mut cand: Option<(u32, NodeId)> = None;
             'queue: for e in state.queue(u).iter() {
+                let holders = state.holder_words(e.packet);
+                // Word-level pre-check: someone awake must be missing
+                // the packet before the per-neighbor election is worth
+                // running at all.
+                if !(0..nw).any(|k| (avail[k] & !holders[k]) != 0) {
+                    continue;
+                }
                 let mut best: Option<(f64, NodeId)> = None;
                 for &(v, q) in state.topo.neighbors(u) {
-                    if state.is_active(v)
-                        && !state.has(v, e.packet)
-                        && eligible(v, e.packet)
+                    if bitset::test_bit(avail, v.index())
+                        && !bitset::test_bit(holders, v.index())
                         && best.is_none_or(|(bq, _)| q.prr() > bq)
+                        && eligible(v, e.packet)
                     {
                         best = Some((q.prr(), v));
                     }

@@ -8,7 +8,6 @@
 //! lower baseline in ablation experiments.
 
 use crate::common::{fcfs_candidate_filtered, CollisionBackoff};
-use ldcf_net::NodeId;
 use ldcf_sim::mac::DeliveryEvent;
 use ldcf_sim::{FloodingProtocol, SimState, TxIntent};
 
@@ -41,8 +40,9 @@ impl FloodingProtocol for NaiveFlood {
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
         let backoff = &self.backoff;
         let now = state.now;
-        for ni in 0..state.n_nodes() {
-            let u = NodeId::from(ni);
+        // Nodes with empty queues can never yield a candidate; the work
+        // bitset skips them in bulk.
+        for u in state.nodes_with_work() {
             let cand = fcfs_candidate_filtered(state, u, |r| !backoff.blocked(u, r, now));
             if let Some((packet, receiver)) = cand {
                 out.push(TxIntent {

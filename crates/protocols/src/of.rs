@@ -21,9 +21,9 @@
 //!   OF therefore suffers both more collisions and tree detours, landing
 //!   below DBAO and OPT exactly as in Figs. 9–10.
 
-use crate::common::{all_candidates, CollisionBackoff};
+use crate::common::{all_candidates_into, CollisionBackoff};
 use crate::tree::EnergyTree;
-use ldcf_net::NodeId;
+use ldcf_net::{bitset, NodeId, PacketId};
 use ldcf_sim::mac::DeliveryEvent;
 use ldcf_sim::{FloodingProtocol, SimState, TxIntent};
 use rand::rngs::StdRng;
@@ -60,6 +60,16 @@ pub struct OpportunisticFlooding {
     tree: Option<EnergyTree>,
     rng: StdRng,
     backoff: CollisionBackoff,
+    /// Scratch: this slot's active nodes, packed (only filled when the
+    /// schedule table cannot supply a calendar row itself).
+    active_buf: Vec<u64>,
+    /// Scratch: awake, live neighbors of the sender under consideration.
+    avail_buf: Vec<u64>,
+    /// Scratch for the per-packet receiver sort inside the candidate
+    /// enumeration.
+    targets_buf: Vec<(NodeId, f64)>,
+    /// Scratch: the sender's full FCFS candidate list this slot.
+    cand_buf: Vec<(PacketId, NodeId)>,
 }
 
 impl OpportunisticFlooding {
@@ -75,6 +85,10 @@ impl OpportunisticFlooding {
             backoff: CollisionBackoff::new(cfg.seed ^ 0x0F0F, 4),
             cfg,
             tree: None,
+            active_buf: Vec::new(),
+            avail_buf: Vec::new(),
+            targets_buf: Vec::new(),
+            cand_buf: Vec::new(),
         }
     }
 
@@ -101,17 +115,55 @@ impl FloodingProtocol for OpportunisticFlooding {
 
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
         let tree = self.tree.as_ref().expect("on_start ran");
-        for ni in 0..state.n_nodes() {
-            let u = NodeId::from(ni);
-            if state.queue(u).is_empty() {
+        let nw = state.topo.words_per_row();
+        let down = state.down_words();
+        // One packed row of this slot's active nodes, straight from the
+        // wake calendar; fall back to a scan when the schedule table has
+        // no calendar (heterogeneous periods).
+        let active: &[u64] = match state.schedules.active_words(state.now) {
+            Some(w) => w,
+            None => {
+                self.active_buf.clear();
+                self.active_buf.resize(nw, 0);
+                for v in state.schedules.all_active(state.now) {
+                    bitset::set_bit(&mut self.active_buf, v.index());
+                }
+                &self.active_buf
+            }
+        };
+        self.avail_buf.clear();
+        self.avail_buf.resize(nw, 0);
+        // Only nodes with queued work can propose; the work bitset hands
+        // them over directly. The decision RNG is only ever consulted
+        // inside the candidate loop, so skipping nodes with no candidates
+        // leaves the draw sequence untouched.
+        for u in state.nodes_with_work() {
+            // avail = neighbors(u) ∩ active ∩ ¬down: no awake receiver ⇒
+            // no candidates ⇒ nothing to decide.
+            let nbrs = state.topo.neighbor_words(u);
+            let mut any = 0u64;
+            for k in 0..nw {
+                let w = nbrs[k] & active[k] & !down[k];
+                self.avail_buf[k] = w;
+                any |= w;
+            }
+            if any == 0 {
                 continue;
             }
+            all_candidates_into(
+                state,
+                u,
+                &self.avail_buf,
+                &mut self.targets_buf,
+                &mut self.cand_buf,
+            );
             // FCFS over (packet, receiver) candidates. Tree forwarding has
             // absolute priority; an opportunistic forward only fills a
             // slot in which the sender has no tree child to serve.
             let mut chosen: Option<(u32, NodeId)> = None;
             let mut fallback: Option<(u32, NodeId)> = None;
-            for (packet, receiver) in all_candidates(state, u) {
+            for ci in 0..self.cand_buf.len() {
+                let (packet, receiver) = self.cand_buf[ci];
                 if self.backoff.blocked(u, receiver, state.now) {
                     continue;
                 }

@@ -12,17 +12,25 @@
 //! suffer link loss — OPT's transmission failures in Fig. 11 come from
 //! loss alone.
 
-use ldcf_net::{NodeId, PacketId};
+use ldcf_net::{bitset, NodeId, PacketId};
 use ldcf_sim::{FloodingProtocol, SimState, TxIntent};
 
 /// The oracle protocol.
 #[derive(Debug, Default, Clone)]
-pub struct Opt;
+pub struct Opt {
+    /// Scratch, reused across slots: candidate receptions
+    /// (prr, receiver, sender, packet).
+    candidates: Vec<(f64, NodeId, NodeId, PacketId)>,
+    /// Scratch: senders already matched this slot, packed.
+    sender_busy: Vec<u64>,
+    /// Scratch: receivers already matched this slot, packed.
+    receiver_busy: Vec<u64>,
+}
 
 impl Opt {
     /// Create the oracle protocol.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -40,52 +48,67 @@ impl FloodingProtocol for Opt {
     }
 
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
-        let n = state.n_nodes();
+        let nw = state.topo.words_per_row();
         // Candidate receptions: (prr, receiver, sender, packet), collected
         // for every active sensor that misses a packet some neighbor has.
-        let mut candidates: Vec<(f64, NodeId, NodeId, PacketId)> = Vec::new();
-        for ri in 1..n {
-            let r = NodeId::from(ri);
-            if !state.is_active(r) {
-                continue;
+        // The wake calendar hands us exactly the awake nodes in ascending
+        // id order, so sleepers cost nothing.
+        self.candidates.clear();
+        for r in state.schedules.all_active(state.now) {
+            if r.index() == 0 || state.is_down(r) {
+                continue; // the source only sends; crashed nodes are dark
             }
+            let nbrs = state.topo.neighbor_words(r);
             // Earliest (FCFS) packet r is missing that a neighbor holds,
             // served by the best-quality holding neighbor.
             for p in 0..state.n_injected() {
                 if state.has(r, p) || state.is_covered(p) {
                     continue;
                 }
-                let best = state
-                    .topo
-                    .neighbors(r)
-                    .iter()
-                    .filter(|&&(s, _)| state.has(s, p))
-                    // Quality of the *incoming* direction s -> r.
-                    .filter_map(|&(s, _)| state.topo.quality(s, r).map(|q| (q.prr(), s)))
-                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("PRR is finite"));
+                // Holding neighbors = one word-AND per 64 nodes; crashed
+                // nodes never appear (their possession is revoked).
+                let holders = state.holder_words(p);
+                let mut best: Option<(f64, NodeId)> = None;
+                for si in bitset::iter_ones_and(&nbrs[..nw], &holders[..nw]) {
+                    let s = NodeId::from(si);
+                    // Quality of the *incoming* direction s -> r; `>=`
+                    // keeps the last maximum, exactly as `max_by` did
+                    // over the same ascending-id scan.
+                    if let Some(q) = state.topo.quality(s, r) {
+                        let prr = q.prr();
+                        if best.is_none_or(|(bq, _)| prr >= bq) {
+                            best = Some((prr, s));
+                        }
+                    }
+                }
                 if let Some((prr, s)) = best {
-                    candidates.push((prr, r, s, p));
+                    self.candidates.push((prr, r, s, p));
                     break; // one reception per receiver per slot (semi-duplex)
                 }
             }
         }
         // Greedy matching, best links first: each sender serves one
         // receiver; each receiver hears one sender; senders cannot also
-        // be receivers this slot.
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("PRR is finite"));
-        let mut sender_busy = vec![false; n];
-        let mut receiver_busy = vec![false; n];
-        for (_, r, s, p) in candidates {
-            if sender_busy[s.index()] || receiver_busy[r.index()]
+        // be receivers this slot. (Stable sort: ties keep collection
+        // order, i.e. ascending receiver id.)
+        self.candidates
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).expect("PRR is finite"));
+        self.sender_busy.clear();
+        self.sender_busy.resize(nw, 0);
+        self.receiver_busy.clear();
+        self.receiver_busy.resize(nw, 0);
+        for &(_, r, s, p) in &self.candidates {
+            if bitset::test_bit(&self.sender_busy, s.index())
+                || bitset::test_bit(&self.receiver_busy, r.index())
                 // semi-duplex: a node already receiving cannot send and
                 // vice versa
-                || sender_busy[r.index()]
-                || receiver_busy[s.index()]
+                || bitset::test_bit(&self.sender_busy, r.index())
+                || bitset::test_bit(&self.receiver_busy, s.index())
             {
                 continue;
             }
-            sender_busy[s.index()] = true;
-            receiver_busy[r.index()] = true;
+            bitset::set_bit(&mut self.sender_busy, s.index());
+            bitset::set_bit(&mut self.receiver_busy, r.index());
             out.push(TxIntent {
                 sender: s,
                 receiver: r,

@@ -2,11 +2,12 @@
 
 use crate::config::SimConfig;
 use crate::energy::EnergyLedger;
-use crate::mac::{self, Outcome, TxIntent};
+use crate::mac::{self, MacScratch, Outcome, SlotResolution, TxIntent};
 use crate::protocol::FloodingProtocol;
 use crate::queue::FcfsQueue;
 use crate::stats::SimReport;
 use ldcf_faults::{ChurnAction, FaultPlan, NullFaultPlan};
+use ldcf_net::bitset;
 use ldcf_net::{NeighborTable, NodeId, PacketId, Topology, SOURCE};
 use ldcf_obs::{NullObserver, SimEvent, SimObserver};
 use rand::rngs::StdRng;
@@ -24,25 +25,67 @@ pub struct SimState {
     pub schedules: NeighborTable,
     /// Current slot.
     pub now: u64,
-    /// `have[node][packet]`: possession matrix (the paper's X vector per
-    /// packet).
-    have: Vec<Vec<bool>>,
+    /// Possession matrix (the paper's X vector per packet), node-major:
+    /// node `u`'s row is `packet_words` packed words starting at
+    /// `u * packet_words`, bit `p` set iff `u` holds packet `p`.
+    have: Vec<u64>,
+    /// Words per node row of `have`.
+    packet_words: usize,
+    /// The same matrix transposed, packet-major: packet `p`'s row is
+    /// `node_words` words starting at `p * node_words`, bit `u` set iff
+    /// node `u` (source included) holds `p`. Kept in lock-step with
+    /// `have`; lets churn repair and queue pruning reason about *who
+    /// holds a packet* with word algebra instead of per-node probes.
+    holder_bits: Vec<u64>,
+    /// Words per packet row of `holder_bits` (and per node of the
+    /// adjacency/down/work bitsets).
+    node_words: usize,
     /// Per-node FCFS forwarding queues.
     queues: Vec<FcfsQueue>,
     /// Per-packet count of *sensors* (source excluded) holding it.
     holders: Vec<u32>,
     /// Sensors needed for a packet to count as flooded.
     coverage_target: u32,
-    /// `down[node]`: crashed by fault injection (off the air). All
-    /// `false` unless a fault plan with churn is attached.
-    down: Vec<bool>,
+    /// Bitset of nodes crashed by fault injection (off the air). All
+    /// zero unless a fault plan with churn is attached.
+    down: Vec<u64>,
+    /// Bitset of nodes with a non-empty forwarding queue, maintained at
+    /// every queue mutation. Protocols iterate this instead of scanning
+    /// all N nodes for proposals.
+    work: Vec<u64>,
 }
 
 impl SimState {
     /// Whether `node` currently holds `packet`.
     #[inline]
     pub fn has(&self, node: NodeId, packet: PacketId) -> bool {
-        self.have[node.index()][packet as usize]
+        bitset::test_bit(
+            &self.have[node.index() * self.packet_words..],
+            packet as usize,
+        )
+    }
+
+    /// Packed row of nodes (source included) holding `packet`, bit `u`
+    /// set iff node `u` holds it. Indexed like
+    /// [`Topology::neighbor_words`], so "do all my neighbors have it"
+    /// is a word-wise subset test.
+    #[inline]
+    pub fn holder_words(&self, packet: PacketId) -> &[u64] {
+        &self.holder_bits[packet as usize * self.node_words..][..self.node_words]
+    }
+
+    /// Packed bitset of nodes whose forwarding queue is non-empty.
+    #[inline]
+    pub fn work_words(&self) -> &[u64] {
+        &self.work
+    }
+
+    /// Nodes with a non-empty forwarding queue, ascending. Only these
+    /// can propose a transmission, so protocol `propose` loops iterate
+    /// this instead of every node.
+    #[inline]
+    pub fn nodes_with_work(&self) -> impl Iterator<Item = NodeId> + '_ {
+        bitset::iter_ones(&self.work).map(NodeId::from)
     }
 
     /// The FCFS queue of `node`.
@@ -54,13 +97,19 @@ impl SimState {
     /// by fault injection is never active, whatever its schedule says.
     #[inline]
     pub fn is_active(&self, node: NodeId) -> bool {
-        self.schedules.is_active(node, self.now) && !self.down[node.index()]
+        self.schedules.is_active(node, self.now) && !bitset::test_bit(&self.down, node.index())
     }
 
     /// Whether `node` is currently crashed (fault injection).
     #[inline]
     pub fn is_down(&self, node: NodeId) -> bool {
-        self.down[node.index()]
+        bitset::test_bit(&self.down, node.index())
+    }
+
+    /// Packed bitset of crashed nodes (all zero without churn).
+    #[inline]
+    pub fn down_words(&self) -> &[u64] {
+        &self.down
     }
 
     /// Number of sensors holding `packet`.
@@ -90,6 +139,78 @@ impl SimState {
     pub fn n_injected(&self) -> u32 {
         self.cfg.n_packets // all packets are injected at slot 0
     }
+
+    /// Mark `node` as holding `packet` in both orientations of the
+    /// possession matrix.
+    #[inline]
+    fn grant(&mut self, node: NodeId, packet: PacketId) {
+        bitset::set_bit(
+            &mut self.have[node.index() * self.packet_words..],
+            packet as usize,
+        );
+        bitset::set_bit(
+            &mut self.holder_bits[packet as usize * self.node_words..],
+            node.index(),
+        );
+    }
+
+    /// Erase `node`'s copy of `packet` (crash wipe).
+    #[inline]
+    fn revoke(&mut self, node: NodeId, packet: PacketId) {
+        bitset::clear_bit(
+            &mut self.have[node.index() * self.packet_words..],
+            packet as usize,
+        );
+        bitset::clear_bit(
+            &mut self.holder_bits[packet as usize * self.node_words..],
+            node.index(),
+        );
+    }
+
+    /// Queue `packet` at `node`, keeping the work bitset exact.
+    #[inline]
+    fn queue_push(&mut self, node: NodeId, packet: PacketId, now: u64) {
+        self.queues[node.index()].push(packet, now);
+        bitset::set_bit(&mut self.work, node.index());
+    }
+
+    /// Drop `node`'s whole queue (crash wipe), keeping the work bitset
+    /// exact.
+    fn queue_clear(&mut self, node: NodeId) {
+        self.queues[node.index()].clear();
+        bitset::clear_bit(&mut self.work, node.index());
+    }
+
+    /// Churn repair for one uncovered packet: re-queue it at every live
+    /// holder that has a live neighbor still missing it (queue pruning
+    /// assumed possession was monotone, so a crash or recovery can leave
+    /// live holders with real forwarding work but empty queues). Word
+    /// algebra over the possession row keeps this proportional to the
+    /// holders of `p`, not to packets × nodes.
+    fn repair_requeue(&mut self, p: PacketId, now: u64) {
+        let nw = self.node_words;
+        let holders = &self.holder_bits[p as usize * nw..][..nw];
+        let down = &self.down;
+        let topo = &self.topo;
+        let queues = &mut self.queues;
+        let work = &mut self.work;
+        for w in 0..nw {
+            let mut live_holders = holders[w] & !down[w];
+            while live_holders != 0 {
+                let ui = w * 64 + live_holders.trailing_zeros() as usize;
+                live_holders &= live_holders - 1;
+                if queues[ui].contains(p) {
+                    continue;
+                }
+                let adj = topo.neighbor_words(NodeId::from(ui));
+                let needy = (0..nw).any(|k| adj[k] & !down[k] & !holders[k] != 0);
+                if needy {
+                    queues[ui].push(p, now);
+                    bitset::set_bit(work, ui);
+                }
+            }
+        }
+    }
 }
 
 /// The simulation engine: owns state, protocol, RNG and statistics.
@@ -114,6 +235,12 @@ pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver, F: FaultPl
     report: SimReport,
     energy: EnergyLedger,
     intents_buf: Vec<TxIntent>,
+    /// Reusable MAC working set (bitsets + index buffers).
+    mac_scratch: MacScratch,
+    /// Reusable MAC result buffers.
+    res_buf: SlotResolution,
+    /// Reusable per-slot list of fresh `(receiver, packet)` deliveries.
+    delivered_buf: Vec<(NodeId, PacketId)>,
     obs: O,
     faults: F,
     /// Scratch buffer for [`FaultPlan::churn_actions`].
@@ -167,22 +294,28 @@ impl<P: FloodingProtocol> Engine<P> {
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut report =
             SimReport::new(protocol.name(), n_sensors, cfg.duty_ratio(), cfg.n_packets);
+        let packet_words = bitset::words_for(m);
+        let node_words = bitset::words_for(n);
         let mut state = SimState {
             cfg,
             topo,
             schedules,
             now: 0,
-            have: vec![vec![false; m]; n],
+            have: vec![0; n * packet_words],
+            packet_words,
+            holder_bits: vec![0; m * node_words],
+            node_words,
             queues: vec![FcfsQueue::new(); n],
             holders: vec![0; m],
             coverage_target,
-            down: vec![false; n],
+            down: vec![0; node_words],
+            work: vec![0; node_words],
         };
         // The source injects all M packets up front; FCFS order at the
         // source realises the paper's sequential injection.
         for p in 0..state.cfg.n_packets {
-            state.have[SOURCE.index()][p as usize] = true;
-            state.queues[SOURCE.index()].push(p, 0);
+            state.grant(SOURCE, p);
+            state.queue_push(SOURCE, p, 0);
             report.record_injection(p, 0);
         }
         Self {
@@ -192,6 +325,9 @@ impl<P: FloodingProtocol> Engine<P> {
             report,
             energy: EnergyLedger::default(),
             intents_buf: Vec::new(),
+            mac_scratch: MacScratch::default(),
+            res_buf: SlotResolution::default(),
+            delivered_buf: Vec::new(),
             obs: NullObserver,
             faults: NullFaultPlan,
             churn_buf: Vec::new(),
@@ -215,6 +351,9 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             report: self.report,
             energy: self.energy,
             intents_buf: self.intents_buf,
+            mac_scratch: self.mac_scratch,
+            res_buf: self.res_buf,
+            delivered_buf: self.delivered_buf,
             obs,
             faults: self.faults,
             churn_buf: self.churn_buf,
@@ -235,6 +374,9 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             report: self.report,
             energy: self.energy,
             intents_buf: self.intents_buf,
+            mac_scratch: self.mac_scratch,
+            res_buf: self.res_buf,
+            delivered_buf: self.delivered_buf,
             obs: self.obs,
             faults,
             churn_buf: self.churn_buf,
@@ -281,23 +423,23 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 ChurnAction::Crash(v) => {
                     debug_assert_ne!(v, SOURCE, "fault plans must not crash the source");
                     let vi = v.index();
-                    if self.state.down[vi] {
+                    if bitset::test_bit(&self.state.down, vi) {
                         continue;
                     }
-                    self.state.down[vi] = true;
+                    bitset::set_bit(&mut self.state.down, vi);
                     self.report.node_crashes += 1;
                     if O::ENABLED {
                         self.obs
                             .on_event(&SimEvent::NodeCrashed { slot: now, node: v });
                     }
                     // RAM wipe: forwarding queue and packet possession.
-                    self.state.queues[vi].clear();
+                    self.state.queue_clear(v);
                     for p in 0..self.state.cfg.n_packets {
                         let pi = p as usize;
-                        if !self.state.have[vi][pi] {
+                        if !self.state.has(v, p) {
                             continue;
                         }
-                        self.state.have[vi][pi] = false;
+                        self.state.revoke(v, p);
                         self.state.holders[pi] -= 1;
                         // Arm a source-side retry for packets the crash
                         // may have orphaned mid-flood.
@@ -313,10 +455,10 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 }
                 ChurnAction::Recover(v, schedule) => {
                     let vi = v.index();
-                    if !self.state.down[vi] {
+                    if !bitset::test_bit(&self.state.down, vi) {
                         continue;
                     }
-                    self.state.down[vi] = false;
+                    bitset::clear_bit(&mut self.state.down, vi);
                     self.state.schedules.set_schedule(v, schedule);
                     self.report.node_recoveries += 1;
                     if O::ENABLED {
@@ -330,32 +472,14 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         if !churned {
             return;
         }
-        // Repair pass: queue pruning assumed possession was monotone, so
-        // a crash (which destroys copies) or a recovery (which revives a
-        // needy neighbor) can leave live holders with real forwarding
-        // work but empty queues. Re-queue each uncovered packet at every
-        // live holder that has a live neighbor still missing it.
+        // Repair pass: re-queue each uncovered packet at every live
+        // holder that still has a live, needy neighbor (see
+        // [`SimState::repair_requeue`]).
         for p in 0..self.state.cfg.n_packets {
-            let pi = p as usize;
-            if self.report.packets[pi].covered_at.is_some() {
+            if self.report.packets[p as usize].covered_at.is_some() {
                 continue;
             }
-            for ui in 0..self.state.n_nodes() {
-                let u = NodeId::from(ui);
-                if self.state.down[ui]
-                    || !self.state.have[ui][pi]
-                    || self.state.queues[ui].contains(p)
-                {
-                    continue;
-                }
-                let needy =
-                    self.state.topo.neighbors(u).iter().any(|&(v, _)| {
-                        !self.state.down[v.index()] && !self.state.have[v.index()][pi]
-                    });
-                if needy {
-                    self.state.queues[ui].push(p, now);
-                }
-            }
+            self.state.repair_requeue(p, now);
         }
     }
 
@@ -378,7 +502,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 continue;
             }
             if !self.state.queues[SOURCE.index()].contains(p) {
-                self.state.queues[SOURCE.index()].push(p, now);
+                self.state.queue_push(SOURCE, p, now);
                 self.report.source_retries += 1;
                 if O::ENABLED {
                     self.obs.on_event(&SimEvent::SourceRetry {
@@ -537,14 +661,16 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         let now = self.state.now;
         let schedules = &self.state.schedules;
         let have = &self.state.have;
+        let packet_words = self.state.packet_words;
         let down = &self.state.down;
         let faults = &mut self.faults;
-        let res = mac::resolve_slot_with(
+        let mut res = std::mem::take(&mut self.res_buf);
+        mac::resolve_slot_into(
             &self.state.topo,
             &intents,
             self.protocol.overhearing(),
-            |r| schedules.is_active(r, now) && (!F::ENABLED || !down[r.index()]),
-            |r, p| !have[r.index()][p as usize],
+            |r| schedules.is_active(r, now) && (!F::ENABLED || !bitset::test_bit(down, r.index())),
+            |r, p| !bitset::test_bit(&have[r.index() * packet_words..], p as usize),
             |s, r, base| {
                 if F::ENABLED {
                     faults.link_prr(s, r, base, now)
@@ -553,6 +679,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 }
             },
             &mut self.rng,
+            &mut self.mac_scratch,
+            &mut res,
         );
 
         // --- apply outcomes -------------------------------------------------
@@ -582,7 +710,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             }
         }
 
-        let mut newly_delivered: Vec<(NodeId, PacketId)> = Vec::new();
+        let mut newly_delivered = std::mem::take(&mut self.delivered_buf);
+        newly_delivered.clear();
         for e in &res.events {
             if e.sender == SOURCE {
                 self.report.record_push(e.packet, now);
@@ -590,9 +719,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             match e.outcome {
                 Outcome::Delivered | Outcome::Overheard => {
                     let pi = e.packet as usize;
-                    let ri = e.receiver.index();
                     self.energy.rx_slots += 1;
-                    let fresh = !self.state.have[ri][pi];
+                    let fresh = !self.state.has(e.receiver, e.packet);
                     if O::ENABLED {
                         let ev = match e.outcome {
                             Outcome::Overheard => SimEvent::Overheard {
@@ -613,8 +741,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                         self.obs.on_event(&ev);
                     }
                     if fresh {
-                        self.state.have[ri][pi] = true;
-                        self.state.queues[ri].push(e.packet, now);
+                        self.state.grant(e.receiver, e.packet);
+                        self.state.queue_push(e.receiver, e.packet, now);
                         newly_delivered.push((e.receiver, e.packet));
                         if e.receiver != SOURCE {
                             self.state.holders[pi] += 1;
@@ -692,8 +820,12 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         // Prune exhausted queue entries: once every neighbor of `u` holds
         // packet `p`, `u` can never again have forwarding work for `p`
         // (possession is monotone), so drop it from `u`'s FCFS queue.
-        // Triggered incrementally by fresh deliveries to keep this cheap.
+        // Triggered incrementally by fresh deliveries to keep this cheap;
+        // "all neighbors hold it" is a word-wise subset test of the
+        // adjacency row against the packet's possession row.
         for &(r, p) in &newly_delivered {
+            let nw = self.state.node_words;
+            let holders = &self.state.holder_bits[p as usize * nw..][..nw];
             for u in self
                 .state
                 .topo
@@ -702,15 +834,20 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 .map(|&(u, _)| u)
                 .chain(std::iter::once(r))
             {
-                if self.state.queues[u.index()].contains(p)
+                let ui = u.index();
+                if self.state.queues[ui].contains(p)
                     && self
                         .state
                         .topo
-                        .neighbors(u)
+                        .neighbor_words(u)
                         .iter()
-                        .all(|&(v, _)| self.state.have[v.index()][p as usize])
+                        .zip(holders)
+                        .all(|(adj, have)| adj & !have == 0)
                 {
-                    self.state.queues[u.index()].remove(p);
+                    self.state.queues[ui].remove(p);
+                    if self.state.queues[ui].is_empty() {
+                        bitset::clear_bit(&mut self.state.work, ui);
+                    }
                 }
             }
         }
@@ -723,13 +860,21 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         let n = self.state.n_nodes() as u64;
         let active_now = if F::ENABLED {
             let down = &self.state.down;
-            self.state
-                .schedules
-                .all_active(now)
-                .filter(|r| !down[r.index()])
-                .count() as u64
+            match self.state.schedules.active_words(now) {
+                Some(active) => active
+                    .iter()
+                    .zip(down)
+                    .map(|(a, d)| (a & !d).count_ones() as u64)
+                    .sum(),
+                None => self
+                    .state
+                    .schedules
+                    .all_active(now)
+                    .filter(|r| !bitset::test_bit(down, r.index()))
+                    .count() as u64,
+            }
         } else {
-            self.state.schedules.all_active(now).count() as u64
+            self.state.schedules.active_count(now) as u64
         };
         self.energy.active_slots += active_now;
         self.energy.sleep_slots += n - active_now;
@@ -746,6 +891,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         self.state.now += 1;
         self.report.slots_elapsed = self.state.now;
         self.intents_buf = intents;
+        self.res_buf = res;
+        self.delivered_buf = newly_delivered;
         true
     }
 

@@ -24,6 +24,7 @@
 //!   collision occurring in OPT") but still take loss draws (OPT's
 //!   failure counts in Fig. 11 are nonzero).
 
+use ldcf_net::bitset;
 use ldcf_net::{NodeId, PacketId, Topology};
 use rand::Rng;
 
@@ -85,7 +86,7 @@ impl Outcome {
 }
 
 /// Result of resolving one slot's intents.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SlotResolution {
     /// Senders that actually transmitted (committed after carrier sense).
     pub transmitted: Vec<NodeId>,
@@ -101,6 +102,67 @@ pub struct SlotResolution {
     pub deferred: Vec<usize>,
     /// All reception events, including failures and overhears.
     pub events: Vec<DeliveryEvent>,
+}
+
+impl SlotResolution {
+    /// Empty every vector, keeping capacity for the next slot.
+    pub fn clear(&mut self) {
+        self.transmitted.clear();
+        self.committed.clear();
+        self.deferred.clear();
+        self.events.clear();
+    }
+}
+
+/// Reusable buffers for [`resolve_slot_into`].
+///
+/// The engine resolves hundreds of thousands of slots per run, and the
+/// per-slot `Vec` allocations plus linear `contains` scans of the
+/// reference MAC dominated its profile. All intermediate state lives
+/// here instead, cleared (not freed) between slots; the membership
+/// scans become single-word bitset probes, and carrier sense becomes
+/// one intersection against the committed senders' adjacency rows.
+#[derive(Clone, Debug, Default)]
+pub struct MacScratch {
+    /// Intent indices in (backoff_rank, sender) order.
+    order: Vec<usize>,
+    /// Committed non-bypass intent indices, in commit order.
+    contended: Vec<usize>,
+    /// Committed bypass (oracle) intent indices, in commit order.
+    bypassed: Vec<usize>,
+    /// Nodes that committed a transmission this slot.
+    committed: Vec<u64>,
+    /// Nodes silenced by carrier sense this slot.
+    deferred: Vec<u64>,
+    /// Committed non-bypass senders (the field carrier sense listens to).
+    carrier: Vec<u64>,
+    /// Receivers unable to overhear (handled unicasts + oracle targets).
+    busy_rx: Vec<u64>,
+    /// Overhearing candidates already evaluated.
+    seen: Vec<u64>,
+    /// Per-node count of committed non-bypass intents targeting it.
+    targeting: Vec<u32>,
+}
+
+impl MacScratch {
+    fn reset(&mut self, n_nodes: usize) {
+        let words = bitset::words_for(n_nodes);
+        self.order.clear();
+        self.contended.clear();
+        self.bypassed.clear();
+        for bits in [
+            &mut self.committed,
+            &mut self.deferred,
+            &mut self.carrier,
+            &mut self.busy_rx,
+            &mut self.seen,
+        ] {
+            bits.clear();
+            bits.resize(words, 0);
+        }
+        self.targeting.clear();
+        self.targeting.resize(n_nodes, 0);
+    }
 }
 
 /// Who may overhear: passed by the engine, decided by the protocol.
@@ -145,6 +207,254 @@ pub fn resolve_slot<R: Rng + ?Sized>(
 /// reproduces [`resolve_slot`] exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn resolve_slot_with<R: Rng + ?Sized>(
+    topo: &Topology,
+    intents: &[TxIntent],
+    overhearing: Overhearing,
+    is_active: impl FnMut(NodeId) -> bool,
+    wants: impl FnMut(NodeId, PacketId) -> bool,
+    link_prr: impl FnMut(NodeId, NodeId, f64) -> f64,
+    rng: &mut R,
+) -> SlotResolution {
+    let mut scratch = MacScratch::default();
+    let mut res = SlotResolution::default();
+    resolve_slot_into(
+        topo,
+        intents,
+        overhearing,
+        is_active,
+        wants,
+        link_prr,
+        rng,
+        &mut scratch,
+        &mut res,
+    );
+    res
+}
+
+/// Resolve one slot's intents into `res`, reusing `scratch` — the
+/// engine's hot path.
+///
+/// Behaviourally identical to [`resolve_slot_reference`] (the
+/// differential tests hold them equal on random topologies, intent
+/// sets and seeds) but allocation-free after warm-up. Crucially the
+/// RNG draw count and order are exactly those of the reference: one
+/// draw per committed oracle intent, one per uncontended unicast
+/// reception, one per overhearing capture attempt, in the same
+/// sequence — so artefacts stay byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_slot_into<R: Rng + ?Sized>(
+    topo: &Topology,
+    intents: &[TxIntent],
+    overhearing: Overhearing,
+    mut is_active: impl FnMut(NodeId) -> bool,
+    mut wants: impl FnMut(NodeId, PacketId) -> bool,
+    mut link_prr: impl FnMut(NodeId, NodeId, f64) -> f64,
+    rng: &mut R,
+    scratch: &mut MacScratch,
+    res: &mut SlotResolution,
+) {
+    res.clear();
+    if intents.is_empty() {
+        return;
+    }
+    scratch.reset(topo.n_nodes());
+
+    // --- commit phase: carrier sense in backoff order ------------------
+    scratch.order.extend(0..intents.len());
+    // Unstable sort with the index as final key reproduces the
+    // reference's stable (rank, sender) order without its scratch
+    // allocation.
+    scratch
+        .order
+        .sort_unstable_by_key(|&i| (intents[i].backoff_rank, intents[i].sender, i));
+
+    for &i in &scratch.order {
+        let it = &intents[i];
+        debug_assert!(
+            topo.are_neighbors(it.sender, it.receiver),
+            "intent over a non-existent link {} -> {}",
+            it.sender,
+            it.receiver
+        );
+        let si = it.sender.index();
+        // One transmission per sender per slot (semi-duplex radio) —
+        // enforced for oracle intents too; a radio is a radio. A sender
+        // that already deferred stays silent for the whole slot.
+        if bitset::test_bit(&scratch.committed, si) || bitset::test_bit(&scratch.deferred, si) {
+            continue;
+        }
+        if it.bypass_mac {
+            res.committed.push(i);
+            res.transmitted.push(it.sender);
+            bitset::set_bit(&mut scratch.committed, si);
+            scratch.bypassed.push(i);
+            continue;
+        }
+        // Carrier sense: defer if an audible sender already committed.
+        if bitset::intersects(topo.neighbor_words(it.sender), &scratch.carrier) {
+            res.deferred.push(i);
+            bitset::set_bit(&mut scratch.deferred, si);
+        } else {
+            res.committed.push(i);
+            res.transmitted.push(it.sender);
+            bitset::set_bit(&mut scratch.committed, si);
+            bitset::set_bit(&mut scratch.carrier, si);
+            scratch.contended.push(i);
+            scratch.targeting[it.receiver.index()] += 1;
+        }
+    }
+
+    // --- reception phase ------------------------------------------------
+    // Oracle intents: direct loss draw, no interference.
+    for &i in &scratch.bypassed {
+        let it = &intents[i];
+        let q = topo
+            .quality(it.sender, it.receiver)
+            .expect("validated above");
+        let outcome = if rng.random::<f64>() < link_prr(it.sender, it.receiver, q.prr()) {
+            Outcome::Delivered
+        } else {
+            Outcome::LinkLoss
+        };
+        res.events.push(DeliveryEvent {
+            sender: it.sender,
+            receiver: it.receiver,
+            packet: it.packet,
+            outcome,
+        });
+    }
+
+    // Intended receptions. Collision model: a reception fails when two
+    // or more committed senders *target* the same receiver (they must be
+    // mutually hidden, or carrier sense would have serialised them).
+    // Concurrent transmissions aimed elsewhere do not garble it — the
+    // capture-effect assumption common to low-duty-cycle WSN evaluations.
+    for &i in &scratch.contended {
+        let it = &intents[i];
+        let r = it.receiver;
+        // Semi-duplex: a receiver that is itself transmitting hears nothing.
+        if bitset::test_bit(&scratch.committed, r.index()) {
+            res.events.push(DeliveryEvent {
+                sender: it.sender,
+                receiver: r,
+                packet: it.packet,
+                outcome: Outcome::ReceiverBusy,
+            });
+            continue;
+        }
+        let outcome = if scratch.targeting[r.index()] >= 2 {
+            Outcome::Collision
+        } else if rng.random::<f64>()
+            < link_prr(
+                it.sender,
+                r,
+                topo.quality(it.sender, r).expect("validated above").prr(),
+            )
+        {
+            Outcome::Delivered
+        } else {
+            Outcome::LinkLoss
+        };
+        res.events.push(DeliveryEvent {
+            sender: it.sender,
+            receiver: r,
+            packet: it.packet,
+            outcome,
+        });
+        bitset::set_bit(&mut scratch.busy_rx, r.index());
+    }
+
+    // Overhearing: every other active node with exactly one audible
+    // committed sender (oracle or contended) may capture that packet —
+    // it was on the air either way.
+    if overhearing == Overhearing::Enabled {
+        // Intended receivers are busy receiving their own unicast and
+        // cannot also capture an overheard one.
+        for &i in &scratch.bypassed {
+            bitset::set_bit(&mut scratch.busy_rx, intents[i].receiver.index());
+        }
+        for k in 0..res.transmitted.len() {
+            let s = res.transmitted[k];
+            for &(r, _) in topo.neighbors(s) {
+                let ri = r.index();
+                if bitset::test_bit(&scratch.seen, ri)
+                    || bitset::test_bit(&scratch.busy_rx, ri)
+                    || bitset::test_bit(&scratch.committed, ri)
+                    || !is_active(r)
+                {
+                    continue;
+                }
+                bitset::set_bit(&mut scratch.seen, ri);
+                // Oracle transmissions are collision-free by fiat, and
+                // that fiat extends to overhearing: a bystander captures
+                // the best audible oracle unicast carrying a packet it
+                // wants (later intents win PRR ties, as in the
+                // reference's `max_by`). Contended transmissions keep
+                // physical rules: a capture happens only when exactly
+                // one committed sender is audible.
+                let mut chosen: Option<usize> = None;
+                let mut best_prr = 0.0f64;
+                for &i in &scratch.bypassed {
+                    let it = &intents[i];
+                    if topo.are_neighbors(it.sender, r) && wants(r, it.packet) {
+                        let q = topo.quality(it.sender, r).expect("neighbors").prr();
+                        if chosen.is_none() || q >= best_prr {
+                            chosen = Some(i);
+                            best_prr = q;
+                        }
+                    }
+                }
+                if chosen.is_none() {
+                    let mut only: Option<usize> = None;
+                    let mut audible = 0u32;
+                    for &i in &scratch.contended {
+                        if topo.are_neighbors(intents[i].sender, r) {
+                            audible += 1;
+                            if audible >= 2 {
+                                break; // garble — no capture
+                            }
+                            only = Some(i);
+                        }
+                    }
+                    if audible == 1 {
+                        let i = only.expect("counted one audible sender");
+                        if wants(r, intents[i].packet) {
+                            chosen = Some(i);
+                        }
+                    }
+                }
+                if let Some(i) = chosen {
+                    let it = &intents[i];
+                    if rng.random::<f64>()
+                        < link_prr(
+                            it.sender,
+                            r,
+                            topo.quality(it.sender, r).expect("neighbors").prr(),
+                        )
+                    {
+                        res.events.push(DeliveryEvent {
+                            sender: it.sender,
+                            receiver: r,
+                            packet: it.packet,
+                            outcome: Outcome::Overheard,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference MAC resolution — the executable specification.
+///
+/// This is the original straight-line implementation, kept verbatim as
+/// the oracle for the differential tests: [`resolve_slot_into`] must
+/// produce an identical [`SlotResolution`] (same vectors, same order)
+/// from the same RNG on every input. Quadratic scans and per-slot
+/// allocations make it unfit for the hot path, but its simplicity makes
+/// it easy to audit against §V of the paper.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_slot_reference<R: Rng + ?Sized>(
     topo: &Topology,
     intents: &[TxIntent],
     overhearing: Overhearing,

@@ -1,0 +1,159 @@
+//! Wake-calendar ↔ churn interaction: when churn recovers a node with a
+//! re-randomized working schedule, the calendar must serve the *new*
+//! schedule (not the stale pre-crash one), `SimState::is_active` must
+//! agree, and the calendar accounting identities must keep holding for
+//! every offset of the period.
+
+use ldcf_net::{bitset, LinkQuality, NodeId, Topology, WorkingSchedule};
+use ldcf_sim::{ChurnAction, Engine, FaultPlan, FloodingProtocol, SimConfig, SimState, TxIntent};
+
+const PERIOD: u32 = 8;
+const VICTIM: NodeId = NodeId(3);
+const CRASH_AT: u64 = 10;
+const RECOVER_AT: u64 = 26;
+/// The recovered node's re-randomized wake offset (distinct from
+/// whatever the seeded schedule chose, which the test asserts).
+const NEW_SLOT: u32 = 6;
+
+/// Deterministic churn script: one crash, one recovery with a known
+/// fresh schedule. No loss, no drift.
+struct ScriptedChurn;
+
+impl FaultPlan for ScriptedChurn {
+    fn on_start(&mut self, _n_nodes: usize, _period: u32, _active_per_period: u32) {}
+
+    fn link_prr(&mut self, _s: NodeId, _r: NodeId, base: f64, _slot: u64) -> f64 {
+        base
+    }
+
+    fn churn_actions(&mut self, slot: u64, out: &mut Vec<ChurnAction>) {
+        if slot == CRASH_AT {
+            out.push(ChurnAction::Crash(VICTIM));
+        }
+        if slot == RECOVER_AT {
+            out.push(ChurnAction::Recover(
+                VICTIM,
+                WorkingSchedule::new(PERIOD, vec![NEW_SLOT]),
+            ));
+        }
+    }
+}
+
+/// A protocol that never transmits, so the test drives the engine slot
+/// by slot without flooding side effects.
+struct Idle;
+
+impl FloodingProtocol for Idle {
+    fn name(&self) -> &str {
+        "idle"
+    }
+    fn propose(&mut self, _: &SimState, _: &mut Vec<TxIntent>) {}
+}
+
+/// The calendar accounting identities at time `t`: the packed row, the
+/// ascending iterator, the count, and the per-node predicate must all
+/// describe the same set.
+fn assert_calendar_identities(state: &SimState, t: u64) {
+    let n = state.n_nodes();
+    let from_pred: Vec<NodeId> = (0..n)
+        .map(NodeId::from)
+        .filter(|&v| state.schedules.is_active(v, t))
+        .collect();
+    let from_iter: Vec<NodeId> = state.schedules.all_active(t).collect();
+    assert_eq!(from_iter, from_pred, "all_active vs is_active at t={t}");
+    assert_eq!(
+        state.schedules.active_count(t),
+        from_pred.len(),
+        "active_count at t={t}"
+    );
+    let words = state
+        .schedules
+        .active_words(t)
+        .expect("homogeneous periods have a calendar row");
+    let from_words: Vec<NodeId> = bitset::iter_ones(words).map(NodeId::from).collect();
+    assert_eq!(from_words, from_pred, "active_words at t={t}");
+}
+
+#[test]
+fn recovered_schedule_is_reflected_in_calendar_and_is_active() {
+    let topo = Topology::complete(6, LinkQuality::PERFECT);
+    let cfg = SimConfig {
+        period: PERIOD,
+        active_per_period: 1,
+        n_packets: 1,
+        coverage: 1.0,
+        max_slots: 10_000,
+        seed: 42,
+        mistiming_prob: 0.0,
+    };
+    let mut engine = Engine::new(topo, cfg, Idle).with_faults(ScriptedChurn);
+
+    // The victim's seeded wake offset, read back through the calendar.
+    let old_slot = (0..PERIOD as u64)
+        .find(|&t| engine.state().schedules.is_active(VICTIM, t))
+        .expect("every node wakes once per period");
+    assert_ne!(
+        old_slot, NEW_SLOT as u64,
+        "test needs the re-randomized offset to differ (adjust seed)"
+    );
+
+    // Before the crash: is_active mirrors the schedule.
+    while engine.state().now < CRASH_AT {
+        engine.step();
+    }
+    for t in 0..PERIOD as u64 {
+        assert_calendar_identities(engine.state(), t);
+    }
+
+    // Step past the crash: the node is off the air in every slot, even
+    // its scheduled one, while the schedule table still carries it (a
+    // crash does not rewrite the calendar; `down` masks it).
+    while engine.state().now <= CRASH_AT {
+        engine.step();
+    }
+    let state = engine.state();
+    assert!(state.is_down(VICTIM));
+    for t in state.now..state.now + PERIOD as u64 {
+        assert!(
+            !(state.schedules.is_active(VICTIM, t) && state.is_active(VICTIM)),
+            "a crashed node must never be active"
+        );
+    }
+    assert!(!state.is_active(VICTIM));
+
+    // Step past the recovery: the calendar now serves the re-randomized
+    // schedule — active exactly at NEW_SLOT, not at the old offset.
+    while engine.state().now <= RECOVER_AT {
+        engine.step();
+    }
+    let state = engine.state();
+    assert!(!state.is_down(VICTIM));
+    for t in state.now..state.now + 2 * PERIOD as u64 {
+        let expect = t % PERIOD as u64 == NEW_SLOT as u64;
+        assert_eq!(
+            state.schedules.is_active(VICTIM, t),
+            expect,
+            "recovered schedule at t={t}"
+        );
+        let in_row = bitset::test_bit(
+            state
+                .schedules
+                .active_words(t)
+                .expect("calendar row exists"),
+            VICTIM.index(),
+        );
+        assert_eq!(in_row, expect, "calendar row at t={t}");
+        assert_calendar_identities(state, t);
+    }
+    // And `SimState::is_active` agrees at the node's own wake slot once
+    // the engine reaches it.
+    while engine.state().now % PERIOD as u64 != NEW_SLOT as u64 {
+        engine.step();
+    }
+    assert!(engine.state().is_active(VICTIM));
+    // The old offset no longer wakes the victim.
+    while engine.state().now % PERIOD as u64 != old_slot {
+        engine.step();
+    }
+    assert!(!engine.state().is_active(VICTIM));
+}
