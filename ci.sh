@@ -51,11 +51,38 @@ FAULTED="$ART_DIR/traces/dbao-p100-a5-m30-s1-fbd.events.jsonl"
 echo "forensics: $(basename "$FAULTED")"
 ./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
 
-step "perf campaign (--quick) + BENCH schema validation"
-cp BENCH_baseline.json "$ART_DIR/"
+step "perf campaign (--quick) + BENCH schema validation + regression gate"
+# Gate: fail if any case runs >25% slower than the committed baseline
+# (tolerance documented in EXPERIMENTS.md; regenerate with
+#   experiments perf --quick --label baseline).
 ./target/release/experiments perf --quick --label ci --out "$ART_DIR" \
-    | grep -E 'speedup|slots/sec' || true
+    --baseline BENCH_baseline.json \
+    | grep -E 'speedup|no case regressed' || { echo "perf gate FAILED"; exit 1; }
 ./target/release/experiments perf --validate "$ART_DIR/BENCH_ci.json"
+
+step "scenario golden gates (generator digests vs scenarios.sha256)"
+# Any drift in a topology/link/schedule generator or its RNG stream
+# changes a spec's digest and fails this diff.
+for spec in scenarios/*.toml; do
+    ./target/release/experiments campaign --spec "$spec" --digest
+done > "$ART_DIR/scenarios.sha256"
+diff -u crates/bench/baselines/scenarios.sha256 "$ART_DIR/scenarios.sha256"
+echo "scenario digests pinned"
+
+step "demo campaign (--quick): run twice, gate byte-identity + resume"
+./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+    --quick --out "$ART_DIR/camp1" > /dev/null
+./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+    --quick --out "$ART_DIR/camp2" > /dev/null
+diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
+diff -u "$ART_DIR/camp1/campaign.json" "$ART_DIR/camp2/campaign.json"
+# Resume: a third run over camp1's checkpoints must simulate nothing
+# and still emit the same bytes.
+./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+    --quick --out "$ART_DIR/camp1" 2>&1 > /dev/null \
+    | grep -q '0/6 cells run, 6 resumed' || { echo "resume FAILED"; exit 1; }
+diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
+echo "campaign deterministic + resumable"
 
 step "criterion benches compile"
 cargo bench --workspace --no-run

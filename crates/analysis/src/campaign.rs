@@ -1,0 +1,214 @@
+//! Campaign aggregation: joining simulated cells against the paper's
+//! delay-limit theory.
+//!
+//! The campaign runner (`ldcf-bench`) executes one simulation per
+//! matrix cell (protocol × duty × seed) and summarises each into a
+//! [`CellSummary`]. This module owns the *analysis* half: the theory
+//! prediction for a cell's operating point (Theorem 1's `E[FDL]` at the
+//! duty-equivalent period) and the aggregated campaign table that
+//! reports simulated against predicted delay per (protocol, duty)
+//! group, averaged over seeds.
+//!
+//! The join deliberately uses the *duty-equivalent* period
+//! `T_eff = round(1/duty)`: the theory's schedule model is one active
+//! slot per period, so a node at duty `d` wakes as often as a
+//! single-slot node with period `1/d`, whatever its actual `(T, active)`
+//! decomposition. This keeps heterogeneous-period cells comparable to
+//! homogeneous ones on the same row.
+
+use ldcf_core::fdl;
+use serde::{Deserialize, Serialize};
+
+/// One executed campaign cell, as the runner summarises it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Protocol name (runner vocabulary, e.g. `"opt"`, `"dbao"`, `"of"`).
+    pub protocol: String,
+    /// Duty ratio of the cell.
+    pub duty: f64,
+    /// Schedule/MAC seed of the cell.
+    pub seed: u64,
+    /// Sensor count of the scenario topology (excludes the source).
+    pub n_sensors: u64,
+    /// Packets flooded.
+    pub packets: u32,
+    /// Mean flooding delay over covered packets, in slots.
+    pub mean_fdl: Option<f64>,
+    /// Fraction of packets that reached the coverage target.
+    pub coverage_rate: f64,
+    /// Committed transmissions.
+    pub transmissions: u64,
+    /// Slots the cell ran for.
+    pub slots_elapsed: u64,
+}
+
+/// Theorem 1's `E[FDL]` at a cell's operating point, in slots, using
+/// the duty-equivalent period `T_eff = round(1/duty)` (min 1).
+pub fn predicted_fdl(packets: u32, n_sensors: u64, duty: f64) -> f64 {
+    let period = (1.0 / duty).round().max(1.0) as u32;
+    fdl::fdl_expected(packets, n_sensors, period)
+}
+
+/// Theorem 2's `(lower, upper)` bounds at the same operating point.
+pub fn predicted_fdl_bounds(packets: u32, n_sensors: u64, duty: f64) -> (f64, f64) {
+    let period = (1.0 / duty).round().max(1.0) as u32;
+    fdl::fdl_theorem2_bounds(packets, n_sensors, period)
+}
+
+/// One aggregated row: a (protocol, duty) group averaged over seeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Duty ratio.
+    pub duty: f64,
+    /// Cells aggregated into this row.
+    pub cells: usize,
+    /// Mean of the cells' mean flooding delays (covered cells only).
+    pub sim_fdl: Option<f64>,
+    /// Theorem 1 prediction for the group's operating point.
+    pub predicted: f64,
+    /// Mean coverage success rate.
+    pub coverage_rate: f64,
+    /// Mean committed transmissions.
+    pub transmissions: f64,
+}
+
+impl CampaignRow {
+    /// Simulated over predicted delay; `None` when no cell covered.
+    pub fn ratio(&self) -> Option<f64> {
+        self.sim_fdl.map(|s| s / self.predicted)
+    }
+}
+
+/// Aggregate cells into (protocol, duty) rows, in first-appearance
+/// order (cells arrive in matrix order, so rows come out in matrix
+/// order too). Averages are computed serially in input order, keeping
+/// the table bytes independent of how the cells were executed.
+pub fn aggregate(cells: &[CellSummary]) -> Vec<CampaignRow> {
+    let mut rows: Vec<CampaignRow> = Vec::new();
+    let mut acc: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for c in cells {
+        let idx = match rows
+            .iter()
+            .position(|r| r.protocol == c.protocol && r.duty.to_bits() == c.duty.to_bits())
+        {
+            Some(i) => i,
+            None => {
+                rows.push(CampaignRow {
+                    protocol: c.protocol.clone(),
+                    duty: c.duty,
+                    cells: 0,
+                    sim_fdl: None,
+                    predicted: predicted_fdl(c.packets, c.n_sensors, c.duty),
+                    coverage_rate: 0.0,
+                    transmissions: 0.0,
+                });
+                acc.push((Vec::new(), Vec::new(), Vec::new()));
+                rows.len() - 1
+            }
+        };
+        rows[idx].cells += 1;
+        let (fdls, covs, txs) = &mut acc[idx];
+        if let Some(f) = c.mean_fdl {
+            fdls.push(f);
+        }
+        covs.push(c.coverage_rate);
+        txs.push(c.transmissions as f64);
+    }
+    for (row, (fdls, covs, txs)) in rows.iter_mut().zip(acc) {
+        row.sim_fdl = (!fdls.is_empty()).then(|| fdls.iter().sum::<f64>() / fdls.len() as f64);
+        row.coverage_rate = covs.iter().sum::<f64>() / covs.len() as f64;
+        row.transmissions = txs.iter().sum::<f64>() / txs.len() as f64;
+    }
+    rows
+}
+
+/// Render the aggregated campaign as a markdown table joining simulated
+/// against predicted `E[FDL]`.
+pub fn campaign_table(cells: &[CellSummary]) -> String {
+    let rows = aggregate(cells);
+    let mut out = String::new();
+    out.push_str(
+        "| protocol | duty | cells | sim E[FDL] | predicted E[FDL] | sim/pred | coverage | mean tx |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        let sim = r.sim_fdl.map_or("—".to_string(), |f| format!("{f:.1}"));
+        let ratio = r.ratio().map_or("—".to_string(), |x| format!("{x:.2}"));
+        out.push_str(&format!(
+            "| {} | {:.3} | {} | {} | {:.1} | {} | {:.2} | {:.1} |\n",
+            r.protocol, r.duty, r.cells, sim, r.predicted, ratio, r.coverage_rate, r.transmissions
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(protocol: &str, duty: f64, seed: u64, fdl: Option<f64>) -> CellSummary {
+        CellSummary {
+            protocol: protocol.into(),
+            duty,
+            seed,
+            n_sensors: 29,
+            packets: 8,
+            mean_fdl: fdl,
+            coverage_rate: if fdl.is_some() { 1.0 } else { 0.0 },
+            transmissions: 100,
+            slots_elapsed: 5000,
+        }
+    }
+
+    #[test]
+    fn predicted_uses_duty_equivalent_period() {
+        // duty 0.05 → T_eff 20; Theorem 1 with M=8 ≥ m=⌈log2(30)⌉=5:
+        // E[FDL] = T(m + M/2 - 1) = 20 × 8 = 160.
+        assert_eq!(predicted_fdl(8, 29, 0.05), 160.0);
+        let (lo, hi) = predicted_fdl_bounds(8, 29, 0.05);
+        assert!(lo <= 160.0 && 160.0 <= hi);
+    }
+
+    #[test]
+    fn aggregates_over_seeds_in_matrix_order() {
+        let cells = [
+            cell("of", 0.05, 1, Some(100.0)),
+            cell("of", 0.05, 2, Some(140.0)),
+            cell("dbao", 0.05, 1, Some(300.0)),
+            cell("of", 0.10, 1, Some(60.0)),
+        ];
+        let rows = aggregate(&cells);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].protocol, "of");
+        assert_eq!(rows[0].cells, 2);
+        assert_eq!(rows[0].sim_fdl, Some(120.0));
+        assert_eq!(rows[1].protocol, "dbao", "first-appearance order");
+        assert_eq!(rows[2].duty, 0.10);
+        assert!((rows[0].ratio().unwrap() - 120.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_cells_leave_fdl_blank_but_count() {
+        let cells = [cell("of", 0.05, 1, None), cell("of", 0.05, 2, Some(80.0))];
+        let rows = aggregate(&cells);
+        assert_eq!(rows[0].cells, 2);
+        assert_eq!(rows[0].sim_fdl, Some(80.0), "mean over covered cells only");
+        assert_eq!(rows[0].coverage_rate, 0.5);
+        let table = campaign_table(&cells);
+        assert!(table.contains("| of | 0.050 | 2 |"), "table:\n{table}");
+    }
+
+    #[test]
+    fn cell_summary_roundtrips_through_serde() {
+        let c = cell("opt", 0.05, 3, Some(42.5));
+        let json = serde_json::to_string_pretty(&c).unwrap();
+        let back: CellSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        let none = cell("opt", 0.05, 3, None);
+        let back: CellSummary =
+            serde_json::from_str(&serde_json::to_string_pretty(&none).unwrap()).unwrap();
+        assert_eq!(back, none);
+    }
+}

@@ -18,7 +18,7 @@
 //! correctness contract of the tracing pipeline (checked end-to-end in
 //! `ldcf-bench`'s replay tests).
 
-use ldcf_net::SOURCE;
+use ldcf_net::{NodeId, SOURCE};
 use ldcf_obs::SimEvent;
 
 /// Per-packet lifecycle reconstructed from an event stream.
@@ -70,6 +70,11 @@ impl ReplayReport {
     /// packet id seen, so partial traces replay to partial reports.
     pub fn from_events(events: &[SimEvent]) -> Self {
         let mut r = ReplayReport::default();
+        // Per-packet flood origin: the default source unless the trace
+        // carries an explicit `packet_injected` (multi-source/periodic
+        // workloads). A packet's push slot is its origin's first attempt.
+        let mut origins: std::collections::HashMap<ldcf_net::PacketId, NodeId> =
+            std::collections::HashMap::new();
         for ev in events {
             match *ev {
                 SimEvent::TxAttempt {
@@ -79,8 +84,9 @@ impl ReplayReport {
                     ..
                 } => {
                     r.transmissions += 1;
+                    let origin = origins.get(&packet).copied().unwrap_or(SOURCE);
                     let st = r.packet_mut(packet);
-                    if sender == SOURCE && st.pushed_at.is_none() {
+                    if sender == origin && st.pushed_at.is_none() {
                         st.pushed_at = Some(slot);
                     }
                 }
@@ -127,6 +133,10 @@ impl ReplayReport {
                 | SimEvent::SourceRetry { .. } => {}
                 // Static schedule metadata; no counter corresponds.
                 SimEvent::ScheduleSlot { .. } => {}
+                SimEvent::PacketInjected { node, packet, .. } => {
+                    origins.insert(packet, node);
+                    r.packet_mut(packet);
+                }
             }
         }
         r

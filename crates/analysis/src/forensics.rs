@@ -115,7 +115,10 @@ pub struct PathHop {
 pub struct PacketForensics {
     /// Sequence number.
     pub packet: PacketId,
-    /// Slot of the source's first committed transmission.
+    /// The node this packet's flood is rooted at: the source unless the
+    /// trace carries a `packet_injected` event (multi-source workloads).
+    pub origin: NodeId,
+    /// Slot of the origin's first committed transmission.
     pub pushed_at: u64,
     /// Slot the coverage target was reached, if it was.
     pub covered_at: Option<u64>,
@@ -305,6 +308,11 @@ impl ForensicsReport {
         let mut dup_overheard = 0u64;
         let mut max_packet: Option<PacketId> = None;
         let mut oracle = false;
+        // Per-packet flood origin; defaults to the source for packets
+        // without an explicit injection event. An injection precedes the
+        // packet's first transmission in stream order, so the map is
+        // complete by the time a push could be recorded.
+        let mut origins: HashMap<PacketId, NodeId> = HashMap::new();
 
         let fail = |failures: &mut HashMap<(u32, PacketId, u64), Cause>, r: NodeId, p, s, cause| {
             failures
@@ -323,7 +331,8 @@ impl ForensicsReport {
                 | SimEvent::ReceiverBusy { packet, .. }
                 | SimEvent::Mistimed { packet, .. }
                 | SimEvent::Deferred { packet, .. }
-                | SimEvent::CoverageReached { packet, .. } => Some(packet),
+                | SimEvent::CoverageReached { packet, .. }
+                | SimEvent::PacketInjected { packet, .. } => Some(packet),
                 _ => None,
             } {
                 max_packet = Some(max_packet.map_or(p, |m| m.max(p)));
@@ -358,7 +367,7 @@ impl ForensicsReport {
                     ..
                 } => {
                     oracle |= bypass_mac;
-                    if sender == SOURCE {
+                    if sender == origins.get(&packet).copied().unwrap_or(SOURCE) {
                         pushed_at.entry(packet).or_insert(slot);
                     }
                     serves.entry((sender.0, packet)).or_default().push(slot);
@@ -447,6 +456,9 @@ impl ForensicsReport {
                 | SimEvent::NodeCrashed { .. }
                 | SimEvent::NodeRecovered { .. }
                 | SimEvent::SourceRetry { .. } => {}
+                SimEvent::PacketInjected { node, packet, .. } => {
+                    origins.insert(packet, node);
+                }
                 SimEvent::SlotEnd { .. } => {}
             }
         }
@@ -490,6 +502,7 @@ impl ForensicsReport {
         let mut packets: Vec<PacketForensics> = Vec::with_capacity(n_packets);
 
         for p in 0..n_packets as PacketId {
+            let origin = origins.get(&p).copied().unwrap_or(SOURCE);
             let pushed = match pushed_at.get(&p) {
                 Some(&s) => s,
                 None => {
@@ -497,11 +510,12 @@ impl ForensicsReport {
                     // without a push would be an incoherent trace.
                     if edges.iter().any(|&(ep, ..)| ep == p) {
                         return Err(ForensicsError(format!(
-                            "packet {p} has fresh copies but no source transmission"
+                            "packet {p} has fresh copies but no transmission from its origin {origin}"
                         )));
                     }
                     packets.push(PacketForensics {
                         packet: p,
+                        origin,
                         pushed_at: 0,
                         covered_at: None,
                         nodes: Vec::new(),
@@ -533,7 +547,7 @@ impl ForensicsReport {
                     });
                     continue;
                 }
-                let (parent_ready, parent_depth, parent_attr) = if parent == SOURCE {
+                let (parent_ready, parent_depth, parent_attr) = if parent == origin {
                     (pushed, 0, DelayAttribution::default())
                 } else {
                     match informed.get(&parent.0) {
@@ -642,7 +656,7 @@ impl ForensicsReport {
                                 slot: nf.informed_at,
                                 via: nf.via,
                             });
-                            cursor = (nf.parent != SOURCE).then_some(nf.parent);
+                            cursor = (nf.parent != origin).then_some(nf.parent);
                         }
                         None => {
                             // Chain broken — already reported as an
@@ -669,6 +683,7 @@ impl ForensicsReport {
 
             packets.push(PacketForensics {
                 packet: p,
+                origin,
                 pushed_at: pushed,
                 covered_at: covered_entry.map(|(s, _)| s),
                 nodes,
@@ -766,6 +781,7 @@ impl ForensicsReport {
                     .collect();
                 Value::Object(vec![
                     ("packet".into(), Value::UInt(pf.packet as u64)),
+                    ("origin".into(), Value::UInt(pf.origin.0 as u64)),
                     ("pushed_at".into(), Value::UInt(pf.pushed_at)),
                     ("covered_at".into(), opt_u64(pf.covered_at)),
                     ("flooding_delay".into(), opt_u64(pf.flooding_delay())),
@@ -909,7 +925,7 @@ impl ForensicsReport {
         by_delay.sort_by_key(|pf| std::cmp::Reverse(pf.flooding_delay()));
         let _ = writeln!(out, "top {} critical paths:", top_k.min(by_delay.len()));
         for pf in by_delay.iter().take(top_k) {
-            let mut path = format!("{}", SOURCE);
+            let mut path = format!("{}", pf.origin);
             for h in &pf.critical_path {
                 let tag = match h.via {
                     Via::Delivery => 'd',

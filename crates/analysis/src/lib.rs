@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod campaign;
 pub mod events;
 pub mod forensics;
 pub mod plot;
@@ -26,6 +27,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use attribution::{attribute_hop, Cause, DelayAttribution};
+pub use campaign::{campaign_table, predicted_fdl, CampaignRow, CellSummary};
 pub use events::{PacketReplay, ReplayReport};
 pub use forensics::{ForensicsError, ForensicsReport, PacketForensics, Via, Violation};
 pub use plot::{ascii_chart, PlotOptions};

@@ -12,9 +12,9 @@
 //! but never create tree edges.
 
 use ldcf_analysis::ForensicsReport;
-use ldcf_net::{LinkQuality, NodeId, Topology, SOURCE};
+use ldcf_net::{LinkQuality, NeighborTable, NodeId, Topology, WorkingSchedule, SOURCE};
 use ldcf_protocols::{Dbao, OpportunisticFlooding};
-use ldcf_sim::{Engine, FloodingProtocol, SimConfig, SimState, TxIntent, VecObserver};
+use ldcf_sim::{Engine, FloodingProtocol, Injection, SimConfig, SimState, TxIntent, VecObserver};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use rand::rngs::StdRng;
@@ -132,6 +132,95 @@ fn check_forensics<P: FloodingProtocol>(
     Ok(())
 }
 
+/// Two concurrent origins: the default source plus the hop-farthest
+/// node, packets round-robin between them (the scenario subsystem's
+/// `multi-source` workload). The forensic invariants are the same as
+/// the single-source case, but rooted per packet at *its* origin: the
+/// origin never appears in its own packet's tree — while `SOURCE` may
+/// legitimately be informed of a packet originated elsewhere — and the
+/// tree root's parent is the origin, not `SOURCE`.
+fn check_forensics_two_sources<P: FloodingProtocol>(
+    topo: &Topology,
+    cfg: &SimConfig,
+    protocol: P,
+) -> Result<(), TestCaseError> {
+    let dist = topo.hop_distances(SOURCE);
+    let far = (0..topo.n_nodes())
+        .map(NodeId::from)
+        .filter(|n| *n != SOURCE && dist[n.index()] != u32::MAX)
+        .max_by_key(|n| (dist[n.index()], std::cmp::Reverse(n.0)))
+        .expect("connected topology has a farthest node");
+    let origins = [SOURCE, far];
+    let plan: Vec<Injection> = (0..cfg.n_packets)
+        .map(|p| Injection {
+            origin: origins[p as usize % 2],
+            slot: 0,
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5);
+    let schedules = NeighborTable::new(
+        (0..topo.n_nodes())
+            .map(|_| WorkingSchedule::multi_random(cfg.period, cfg.active_per_period, &mut rng))
+            .collect(),
+    );
+    let engine = Engine::with_injections(topo.clone(), cfg.clone(), schedules, &plan, protocol)
+        .with_observer(VecObserver::default());
+    let (report, _, obs) = engine.run_traced();
+    let forensics = ForensicsReport::from_events(&obs.events)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+    prop_assert!(
+        forensics.is_clean(),
+        "theory violations: {:?}",
+        forensics.violations
+    );
+    prop_assert_eq!(
+        forensics.mean_flooding_delay,
+        report.mean_flooding_delay(),
+        "tree-derived mean flooding delay must match the engine"
+    );
+
+    for (pf, st) in forensics.packets.iter().zip(&report.packets) {
+        let origin = origins[pf.packet as usize % 2];
+        prop_assert_eq!(pf.origin, origin, "packet {} origin", pf.packet);
+        prop_assert_eq!(
+            pf.nodes.len() as u32,
+            st.deliveries + st.overhears,
+            "packet {}: tree must span the informed set",
+            pf.packet
+        );
+        let mut seen = std::collections::HashSet::new();
+        for nf in &pf.nodes {
+            prop_assert!(
+                nf.node != origin,
+                "packet {}: its origin {} can never be informed of it",
+                pf.packet,
+                origin
+            );
+            prop_assert!(seen.insert(nf.node), "node {} informed twice", nf.node);
+            if nf.parent == origin {
+                prop_assert!(nf.informed_at >= pf.pushed_at);
+            } else {
+                let parent = pf
+                    .nodes
+                    .iter()
+                    .find(|o| o.node == nf.parent)
+                    .expect("parent is in the tree (no OrphanNode fired)");
+                prop_assert!(parent.informed_at < nf.informed_at);
+            }
+            prop_assert_eq!(
+                nf.attribution.total(),
+                nf.delay,
+                "packet {} node {}: attribution must sum to the delay",
+                pf.packet,
+                nf.node
+            );
+            prop_assert_eq!(nf.delay, nf.informed_at - pf.pushed_at);
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -149,6 +238,22 @@ proptest! {
         cfg in arb_cfg(),
     ) {
         check_forensics(&topo, &cfg, OpportunisticFlooding::new())?;
+    }
+
+    #[test]
+    fn two_source_dbao_floods_attribute_per_origin(
+        topo in arb_topology(),
+        cfg in arb_cfg(),
+    ) {
+        check_forensics_two_sources(&topo, &cfg, Dbao::new())?;
+    }
+
+    #[test]
+    fn two_source_opportunistic_floods_attribute_per_origin(
+        topo in arb_topology(),
+        cfg in arb_cfg(),
+    ) {
+        check_forensics_two_sources(&topo, &cfg, OpportunisticFlooding::new())?;
     }
 }
 

@@ -50,60 +50,83 @@ struct Cli {
     trace: Option<PathBuf>,
     label: Option<String>,
     validate: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    spec: Option<PathBuf>,
+    digest: bool,
+}
+
+/// The flags each subcommand accepts. Everything not listed here is a
+/// usage error for that subcommand: a `--quick` passed to `forensics`
+/// or a `--trace` passed to `fig9` used to be silently swallowed (or,
+/// worse, a leading flag became the artefact name), which made typo'd
+/// CI invocations look green while running the wrong thing.
+fn allowed_flags(artefact: &str) -> &'static [&'static str] {
+    match artefact {
+        "forensics" => &["--trace", "--out"],
+        "perf" => &["--quick", "--label", "--out", "--validate", "--baseline"],
+        "campaign" => &["--spec", "--quick", "--out", "--digest"],
+        _ => &["--quick", "--out", "--trace-events", "--metrics"],
+    }
 }
 
 fn parse_args() -> Cli {
-    let mut artefact = None;
+    let mut artefact: Option<String> = None;
     let mut quick = false;
     let mut out = None;
     let mut trace = None;
     let mut label = None;
     let mut validate = None;
+    let mut baseline = None;
+    let mut spec = None;
+    let mut digest = false;
+    let mut trace_events = None;
+    let mut metrics = None;
+    let mut seen: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{a} needs {what}")))
+        };
         match a.as_str() {
-            "--quick" => quick = true,
-            "--label" => {
-                let l = args.next().unwrap_or_else(|| usage("--label needs a name"));
-                label = Some(l);
-            }
-            "--validate" => {
-                let file = args
-                    .next()
-                    .unwrap_or_else(|| usage("--validate needs a file"));
-                validate = Some(PathBuf::from(file));
-            }
-            "--out" => {
-                let dir = args
-                    .next()
-                    .unwrap_or_else(|| usage("--out needs a directory"));
-                out = Some(PathBuf::from(dir));
-            }
-            "--trace" => {
-                let file = args.next().unwrap_or_else(|| usage("--trace needs a file"));
-                trace = Some(PathBuf::from(file));
-            }
-            "--trace-events" => {
-                let dir = args
-                    .next()
-                    .unwrap_or_else(|| usage("--trace-events needs a directory"));
-                runner::enable_event_tracing(PathBuf::from(dir).as_path())
-                    .unwrap_or_else(|e| usage(&format!("--trace-events: {e}")));
-            }
-            "--metrics" => {
-                let dir = args
-                    .next()
-                    .unwrap_or_else(|| usage("--metrics needs a directory"));
-                runner::enable_metrics(PathBuf::from(dir).as_path())
-                    .unwrap_or_else(|e| usage(&format!("--metrics: {e}")));
-            }
             "--help" | "-h" => usage(""),
-            other if artefact.is_none() => artefact = Some(other.to_string()),
+            "--quick" => quick = true,
+            "--digest" => digest = true,
+            "--label" => label = Some(value("a name")),
+            "--validate" => validate = Some(PathBuf::from(value("a file"))),
+            "--baseline" => baseline = Some(PathBuf::from(value("a file"))),
+            "--out" => out = Some(PathBuf::from(value("a directory"))),
+            "--trace" => trace = Some(PathBuf::from(value("a file"))),
+            "--spec" => spec = Some(PathBuf::from(value("a file"))),
+            "--trace-events" => trace_events = Some(PathBuf::from(value("a directory"))),
+            "--metrics" => metrics = Some(PathBuf::from(value("a directory"))),
+            other if other.starts_with('-') => {
+                usage(&format!("unknown flag '{other}'"));
+            }
+            other if artefact.is_none() => {
+                artefact = Some(other.to_string());
+                continue;
+            }
             other => usage(&format!("unexpected argument '{other}'")),
         }
+        seen.push(a);
+    }
+    let artefact = artefact.unwrap_or_else(|| usage("missing artefact name"));
+    let allowed = allowed_flags(&artefact);
+    for flag in &seen {
+        if !allowed.contains(&flag.as_str()) {
+            usage(&format!("flag '{flag}' is not valid for '{artefact}'"));
+        }
+    }
+    if let Some(dir) = &trace_events {
+        runner::enable_event_tracing(dir)
+            .unwrap_or_else(|e| usage(&format!("--trace-events: {e}")));
+    }
+    if let Some(dir) = &metrics {
+        runner::enable_metrics(dir).unwrap_or_else(|e| usage(&format!("--metrics: {e}")));
     }
     Cli {
-        artefact: artefact.unwrap_or_else(|| usage("missing artefact name")),
+        artefact,
         opts: if quick {
             ExpOptions::quick()
         } else {
@@ -114,6 +137,9 @@ fn parse_args() -> Cli {
         trace,
         label,
         validate,
+        baseline,
+        spec,
+        digest,
     }
 }
 
@@ -124,12 +150,14 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]\n\
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
-         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR]\n\
+         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE]\n\
          \u{20}      experiments perf --validate FILE\n\
+         \u{20}      experiments campaign --spec FILE [--quick] [--out DIR]\n\
+         \u{20}      experiments campaign --spec FILE --digest\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
-         \u{20}          forensics perf analytical all"
+         \u{20}          forensics perf campaign analytical all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -219,6 +247,40 @@ fn run_perf(cli: &Cli) -> ! {
     }
     eprintln!("perf: wrote {} (validated)", path.display());
 
+    // `--baseline FILE` is the CI regression gate: non-zero exit when
+    // any case runs more than REGRESSION_TOLERANCE slower than the
+    // committed baseline (policy documented in EXPERIMENTS.md).
+    if let Some(file) = &cli.baseline {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| usage(&format!("--baseline {}: {e}", file.display())));
+        let ups = match perf::speedup_vs_baseline(&text, &report) {
+            Ok(ups) => ups,
+            Err(e) => {
+                eprintln!("perf: baseline {} not comparable: {e}", file.display());
+                std::process::exit(1);
+            }
+        };
+        for (name, x) in &ups {
+            println!("speedup vs baseline: {name} {x:.2}x");
+        }
+        let bad = perf::regressions(&ups);
+        if !bad.is_empty() {
+            for (name, x) in &bad {
+                eprintln!(
+                    "perf: REGRESSION {name}: {x:.2}x (gate: ≥ {:.2}x of baseline)",
+                    1.0 - perf::REGRESSION_TOLERANCE
+                );
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf: no case regressed more than {:.0}% vs {}",
+            perf::REGRESSION_TOLERANCE * 100.0,
+            file.display()
+        );
+        std::process::exit(0);
+    }
+
     let baseline = dir.join("BENCH_baseline.json");
     if label != "baseline" && baseline.exists() {
         let text = std::fs::read_to_string(&baseline).expect("read baseline");
@@ -231,6 +293,79 @@ fn run_perf(cli: &Cli) -> ! {
             Err(e) => eprintln!("perf: baseline not comparable: {e}"),
         }
     }
+    std::process::exit(0);
+}
+
+/// The `campaign` subcommand: parse a scenario spec, then either print
+/// its generator digest (`--digest`, the CI golden gate) or run/resume
+/// the campaign into `--out` and print the aggregated table.
+fn run_campaign_cmd(cli: &Cli) -> ! {
+    use ldcf_scenarios::{BuiltScenario, ScenarioSpec};
+
+    let spec_path = cli
+        .spec
+        .as_ref()
+        .unwrap_or_else(|| usage("campaign needs --spec FILE"));
+    let text = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| usage(&format!("--spec {}: {e}", spec_path.display())));
+    let spec = match ScenarioSpec::from_toml_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", spec_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    if cli.digest {
+        // Digest of the *full* matrix even under --quick: the golden
+        // file pins one digest per spec, not one per truncation level.
+        let built = match BuiltScenario::build(spec) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", spec_path.display());
+                std::process::exit(2);
+            }
+        };
+        println!("{}  {}", built.digest(), built.spec.name);
+        std::process::exit(0);
+    }
+
+    let out = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    runner::ledger_reset();
+    let t0 = std::time::Instant::now();
+    let outcome = match ldcf_bench::campaign::run_campaign(spec, cli.quick, &out) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = t0.elapsed();
+    println!("{}", outcome.markdown);
+
+    let ledger = runner::ledger_snapshot();
+    let manifest = RunManifest::new(
+        &format!("campaign-{}", outcome.name),
+        ledger.protocols.clone(),
+        Value::Object(vec![(
+            "spec_digest".into(),
+            Value::Str(outcome.digest.clone()),
+        )]),
+        ledger.seeds.clone(),
+        cli.quick,
+        ledger.sims,
+        ledger.slots,
+        wall.as_millis() as u64,
+    );
+    std::fs::write(
+        out.join("campaign.manifest.json"),
+        manifest.to_json_pretty() + "\n",
+    )
+    .expect("write manifest");
+    eprintln!(
+        "[campaign-{}] done in {wall:?} — {}/{} cells run, {} resumed, digest {}",
+        outcome.name, outcome.cells_run, outcome.cells_total, outcome.cells_resumed, outcome.digest
+    );
     std::process::exit(0);
 }
 
@@ -276,6 +411,9 @@ fn main() {
     }
     if cli.artefact == "perf" {
         run_perf(&cli);
+    }
+    if cli.artefact == "campaign" {
+        run_campaign_cmd(&cli);
     }
     let names: Vec<&str> = match cli.artefact.as_str() {
         "analytical" => vec![

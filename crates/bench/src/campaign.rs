@@ -1,0 +1,407 @@
+//! The deterministic campaign runner: expands a scenario's parameter
+//! matrix into one simulation per (protocol × duty × seed) cell, runs
+//! the cells in parallel, checkpoints each one, and aggregates the
+//! results into the theory-joined campaign table
+//! (`ldcf_analysis::campaign`).
+//!
+//! Determinism contract:
+//!
+//! * Cells are expanded, executed, and aggregated in **matrix order**
+//!   (protocols outer, then duties, then seeds). Parallel execution
+//!   collects in input order, so the aggregated table — and every byte
+//!   of `campaign.md` / `campaign.json` — is independent of the worker
+//!   count (`rayon::set_thread_limit`) and of scheduling luck.
+//! * Each cell is a pure function of the built scenario and its
+//!   `(duty, seed)`: schedules come from [`BuiltScenario::schedules`],
+//!   the injection plan from the workload, and the engine's MAC seed
+//!   from the cell seed. Nothing reads the wall clock.
+//! * Every finished cell is checkpointed to `<out>/cells/<stem>.json`
+//!   keyed by the scenario's spec digest. A re-run (after a kill, or
+//!   incrementally after adding matrix entries) reloads cells whose
+//!   digest still matches and re-runs only the rest, producing the same
+//!   aggregate bytes as an uninterrupted run. Stale checkpoints (spec
+//!   changed → digest changed) are ignored and overwritten.
+
+use crate::runner::{self, ProtocolKind};
+use ldcf_analysis::campaign::{campaign_table, CellSummary};
+use ldcf_scenarios::{BuiltScenario, ScenarioSpec, ScheduleModel};
+use ldcf_sim::SimConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// Schema version stamped into cell checkpoints and `campaign.json`.
+pub const CELL_SCHEMA_VERSION: u64 = 1;
+
+/// `--quick` truncation: duties and seeds kept from the spec's matrix.
+const QUICK_DUTIES: usize = 2;
+const QUICK_SEEDS: usize = 1;
+
+/// One expanded matrix cell.
+#[derive(Clone, Debug)]
+struct Cell {
+    kind: ProtocolKind,
+    /// Canonical (lowercase) protocol name, as written in checkpoints.
+    protocol: String,
+    duty: f64,
+    seed: u64,
+}
+
+/// What a campaign run produced, for the caller to print/exit on.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Spec digest of the (possibly quickened) matrix that ran.
+    pub digest: String,
+    /// The rendered `campaign.md` body.
+    pub markdown: String,
+    /// Total cells in the matrix.
+    pub cells_total: usize,
+    /// Cells simulated in this invocation.
+    pub cells_run: usize,
+    /// Cells reloaded from valid checkpoints.
+    pub cells_resumed: usize,
+}
+
+/// Shrink a spec's matrix for `--quick`: the first [`QUICK_DUTIES`]
+/// duties and the first [`QUICK_SEEDS`] seeds, protocols untouched.
+/// Truncation (rather than resampling) keeps quick cells a strict
+/// subset of the full campaign, so a quick run can seed a later full
+/// run's checkpoint directory.
+pub fn quicken(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.matrix.duties.truncate(QUICK_DUTIES);
+    spec.matrix.seeds.truncate(QUICK_SEEDS);
+    spec
+}
+
+/// Expand the matrix in canonical order; errors on unknown protocols.
+fn expand_cells(spec: &ScenarioSpec) -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::with_capacity(spec.n_cells());
+    for name in &spec.matrix.protocols {
+        let kind = ProtocolKind::from_cli_name(name)
+            .ok_or_else(|| format!("unknown protocol {name:?} in matrix.protocols"))?;
+        for &duty in &spec.matrix.duties {
+            for &seed in &spec.matrix.seeds {
+                cells.push(Cell {
+                    kind,
+                    protocol: name.to_ascii_lowercase(),
+                    duty,
+                    seed,
+                });
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// The engine config of one cell. The period is representative for
+/// heterogeneous schedules (the engine wakes nodes from the externally
+/// drawn schedule table, not from this value); `active_per_period`
+/// mirrors the schedule model's `max(1, round(duty × T))`.
+fn cell_config(spec: &ScenarioSpec, duty: f64, seed: u64) -> SimConfig {
+    let period = match &spec.schedule {
+        ScheduleModel::Homogeneous { period } => *period,
+        ScheduleModel::Heterogeneous { periods } => {
+            *periods.iter().max().expect("validated non-empty")
+        }
+    };
+    SimConfig {
+        period,
+        active_per_period: ((duty * period as f64).round() as u32).clamp(1, period),
+        n_packets: spec.workload.packets,
+        coverage: spec.workload.coverage,
+        max_slots: spec.workload.max_slots,
+        seed,
+        mistiming_prob: 0.0,
+    }
+}
+
+fn cell_stem(cell: &Cell) -> String {
+    format!("{}-d{:.4}-s{}", cell.protocol, cell.duty, cell.seed)
+}
+
+fn run_cell(built: &BuiltScenario, cell: &Cell) -> CellSummary {
+    let cfg = cell_config(&built.spec, cell.duty, cell.seed);
+    let schedules = built.schedules(cell.duty, cell.seed);
+    let (report, _energy) = runner::run_flood_scenario(
+        &built.topology,
+        &cfg,
+        schedules,
+        &built.injections,
+        cell.kind,
+        &built.spec.name,
+    );
+    CellSummary {
+        protocol: cell.protocol.clone(),
+        duty: cell.duty,
+        seed: cell.seed,
+        n_sensors: report.n_sensors as u64,
+        packets: cfg.n_packets,
+        mean_fdl: report.mean_flooding_delay(),
+        coverage_rate: report.coverage_success_rate(),
+        transmissions: report.transmissions,
+        slots_elapsed: report.slots_elapsed,
+    }
+}
+
+fn cell_json(scenario: &str, digest: &str, summary: &CellSummary) -> String {
+    let v = Value::Object(vec![
+        ("schema_version".into(), Value::UInt(CELL_SCHEMA_VERSION)),
+        ("scenario".into(), Value::Str(scenario.to_string())),
+        ("spec_digest".into(), Value::Str(digest.to_string())),
+        ("cell".into(), summary.to_value()),
+    ]);
+    serde_json::to_string_pretty(&v).expect("serialize cell") + "\n"
+}
+
+/// Reload a checkpoint if it exists, parses, and was written by *this*
+/// spec (same scenario name and digest) for *this* cell. Anything else
+/// — missing, corrupt, stale, or mislabelled — means "re-run".
+fn load_cell(dir: &Path, cell: &Cell, scenario: &str, digest: &str) -> Option<CellSummary> {
+    let text = std::fs::read_to_string(dir.join(format!("{}.json", cell_stem(cell)))).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    if v.get("schema_version")?.as_u64()? != CELL_SCHEMA_VERSION
+        || v.get("scenario")?.as_str()? != scenario
+        || v.get("spec_digest")?.as_str()? != digest
+    {
+        return None;
+    }
+    let summary = CellSummary::from_value(v.get("cell")?).ok()?;
+    (summary.protocol == cell.protocol
+        && summary.duty.to_bits() == cell.duty.to_bits()
+        && summary.seed == cell.seed)
+        .then_some(summary)
+}
+
+/// Validate a `campaign.json` artefact; returns the cell count.
+pub fn validate_campaign_json(text: &str) -> Result<usize, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if schema != CELL_SCHEMA_VERSION {
+        return Err(format!("schema_version {schema} != {CELL_SCHEMA_VERSION}"));
+    }
+    v.get("scenario")
+        .and_then(Value::as_str)
+        .ok_or("missing scenario")?;
+    let digest = v
+        .get("spec_digest")
+        .and_then(Value::as_str)
+        .ok_or("missing spec_digest")?;
+    if digest.len() != 64 || !digest.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("spec_digest is not sha256 hex: {digest:?}"));
+    }
+    let cells = match v.get("cells") {
+        Some(Value::Array(a)) => a,
+        _ => return Err("missing cells array".into()),
+    };
+    for (i, c) in cells.iter().enumerate() {
+        CellSummary::from_value(c).map_err(|e| format!("cells[{i}]: {e}"))?;
+    }
+    Ok(cells.len())
+}
+
+/// Run (or resume) a campaign into `out`, writing per-cell checkpoints
+/// under `out/cells/`, the aggregated `campaign.md`, and the
+/// machine-readable `campaign.json`. All three are byte-reproducible:
+/// same spec → same bytes, whatever the worker count and whether or not
+/// checkpoints were reloaded.
+pub fn run_campaign(
+    spec: ScenarioSpec,
+    quick: bool,
+    out: &Path,
+) -> Result<CampaignOutcome, String> {
+    let spec = if quick { quicken(spec) } else { spec };
+    let cells = expand_cells(&spec)?;
+    let built = BuiltScenario::build(spec)?;
+    let digest = built.digest();
+    let name = built.spec.name.clone();
+
+    let cells_dir = out.join("cells");
+    std::fs::create_dir_all(&cells_dir)
+        .map_err(|e| format!("create {}: {e}", cells_dir.display()))?;
+
+    let jobs: Vec<(Cell, Option<CellSummary>)> = cells
+        .into_iter()
+        .map(|c| {
+            let cached = load_cell(&cells_dir, &c, &name, &digest);
+            (c, cached)
+        })
+        .collect();
+    let cells_resumed = jobs.iter().filter(|(_, cached)| cached.is_some()).count();
+    let cells_total = jobs.len();
+
+    let summaries: Vec<Result<CellSummary, String>> = jobs
+        .par_iter()
+        .map(|(cell, cached)| {
+            if let Some(s) = cached {
+                return Ok(s.clone());
+            }
+            let summary = run_cell(&built, cell);
+            let path = cells_dir.join(format!("{}.json", cell_stem(cell)));
+            std::fs::write(&path, cell_json(&name, &digest, &summary))
+                .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+            Ok(summary)
+        })
+        .collect();
+    let summaries: Vec<CellSummary> = summaries.into_iter().collect::<Result<_, _>>()?;
+
+    let table = campaign_table(&summaries);
+    let mut md = String::new();
+    md.push_str(&format!("# campaign: {name}\n\n"));
+    if !built.spec.description.is_empty() {
+        md.push_str(&format!("{}\n\n", built.spec.description));
+    }
+    md.push_str(&format!(
+        "- spec digest: `{digest}`\n- topology: {} nodes, {} edges\n- workload: {} packet(s), coverage target {}, slot budget {}\n- matrix: {} protocol(s) × {} dut(ies) × {} seed(s) = {} cells\n\n",
+        built.topology.n_nodes(),
+        built.topology.n_edges(),
+        built.spec.workload.packets,
+        built.spec.workload.coverage,
+        built.spec.workload.max_slots,
+        built.spec.matrix.protocols.len(),
+        built.spec.matrix.duties.len(),
+        built.spec.matrix.seeds.len(),
+        cells_total,
+    ));
+    md.push_str(&table);
+
+    std::fs::write(out.join("campaign.md"), &md).map_err(|e| format!("write campaign.md: {e}"))?;
+    let json = Value::Object(vec![
+        ("schema_version".into(), Value::UInt(CELL_SCHEMA_VERSION)),
+        ("scenario".into(), Value::Str(name.clone())),
+        ("spec_digest".into(), Value::Str(digest.clone())),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "cells".into(),
+            Value::Array(summaries.iter().map(Serialize::to_value).collect()),
+        ),
+    ]);
+    std::fs::write(
+        out.join("campaign.json"),
+        serde_json::to_string_pretty(&json).expect("serialize campaign") + "\n",
+    )
+    .map_err(|e| format!("write campaign.json: {e}"))?;
+
+    Ok(CampaignOutcome {
+        name,
+        digest,
+        markdown: md,
+        cells_total,
+        cells_run: cells_total - cells_resumed,
+        cells_resumed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> &'static str {
+        r#"
+        [scenario]
+        name = "tiny"
+
+        [topology]
+        kind = "grid"
+        rows = 3
+        cols = 3
+        prr = 0.9
+
+        [schedule]
+        model = "homogeneous"
+        period = 5
+
+        [workload]
+        kind = "single-flood"
+        packets = 2
+
+        [matrix]
+        protocols = ["of", "opt"]
+        duties = [0.2, 0.4, 0.5]
+        seeds = [1, 2]
+        "#
+    }
+
+    #[test]
+    fn quicken_truncates_duties_and_seeds_only() {
+        let spec = ScenarioSpec::from_toml_str(tiny_spec()).unwrap();
+        let q = quicken(spec.clone());
+        assert_eq!(q.matrix.protocols, spec.matrix.protocols);
+        assert_eq!(q.matrix.duties, spec.matrix.duties[..QUICK_DUTIES]);
+        assert_eq!(q.matrix.seeds, spec.matrix.seeds[..QUICK_SEEDS]);
+    }
+
+    #[test]
+    fn cells_expand_in_matrix_order_and_reject_unknown_protocols() {
+        let spec = ScenarioSpec::from_toml_str(tiny_spec()).unwrap();
+        let cells = expand_cells(&spec).unwrap();
+        assert_eq!(cells.len(), spec.n_cells());
+        assert_eq!(cells[0].protocol, spec.matrix.protocols[0]);
+        assert_eq!(cells[0].duty, spec.matrix.duties[0]);
+        assert_eq!(cells[0].seed, spec.matrix.seeds[0]);
+        assert_eq!(cells[1].seed, spec.matrix.seeds[1], "seeds innermost");
+
+        let mut bad = spec;
+        bad.matrix.protocols.push("gossip".into());
+        assert!(expand_cells(&bad).unwrap_err().contains("gossip"));
+    }
+
+    #[test]
+    fn cell_checkpoints_roundtrip_and_reject_stale_digests() {
+        let cell = Cell {
+            kind: ProtocolKind::Of,
+            protocol: "of".into(),
+            duty: 0.05,
+            seed: 1,
+        };
+        let summary = CellSummary {
+            protocol: "of".into(),
+            duty: 0.05,
+            seed: 1,
+            n_sensors: 29,
+            packets: 8,
+            mean_fdl: Some(120.5),
+            coverage_rate: 1.0,
+            transmissions: 321,
+            slots_elapsed: 4000,
+        };
+        let dir = std::env::temp_dir().join("ldcf-campaign-cell-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let digest = "ab".repeat(32);
+        std::fs::write(
+            dir.join(format!("{}.json", cell_stem(&cell))),
+            cell_json("demo", &digest, &summary),
+        )
+        .unwrap();
+        assert_eq!(load_cell(&dir, &cell, "demo", &digest), Some(summary));
+        assert_eq!(
+            load_cell(&dir, &cell, "demo", &"cd".repeat(32)),
+            None,
+            "digest mismatch must force a re-run"
+        );
+        assert_eq!(load_cell(&dir, &cell, "other", &digest), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_json_validator_accepts_good_and_rejects_bad() {
+        let good = Value::Object(vec![
+            ("schema_version".into(), Value::UInt(1)),
+            ("scenario".into(), Value::Str("demo".into())),
+            ("spec_digest".into(), Value::Str("ab".repeat(32))),
+            ("quick".into(), Value::Bool(true)),
+            ("cells".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(
+            validate_campaign_json(&serde_json::to_string_pretty(&good).unwrap()),
+            Ok(0)
+        );
+        assert!(validate_campaign_json("{}").is_err());
+        assert!(validate_campaign_json("not json").is_err());
+    }
+}

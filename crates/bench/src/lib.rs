@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod options;
 pub mod perf;
 pub mod resilience;
 pub mod runner;
 
+pub use campaign::{run_campaign, CampaignOutcome};
 pub use experiments::*;
 pub use options::ExpOptions;
-pub use runner::{run_flood, run_flood_faulted, ProtocolKind};
+pub use runner::{run_flood, run_flood_faulted, run_flood_scenario, ProtocolKind};

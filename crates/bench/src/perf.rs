@@ -320,6 +320,24 @@ pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
     Ok(names)
 }
 
+/// Fractional slowdown tolerated by the CI perf gate: a case counts as
+/// regressed when its speedup over the committed baseline drops below
+/// `1 − REGRESSION_TOLERANCE` (i.e. it runs >25 % slower). The margin
+/// is deliberately wide — shared CI runners jitter by tens of percent —
+/// while still catching order-of-magnitude slips; EXPERIMENTS.md
+/// documents the policy and how to regenerate the baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// The subset of `speedups` the CI gate fails on (see
+/// [`REGRESSION_TOLERANCE`]).
+pub fn regressions(speedups: &[(String, f64)]) -> Vec<(String, f64)> {
+    speedups
+        .iter()
+        .filter(|(_, x)| *x < 1.0 - REGRESSION_TOLERANCE)
+        .cloned()
+        .collect()
+}
+
 /// Per-case speedup of `report` over a baseline `BENCH_*.json`
 /// document: `(case name, report slots/sec ÷ baseline slots/sec)` for
 /// every case present in both. `Err` if the baseline is malformed or
@@ -433,6 +451,21 @@ mod tests {
         assert!(speedup_vs_baseline(&base.to_json_pretty(), &other)
             .unwrap_err()
             .contains("digest mismatch"));
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_the_tolerance() {
+        let speedups = vec![
+            ("fine".to_string(), 1.1),
+            ("noisy-but-ok".to_string(), 0.76),
+            ("regressed".to_string(), 0.74),
+            ("disaster".to_string(), 0.1),
+        ];
+        let bad = regressions(&speedups);
+        assert_eq!(
+            bad.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["regressed", "disaster"]
+        );
     }
 
     #[test]

@@ -13,12 +13,12 @@
 //! Tracing is opt-in per process: when neither directory is configured,
 //! floods run with the engine's `NullObserver` and pay nothing.
 
-use ldcf_net::Topology;
+use ldcf_net::{NeighborTable, Topology};
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
 use ldcf_sim::{
-    Engine, FaultConfig, FloodingProtocol, JsonlSink, MetricsObserver, SimConfig, SimEvent,
-    SimObserver, SimReport,
+    Engine, FaultConfig, FloodingProtocol, Injection, JsonlSink, MetricsObserver, SimConfig,
+    SimEvent, SimObserver, SimReport,
 };
 use std::collections::BTreeSet;
 use std::fs::File;
@@ -60,6 +60,59 @@ impl ProtocolKind {
     pub fn paper_set() -> [ProtocolKind; 3] {
         [ProtocolKind::Of, ProtocolKind::Dbao, ProtocolKind::Opt]
     }
+
+    /// Resolve the scenario-file vocabulary (`"opt"`, `"dbao"`,
+    /// `"dbao-no-overhear"`, `"of"`, `"of-pure-tree"`, `"naive"`,
+    /// case-insensitive) to a kind.
+    pub fn from_cli_name(name: &str) -> Option<ProtocolKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "opt" => Some(ProtocolKind::Opt),
+            "dbao" => Some(ProtocolKind::Dbao),
+            "dbao-no-overhear" => Some(ProtocolKind::DbaoNoOverhear),
+            "of" => Some(ProtocolKind::Of),
+            "of-pure-tree" => Some(ProtocolKind::OfPureTree),
+            "naive" => Some(ProtocolKind::Naive),
+            _ => None,
+        }
+    }
+}
+
+/// Instantiate the protocol a [`ProtocolKind`] names and hand it to the
+/// given closure-like expression. One place owns the kind → constructor
+/// mapping, so every entry point (plain, faulted, scenario) stays a
+/// one-liner and a new ablation variant is added exactly once.
+macro_rules! dispatch_protocol {
+    ($kind:expr, |$p:ident| $body:expr) => {
+        match $kind {
+            ProtocolKind::Opt => {
+                let $p = Opt::new();
+                $body
+            }
+            ProtocolKind::Dbao => {
+                let $p = Dbao::new();
+                $body
+            }
+            ProtocolKind::DbaoNoOverhear => {
+                let $p = Dbao::with_config(DbaoConfig { overhearing: false });
+                $body
+            }
+            ProtocolKind::Of => {
+                let $p = OpportunisticFlooding::new();
+                $body
+            }
+            ProtocolKind::OfPureTree => {
+                let $p = OpportunisticFlooding::with_config(OfConfig {
+                    opportunistic: false,
+                    ..OfConfig::default()
+                });
+                $body
+            }
+            ProtocolKind::Naive => {
+                let $p = NaiveFlood::new();
+                $body
+            }
+        }
+    };
 }
 
 // ---------------------------------------------------------------------
@@ -288,27 +341,7 @@ pub fn run_flood(
     cfg: &SimConfig,
     kind: ProtocolKind,
 ) -> (SimReport, EnergyLedger) {
-    match kind {
-        ProtocolKind::Opt => run_one(topo, cfg, kind, Opt::new()),
-        ProtocolKind::Dbao => run_one(topo, cfg, kind, Dbao::new()),
-        ProtocolKind::DbaoNoOverhear => run_one(
-            topo,
-            cfg,
-            kind,
-            Dbao::with_config(DbaoConfig { overhearing: false }),
-        ),
-        ProtocolKind::Of => run_one(topo, cfg, kind, OpportunisticFlooding::new()),
-        ProtocolKind::OfPureTree => run_one(
-            topo,
-            cfg,
-            kind,
-            OpportunisticFlooding::with_config(OfConfig {
-                opportunistic: false,
-                ..OfConfig::default()
-            }),
-        ),
-        ProtocolKind::Naive => run_one(topo, cfg, kind, NaiveFlood::new()),
-    }
+    dispatch_protocol!(kind, |p| run_one(topo, cfg, kind, p))
 }
 
 /// Like [`run_flood`], but with the given fault plan injected into the
@@ -322,40 +355,36 @@ pub fn run_flood_faulted(
     faults: &FaultConfig,
     fault_tag: &str,
 ) -> (SimReport, EnergyLedger) {
-    match kind {
-        ProtocolKind::Opt => run_one_faulted(topo, cfg, kind, Opt::new(), faults, fault_tag),
-        ProtocolKind::Dbao => run_one_faulted(topo, cfg, kind, Dbao::new(), faults, fault_tag),
-        ProtocolKind::DbaoNoOverhear => run_one_faulted(
-            topo,
-            cfg,
-            kind,
-            Dbao::with_config(DbaoConfig { overhearing: false }),
-            faults,
-            fault_tag,
-        ),
-        ProtocolKind::Of => run_one_faulted(
-            topo,
-            cfg,
-            kind,
-            OpportunisticFlooding::new(),
-            faults,
-            fault_tag,
-        ),
-        ProtocolKind::OfPureTree => run_one_faulted(
-            topo,
-            cfg,
-            kind,
-            OpportunisticFlooding::with_config(OfConfig {
-                opportunistic: false,
-                ..OfConfig::default()
-            }),
-            faults,
-            fault_tag,
-        ),
-        ProtocolKind::Naive => {
-            run_one_faulted(topo, cfg, kind, NaiveFlood::new(), faults, fault_tag)
-        }
-    }
+    dispatch_protocol!(kind, |p| run_one_faulted(
+        topo, cfg, kind, p, faults, fault_tag
+    ))
+}
+
+/// Like [`run_flood`], but over externally drawn schedules and an
+/// explicit injection plan — the campaign runner's entry point, where
+/// the scenario owns both instead of the engine drawing them from
+/// `cfg.seed`. `tag` disambiguates trace/metrics file stems between
+/// scenarios that share a config shape (empty outside campaigns).
+pub fn run_flood_scenario(
+    topo: &Topology,
+    cfg: &SimConfig,
+    schedules: NeighborTable,
+    plan: &[Injection],
+    kind: ProtocolKind,
+    tag: &str,
+) -> (SimReport, EnergyLedger) {
+    dispatch_protocol!(kind, |p| {
+        let engine = Engine::with_injections(topo.clone(), cfg.clone(), schedules, plan, p);
+        let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), tag) {
+            Some(obs) => {
+                let (report, energy, _) = engine.with_observer(obs).run_traced();
+                (report, energy)
+            }
+            None => engine.run(),
+        };
+        book_run(kind, cfg, &report);
+        (report, energy)
+    })
 }
 
 #[cfg(test)]
@@ -441,6 +470,46 @@ mod tests {
         };
         assert_eq!(run_stem("OF", &noisy, ""), "of-p100-a5-m30-s1-e5000");
         assert_eq!(run_stem("OF", &cfg, "f100"), "of-p100-a5-m30-s1-f100");
+    }
+
+    #[test]
+    fn cli_names_resolve_and_unknowns_do_not() {
+        assert_eq!(ProtocolKind::from_cli_name("opt"), Some(ProtocolKind::Opt));
+        assert_eq!(
+            ProtocolKind::from_cli_name("DBAO"),
+            Some(ProtocolKind::Dbao)
+        );
+        assert_eq!(
+            ProtocolKind::from_cli_name("of-pure-tree"),
+            Some(ProtocolKind::OfPureTree)
+        );
+        assert_eq!(ProtocolKind::from_cli_name("flood"), None);
+    }
+
+    #[test]
+    fn scenario_entry_point_matches_with_schedules_semantics() {
+        use ldcf_net::NeighborTable;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let topo = Topology::grid(3, 3, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 5,
+            active_per_period: 1,
+            n_packets: 2,
+            coverage: 1.0,
+            max_slots: 100_000,
+            seed: 4,
+            mistiming_prob: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let schedules = NeighborTable::random_single_slot(topo.n_nodes(), 5, &mut rng);
+        let plan: Vec<Injection> = (0..2).map(|_| Injection::at_source()).collect();
+        let (r1, _) =
+            run_flood_scenario(&topo, &cfg, schedules.clone(), &plan, ProtocolKind::Of, "");
+        let (r2, _) = run_flood_scenario(&topo, &cfg, schedules, &plan, ProtocolKind::Of, "");
+        assert!(r1.all_covered());
+        assert_eq!(r1.slots_elapsed, r2.slots_elapsed, "same inputs, same run");
+        assert_eq!(r1.transmissions, r2.transmissions);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Flag-validation contract of the `experiments` binary: unknown or
+//! misplaced flags exit non-zero with usage instead of being silently
+//! swallowed (regression: a leading unknown flag used to be parsed as
+//! the artefact name, and flags of one subcommand were accepted — and
+//! ignored — by every other).
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = run(&["fig3", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag '--bogus'"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn leading_unknown_flag_is_not_parsed_as_the_artefact() {
+    let out = run(&["--bogus", "fig3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag '--bogus'"));
+}
+
+#[test]
+fn foreign_flags_are_rejected_per_subcommand() {
+    // --trace belongs to forensics, not to an artefact run.
+    let out = run(&["fig3", "--trace", "some.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--trace' is not valid for 'fig3'"));
+
+    // --quick belongs to artefact/perf/campaign runs, not forensics.
+    let out = run(&["forensics", "--quick"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--quick' is not valid for 'forensics'"));
+
+    // --digest belongs to campaign only.
+    let out = run(&["perf", "--digest"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--digest' is not valid for 'perf'"));
+}
+
+#[test]
+fn missing_flag_values_and_artefacts_exit_2() {
+    let out = run(&["fig3", "--out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--out needs"));
+
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("missing artefact name"));
+
+    let out = run(&["campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("campaign needs --spec"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn second_positional_argument_is_rejected() {
+    let out = run(&["fig3", "fig5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unexpected argument 'fig5'"));
+}
+
+#[test]
+fn campaign_digest_prints_sha256_and_name() {
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/demo-quick.toml"
+    );
+    let out = run(&["campaign", "--spec", spec, "--digest"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    let (digest, name) = line.split_once("  ").expect("'<digest>  <name>' format");
+    assert_eq!(digest.len(), 64);
+    assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_eq!(name, "demo-quick");
+}

@@ -1,0 +1,112 @@
+//! Seeded two-source integration test over the *committed* demo
+//! scenario: builds `scenarios/demo-quick.toml`, runs one of its cells
+//! traced, and checks the forensics layer's per-origin contract — the
+//! attribution identity and the spanning-tree property hold per packet
+//! even when two floods from different origins interleave in the air.
+
+use ldcf_analysis::ForensicsReport;
+use ldcf_net::SOURCE;
+use ldcf_protocols::Dbao;
+use ldcf_scenarios::{BuiltScenario, ScenarioSpec, WorkloadKind};
+use ldcf_sim::{Engine, SimConfig, VecObserver};
+use std::collections::BTreeSet;
+
+fn demo_spec() -> ScenarioSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/demo-quick.toml"
+    );
+    let text = std::fs::read_to_string(path).expect("committed demo spec exists");
+    ScenarioSpec::from_toml_str(&text).expect("committed demo spec parses")
+}
+
+#[test]
+fn demo_spec_is_a_two_source_workload() {
+    let spec = demo_spec();
+    assert!(
+        matches!(spec.workload.kind, WorkloadKind::MultiSource { sources: 2 }),
+        "the demo campaign must exercise the multi-source workload"
+    );
+    let built = BuiltScenario::build(spec).unwrap();
+    assert_eq!(built.injections.len(), 8);
+    let origins: BTreeSet<_> = built.injections.iter().map(|i| i.origin).collect();
+    assert_eq!(origins.len(), 2, "exactly two distinct origins");
+    assert!(
+        origins.contains(&SOURCE),
+        "the default source is one of them"
+    );
+    assert!(built.injections.iter().all(|i| i.slot == 0), "concurrent");
+    // Round-robin assignment: adjacent packets alternate origins.
+    assert_ne!(built.injections[0].origin, built.injections[1].origin);
+    assert_eq!(built.injections[0].origin, built.injections[2].origin);
+}
+
+#[test]
+fn two_source_cell_passes_forensics_attribution_and_spanning() {
+    let built = BuiltScenario::build(demo_spec()).unwrap();
+    let (duty, seed) = (0.05, 1);
+    let schedules = built.schedules(duty, seed);
+    let cfg = SimConfig {
+        period: 20,
+        active_per_period: 1,
+        n_packets: built.spec.workload.packets,
+        coverage: built.spec.workload.coverage,
+        max_slots: built.spec.workload.max_slots,
+        seed,
+        mistiming_prob: 0.0,
+    };
+    let engine = Engine::with_injections(
+        built.topology.clone(),
+        cfg,
+        schedules,
+        &built.injections,
+        Dbao::new(),
+    )
+    .with_observer(VecObserver::default());
+    let (report, _, obs) = engine.run_traced();
+    let forensics = ForensicsReport::from_events(&obs.events).unwrap();
+
+    assert!(forensics.is_clean(), "{:?}", forensics.violations);
+    assert_eq!(forensics.packets.len(), 8);
+    assert_eq!(
+        forensics.mean_flooding_delay,
+        report.mean_flooding_delay(),
+        "tree-derived mean flooding delay must match the engine"
+    );
+    let mut informed_of_foreign = 0usize;
+    for (pf, st) in forensics.packets.iter().zip(&report.packets) {
+        assert_eq!(
+            pf.origin, built.injections[pf.packet as usize].origin,
+            "packet {} must be rooted at its injected origin",
+            pf.packet
+        );
+        // Spanning: the tree's node set is exactly the informed set.
+        assert_eq!(
+            pf.nodes.len() as u32,
+            st.deliveries + st.overhears,
+            "packet {}: tree must span the informed set",
+            pf.packet
+        );
+        let mut seen = BTreeSet::new();
+        for nf in &pf.nodes {
+            assert_ne!(nf.node, pf.origin, "origin informed of its own packet");
+            assert!(seen.insert(nf.node), "node informed twice");
+            if nf.node == SOURCE {
+                informed_of_foreign += 1;
+            }
+            // The attribution identity, per node and packet.
+            assert_eq!(
+                nf.attribution.total(),
+                nf.delay,
+                "packet {} node {}: attribution must sum to the delay",
+                pf.packet,
+                nf.node
+            );
+        }
+    }
+    assert!(
+        informed_of_foreign > 0,
+        "SOURCE must be informed of at least one packet flooded from the \
+         second origin (otherwise the workload didn't actually interleave)"
+    );
+}

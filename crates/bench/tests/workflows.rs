@@ -1,0 +1,84 @@
+//! Dry-parse of the committed GitHub Actions workflows. There is no
+//! YAML parser in the tree, so this is a structural lint: the files
+//! must exist, contain no tab indentation (YAML rejects tabs), keep
+//! even two-space indentation, and carry the load-bearing stanzas the
+//! CI story depends on (lock-keyed caching, the nightly trigger, the
+//! artefact upload). A malformed or gutted workflow fails here instead
+//! of silently never running on the forge.
+
+use std::path::PathBuf;
+
+fn workflow(name: &str) -> String {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "../../.github/workflows", name]
+        .iter()
+        .collect();
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("workflow {} must exist: {e}", path.display()))
+}
+
+/// The structural subset of YAML both workflows must satisfy.
+fn lint_yaml(name: &str, text: &str) {
+    assert!(!text.is_empty(), "{name}: empty workflow");
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        assert!(
+            !line.contains('\t'),
+            "{name}:{n}: tab character — YAML indentation must be spaces"
+        );
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        assert_eq!(
+            indent % 2,
+            0,
+            "{name}:{n}: odd indentation ({indent} spaces): {line:?}"
+        );
+    }
+    for key in ["name:", "on:", "jobs:", "runs-on: ubuntu-latest", "steps:"] {
+        assert!(text.contains(key), "{name}: missing `{key}` stanza");
+    }
+}
+
+#[test]
+fn ci_workflow_parses_and_caches_on_the_lockfile() {
+    let text = workflow("ci.yml");
+    lint_yaml("ci.yml", &text);
+    // Main CI stays fast through cargo caching keyed on Cargo.lock.
+    assert!(text.contains("actions/cache@v4"));
+    assert!(text.contains("hashFiles('**/Cargo.lock')"));
+    assert!(text.contains("restore-keys:"));
+    // The gates this PR adds must be wired in, not just in ci.sh.
+    assert!(text.contains("--baseline BENCH_baseline.json"));
+    assert!(text.contains("baselines/scenarios.sha256"));
+    assert!(text.contains("campaign --spec scenarios/demo-quick.toml"));
+    assert!(text.contains("0/6 cells run, 6 resumed"));
+}
+
+#[test]
+fn nightly_workflow_parses_and_covers_the_long_campaigns() {
+    let text = workflow("nightly.yml");
+    lint_yaml("nightly.yml", &text);
+    assert!(text.contains("schedule:"));
+    assert!(text.contains("cron:"));
+    assert!(
+        text.contains("workflow_dispatch:"),
+        "manual trigger missing"
+    );
+    assert!(text.contains("timeout-minutes:"), "nightly must be bounded");
+    assert!(text.contains("experiments fig9"), "full fig9 sweep");
+    assert!(
+        text.contains("experiments resilience"),
+        "resilience campaign"
+    );
+    assert!(
+        text.contains("--spec scenarios/campaign-nightly.toml"),
+        "mid-size scenario campaign"
+    );
+    assert!(
+        !text.contains("--quick\n") || text.contains("perf --quick"),
+        "nightly artefacts run the full matrices (only perf may be quick)"
+    );
+    assert!(text.contains("actions/upload-artifact@v4"));
+    assert!(text.contains("retention-days:"));
+}

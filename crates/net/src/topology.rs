@@ -286,6 +286,53 @@ impl Topology {
         topo.with_positions(positions)
     }
 
+    /// A Manhattan street-grid radio topology (cf. *Fast Flooding over
+    /// Manhattan*, Clementi et al.): nodes sit on a `rows × cols`
+    /// lattice of street intersections, and a radio reaches every
+    /// intersection up to `reach` blocks away *along the same street or
+    /// avenue* — line-of-sight down the urban canyon — while buildings
+    /// block all other directions. Link quality decays linearly from
+    /// `q_adjacent` (one block) to `q_at_reach` (`reach` blocks), same
+    /// direction both ways. With `reach == 1` this is [`Topology::grid`]
+    /// with uniform quality `q_adjacent`. The source sits at (0,0).
+    pub fn manhattan(
+        rows: usize,
+        cols: usize,
+        reach: usize,
+        q_adjacent: f64,
+        q_at_reach: f64,
+    ) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        assert!(reach >= 1);
+        assert!(q_adjacent >= q_at_reach && q_at_reach > 0.0 && q_adjacent <= 1.0);
+        let mut topo = Self::empty(rows * cols);
+        let id = |r: usize, c: usize| NodeId::from(r * cols + c);
+        let q_of = |k: usize| {
+            let frac = if reach == 1 {
+                0.0
+            } else {
+                (k - 1) as f64 / (reach - 1) as f64
+            };
+            LinkQuality::clamped(q_adjacent + (q_at_reach - q_adjacent) * frac, 0.05)
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                for k in 1..=reach {
+                    if c + k < cols {
+                        topo.add_edge(id(r, c), id(r, c + k), q_of(k), q_of(k));
+                    }
+                    if r + k < rows {
+                        topo.add_edge(id(r, c), id(r + k, c), q_of(k), q_of(k));
+                    }
+                }
+            }
+        }
+        let positions = (0..rows * cols)
+            .map(|i| Position::new((i % cols) as f64 * 10.0, (i / cols) as f64 * 10.0))
+            .collect();
+        topo.with_positions(positions)
+    }
+
     /// A complete graph with uniform quality (useful for theory tests
     /// where every pair can communicate, matching Algorithm 1's setting).
     pub fn complete(n_nodes: usize, quality: LinkQuality) -> Self {
@@ -435,6 +482,29 @@ mod tests {
         assert!(t.is_connected());
         assert_eq!(t.source_eccentricity(), 2 + 3);
         assert!(t.positions().is_some());
+    }
+
+    #[test]
+    fn manhattan_structure() {
+        // reach 2: each intersection also hears two blocks down-street.
+        let t = Topology::manhattan(3, 4, 2, 0.9, 0.5);
+        assert_eq!(t.n_nodes(), 12);
+        // 1-block links as in the grid, plus 2-block links:
+        // rows*(cols-2)=6 horizontal + (rows-2)*cols=4 vertical.
+        assert_eq!(t.n_edges(), (3 * 3 + 2 * 4) + 10);
+        assert!(t.is_connected());
+        assert!(t.positions().is_some());
+        // Line-of-sight: (0,0) hears (0,2) but never the diagonal (1,1).
+        assert!(t.are_neighbors(NodeId(0), NodeId(2)));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(5)));
+        // Quality decays with block distance.
+        let near = t.quality(NodeId(0), NodeId(1)).unwrap().prr();
+        let far = t.quality(NodeId(0), NodeId(2)).unwrap().prr();
+        assert!((near - 0.9).abs() < 1e-12);
+        assert!((far - 0.5).abs() < 1e-12);
+        // reach 1 degenerates to the plain grid.
+        let g = Topology::manhattan(3, 4, 1, 0.9, 0.9);
+        assert_eq!(g.n_edges(), Topology::grid(3, 4, Q).n_edges());
     }
 
     #[test]

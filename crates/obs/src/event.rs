@@ -175,6 +175,20 @@ pub enum SimEvent {
         /// One active offset within `[0, period)`.
         offset: u32,
     },
+    /// A packet entered the network at a node other than the default
+    /// (source, slot 0) — a secondary flood origin, or a periodic
+    /// workload's deferred injection at the source. Emitted before the
+    /// slot's transmissions, so consumers learn a packet's origin before
+    /// its first `TxAttempt`. Default single-source floods emit none of
+    /// these (their traces are unchanged).
+    PacketInjected {
+        /// Slot of the injection.
+        slot: u64,
+        /// The origin node the packet was injected at.
+        node: NodeId,
+        /// The injected packet.
+        packet: PacketId,
+    },
 }
 
 impl SimEvent {
@@ -195,7 +209,8 @@ impl SimEvent {
             | SimEvent::NodeCrashed { slot, .. }
             | SimEvent::NodeRecovered { slot, .. }
             | SimEvent::SourceRetry { slot, .. }
-            | SimEvent::ScheduleSlot { slot, .. } => slot,
+            | SimEvent::ScheduleSlot { slot, .. }
+            | SimEvent::PacketInjected { slot, .. } => slot,
         }
     }
 
@@ -217,6 +232,7 @@ impl SimEvent {
             SimEvent::NodeRecovered { .. } => "node_recovered",
             SimEvent::SourceRetry { .. } => "source_retry",
             SimEvent::ScheduleSlot { .. } => "schedule_slot",
+            SimEvent::PacketInjected { .. } => "packet_injected",
         }
     }
 }
@@ -364,6 +380,12 @@ impl Serialize for SimEvent {
                 ("period", Value::UInt(period as u64)),
                 ("offset", Value::UInt(offset as u64)),
             ]),
+            SimEvent::PacketInjected { slot, node, packet } => obj(vec![
+                ("t", t),
+                ("slot", Value::UInt(slot)),
+                ("node", Value::UInt(node.0 as u64)),
+                ("packet", Value::UInt(packet as u64)),
+            ]),
         }
     }
 }
@@ -482,6 +504,11 @@ impl Deserialize for SimEvent {
                 period: field_u64(v, "period")? as u32,
                 offset: field_u64(v, "offset")? as u32,
             }),
+            "packet_injected" => Ok(SimEvent::PacketInjected {
+                slot,
+                node: field_node(v, "node")?,
+                packet: field_packet(v, "packet")?,
+            }),
             other => Err(Error::custom(format!("unknown SimEvent tag `{other}`"))),
         }
     }
@@ -579,6 +606,11 @@ mod tests {
             node: s,
             period: 100,
             offset: 37,
+        });
+        roundtrip(SimEvent::PacketInjected {
+            slot: 23,
+            node: s,
+            packet: 4,
         });
     }
 

@@ -372,6 +372,7 @@ impl SimObserver for MetricsObserver {
             SimEvent::SourceRetry { .. } => self.source_retries += 1,
             // Static schedule description, not a run-time occurrence.
             SimEvent::ScheduleSlot { .. } => {}
+            SimEvent::PacketInjected { .. } => {}
         }
     }
 }

@@ -15,6 +15,29 @@ use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// One packet's entry into the network: which node originates it and at
+/// which slot. The default plan — every packet at the source, slot 0 —
+/// reproduces the paper's workload; scenario workloads use secondary
+/// origins (multi-source concurrent floods) or staggered slots
+/// (periodic injection exercising Corollary 1 pipelining).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// The node the packet is injected at (already holding it).
+    pub origin: NodeId,
+    /// The slot the packet enters that node's forwarding queue.
+    pub slot: u64,
+}
+
+impl Injection {
+    /// The default injection: at the source, slot 0.
+    pub fn at_source() -> Self {
+        Self {
+            origin: SOURCE,
+            slot: 0,
+        }
+    }
+}
+
 /// Read-only world + dynamic state exposed to protocols.
 pub struct SimState {
     /// Run configuration.
@@ -53,6 +76,11 @@ pub struct SimState {
     /// every queue mutation. Protocols iterate this instead of scanning
     /// all N nodes for proposals.
     work: Vec<u64>,
+    /// Per-packet flood origin (all `SOURCE` for the default plan).
+    origins: Vec<NodeId>,
+    /// Packets injected so far. Injection plans are non-decreasing in
+    /// packet id, so `0..injected` is exactly the in-flight prefix.
+    injected: u32,
 }
 
 impl SimState {
@@ -135,9 +163,16 @@ impl SimState {
     }
 
     /// Packets injected so far (all of `0..n_injected` are in flight or
-    /// done).
+    /// done; plans are non-decreasing in packet id, so the injected set
+    /// is always a prefix).
     pub fn n_injected(&self) -> u32 {
-        self.cfg.n_packets // all packets are injected at slot 0
+        self.injected
+    }
+
+    /// The node `packet` was injected at — the source unless an
+    /// explicit injection plan says otherwise.
+    pub fn origin(&self, packet: PacketId) -> NodeId {
+        self.origins[packet as usize]
     }
 
     /// Mark `node` as holding `packet` in both orientations of the
@@ -251,6 +286,14 @@ pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver, F: FaultPl
     retry_attempts: Vec<u32>,
     /// Per-packet flag: a retry is already queued in `retry_heap`.
     retry_pending: Vec<bool>,
+    /// Deferred injections `(slot, packet, origin)`, sorted by slot;
+    /// empty for the default plan (everything enters at slot 0).
+    pending_injections: Vec<(u64, PacketId, NodeId)>,
+    /// Cursor into `pending_injections`.
+    next_injection: usize,
+    /// Non-default slot-0 injections `(packet, origin)`, kept so the
+    /// observer (attached after construction) can be told at slot 0.
+    start_injections: Vec<(PacketId, NodeId)>,
 }
 
 impl<P: FloodingProtocol> Engine<P> {
@@ -285,6 +328,30 @@ impl<P: FloodingProtocol> Engine<P> {
         schedules: NeighborTable,
         protocol: P,
     ) -> Self {
+        Self::build(topo, cfg, schedules, protocol, None)
+    }
+
+    /// Build an engine with explicit schedules *and* an explicit
+    /// injection plan (one [`Injection`] per packet, slots non-decreasing
+    /// in packet id). The default plan — `Injection::at_source()` for
+    /// every packet — is byte-identical to [`Engine::with_schedules`].
+    pub fn with_injections(
+        topo: Topology,
+        cfg: SimConfig,
+        schedules: NeighborTable,
+        plan: &[Injection],
+        protocol: P,
+    ) -> Self {
+        Self::build(topo, cfg, schedules, protocol, Some(plan))
+    }
+
+    fn build(
+        topo: Topology,
+        cfg: SimConfig,
+        schedules: NeighborTable,
+        protocol: P,
+        plan: Option<&[Injection]>,
+    ) -> Self {
         cfg.validate();
         assert_eq!(schedules.n_nodes(), topo.n_nodes());
         let n = topo.n_nodes();
@@ -310,13 +377,51 @@ impl<P: FloodingProtocol> Engine<P> {
             coverage_target,
             down: vec![0; node_words],
             work: vec![0; node_words],
+            origins: vec![SOURCE; m],
+            injected: 0,
         };
-        // The source injects all M packets up front; FCFS order at the
-        // source realises the paper's sequential injection.
-        for p in 0..state.cfg.n_packets {
-            state.grant(SOURCE, p);
-            state.queue_push(SOURCE, p, 0);
-            report.record_injection(p, 0);
+        let mut pending_injections: Vec<(u64, PacketId, NodeId)> = Vec::new();
+        let mut start_injections: Vec<(PacketId, NodeId)> = Vec::new();
+        match plan {
+            None => {
+                // The source injects all M packets up front; FCFS order at the
+                // source realises the paper's sequential injection.
+                for p in 0..state.cfg.n_packets {
+                    state.grant(SOURCE, p);
+                    state.queue_push(SOURCE, p, 0);
+                    report.record_injection(p, 0);
+                }
+                state.injected = state.cfg.n_packets;
+            }
+            Some(plan) => {
+                assert_eq!(plan.len(), m, "injection plan needs one entry per packet");
+                assert!(
+                    plan.windows(2).all(|w| w[0].slot <= w[1].slot),
+                    "injection slots must be non-decreasing in packet id"
+                );
+                for (pi, inj) in plan.iter().enumerate() {
+                    let p = pi as PacketId;
+                    assert!(inj.origin.index() < n, "injection origin out of range");
+                    state.origins[pi] = inj.origin;
+                    if inj.slot > 0 {
+                        pending_injections.push((inj.slot, p, inj.origin));
+                        continue;
+                    }
+                    state.grant(inj.origin, p);
+                    state.queue_push(inj.origin, p, 0);
+                    report.record_injection(p, 0);
+                    state.injected += 1;
+                    if inj.origin != SOURCE {
+                        // A sensor origin counts towards its own packet's
+                        // coverage from the start.
+                        state.holders[pi] += 1;
+                        if state.holders[pi] >= state.coverage_target {
+                            report.record_coverage(p, 0);
+                        }
+                        start_injections.push((p, inj.origin));
+                    }
+                }
+            }
         }
         Self {
             state,
@@ -334,6 +439,9 @@ impl<P: FloodingProtocol> Engine<P> {
             retry_heap: BinaryHeap::new(),
             retry_attempts: vec![0; m],
             retry_pending: vec![false; m],
+            pending_injections,
+            next_injection: 0,
+            start_injections,
         }
     }
 }
@@ -360,6 +468,9 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             retry_heap: self.retry_heap,
             retry_attempts: self.retry_attempts,
             retry_pending: self.retry_pending,
+            pending_injections: self.pending_injections,
+            next_injection: self.next_injection,
+            start_injections: self.start_injections,
         }
     }
 
@@ -383,6 +494,9 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             retry_heap: self.retry_heap,
             retry_attempts: self.retry_attempts,
             retry_pending: self.retry_pending,
+            pending_injections: self.pending_injections,
+            next_injection: self.next_injection,
+            start_injections: self.start_injections,
         }
     }
 
@@ -501,7 +615,10 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             if self.report.packets[pi].covered_at.is_some() {
                 continue;
             }
-            if !self.state.queues[SOURCE.index()].contains(p) {
+            // With a deferred-injection plan the source may not hold a
+            // not-yet-injected packet; a retry can only re-queue copies
+            // the source actually has (always true for the default plan).
+            if self.state.has(SOURCE, p) && !self.state.queues[SOURCE.index()].contains(p) {
                 self.state.queue_push(SOURCE, p, now);
                 self.report.source_retries += 1;
                 if O::ENABLED {
@@ -545,6 +662,18 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                         });
                     }
                 }
+                // Announce non-default slot-0 injections (multi-source
+                // workloads) so a trace carries every packet's origin.
+                // The observer attaches after construction, which is why
+                // these are emitted here and not at build time.
+                for i in 0..self.start_injections.len() {
+                    let (packet, node) = self.start_injections[i];
+                    self.obs.on_event(&SimEvent::PacketInjected {
+                        slot: 0,
+                        node,
+                        packet,
+                    });
+                }
             }
             if F::ENABLED {
                 self.faults.on_start(
@@ -554,6 +683,36 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 );
             }
             self.protocol.on_start(&self.state);
+        }
+
+        // --- deferred injections (periodic / staged workloads) ---------------
+        // Empty for the default plan, so single-source runs skip this
+        // entirely (no RNG draws, no events: pinned traces are unchanged).
+        while self.next_injection < self.pending_injections.len() {
+            let (slot, p, origin) = self.pending_injections[self.next_injection];
+            if slot > self.state.now {
+                break;
+            }
+            self.next_injection += 1;
+            let now = self.state.now;
+            self.state.grant(origin, p);
+            self.state.queue_push(origin, p, now);
+            self.report.record_injection(p, now);
+            self.state.injected += 1;
+            if origin != SOURCE {
+                let pi = p as usize;
+                self.state.holders[pi] += 1;
+                if self.state.holders[pi] >= self.state.coverage_target {
+                    self.report.record_coverage(p, now);
+                }
+            }
+            if O::ENABLED {
+                self.obs.on_event(&SimEvent::PacketInjected {
+                    slot: now,
+                    node: origin,
+                    packet: p,
+                });
+            }
         }
 
         // --- fault dynamics (churn + source retries) -------------------------
@@ -713,7 +872,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         let mut newly_delivered = std::mem::take(&mut self.delivered_buf);
         newly_delivered.clear();
         for e in &res.events {
-            if e.sender == SOURCE {
+            if e.sender == self.state.origins[e.packet as usize] {
                 self.report.record_push(e.packet, now);
             }
             match e.outcome {
@@ -957,6 +1116,27 @@ mod tests {
                         });
                     }
                 }
+            }
+        }
+        fn overhearing(&self) -> Overhearing {
+            Overhearing::Disabled
+        }
+    }
+
+    /// [`GreedyFlood`] with the OPT oracle's MAC bypass. Deterministic
+    /// backoff ranks make two greedy flood fronts collide at a shared
+    /// receiver forever (hidden terminals re-synchronize every period),
+    /// so concurrent-flood tests use the collision-free oracle instead.
+    struct OracleGreedy(GreedyFlood);
+
+    impl FloodingProtocol for OracleGreedy {
+        fn name(&self) -> &str {
+            "greedy-oracle"
+        }
+        fn propose(&mut self, s: &SimState, out: &mut Vec<TxIntent>) {
+            self.0.propose(s, out);
+            for it in out.iter_mut() {
+                it.bypass_mac = true;
             }
         }
         fn overhearing(&self) -> Overhearing {
@@ -1261,6 +1441,122 @@ mod tests {
             report.node_crashes,
             report.source_retries
         );
+    }
+
+    fn drawn_schedules(topo: &Topology, cfg: &SimConfig) -> NeighborTable {
+        // Reproduce the schedule draw `Engine::new` performs, so explicit
+        // builders can be compared against it bit for bit.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        NeighborTable::random_single_slot(topo.n_nodes(), cfg.period, &mut rng)
+    }
+
+    #[test]
+    fn default_injection_plan_is_byte_identical_to_with_schedules() {
+        let topo = Topology::grid(4, 4, LinkQuality::new(0.8));
+        let cfg = line_cfg(4);
+        let schedules = drawn_schedules(&topo, &cfg);
+        let plan: Vec<Injection> = (0..cfg.n_packets).map(|_| Injection::at_source()).collect();
+        let (a, ea) =
+            Engine::with_schedules(topo.clone(), cfg.clone(), schedules.clone(), GreedyFlood).run();
+        let (b, eb) = Engine::with_injections(topo, cfg, schedules, &plan, GreedyFlood).run();
+        assert_eq!(a.slots_elapsed, b.slots_elapsed);
+        assert_eq!(a.transmissions, b.transmissions);
+        assert_eq!(a.transmission_failures, b.transmission_failures);
+        assert_eq!(a.mean_flooding_delay(), b.mean_flooding_delay());
+        assert_eq!(ea.tx_slots, eb.tx_slots);
+        assert_eq!(ea.active_slots, eb.active_slots);
+        for (pa, pb) in a.packets.iter().zip(&b.packets) {
+            assert_eq!(pa.pushed_at, pb.pushed_at);
+            assert_eq!(pa.covered_at, pb.covered_at);
+        }
+    }
+
+    #[test]
+    fn multi_source_floods_cover_from_both_origins() {
+        // Two concurrent floods on a line: packet 0 from the source end,
+        // packet 1 from the far end. Both must cover, and each packet's
+        // push is its *own* origin's first transmission.
+        let topo = Topology::line(6, LinkQuality::PERFECT);
+        let cfg = line_cfg(2);
+        let schedules = drawn_schedules(&topo, &cfg);
+        let far = NodeId(5);
+        let plan = [
+            Injection::at_source(),
+            Injection {
+                origin: far,
+                slot: 0,
+            },
+        ];
+        let engine =
+            Engine::with_injections(topo, cfg, schedules, &plan, OracleGreedy(GreedyFlood))
+                .with_observer(crate::VecObserver::default());
+        assert_eq!(engine.state().origin(0), SOURCE);
+        assert_eq!(engine.state().origin(1), far);
+        assert_eq!(engine.state().n_injected(), 2);
+        let (report, _, obs) = engine.run_traced();
+        assert!(report.all_covered(), "packets: {:#?}", report.packets);
+        assert!(report.packets[0].pushed_at.is_some());
+        assert!(report.packets[1].pushed_at.is_some());
+        // The secondary origin's injection is announced in the trace.
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            SimEvent::PacketInjected {
+                slot: 0,
+                node,
+                packet: 1,
+            } if *node == far
+        )));
+        // Packet 1's push is far's first attempt, not the source's.
+        let push1 = report.packets[1].pushed_at.unwrap();
+        let first_far_tx = obs
+            .events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::TxAttempt {
+                    slot,
+                    sender,
+                    packet: 1,
+                    ..
+                } if *sender == far => Some(*slot),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(push1, first_far_tx);
+    }
+
+    #[test]
+    fn periodic_injection_defers_entry() {
+        // Packets enter the source queue every 7 slots; a packet can
+        // never be pushed before its injection slot.
+        let topo = Topology::line(4, LinkQuality::PERFECT);
+        let cfg = line_cfg(4);
+        let schedules = drawn_schedules(&topo, &cfg);
+        let interval = 7u64;
+        let plan: Vec<Injection> = (0..cfg.n_packets as u64)
+            .map(|p| Injection {
+                origin: SOURCE,
+                slot: p * interval,
+            })
+            .collect();
+        let engine = Engine::with_injections(topo, cfg, schedules, &plan, GreedyFlood)
+            .with_observer(crate::VecObserver::default());
+        assert_eq!(engine.state().n_injected(), 1, "only packet 0 at slot 0");
+        let (report, _, obs) = engine.run_traced();
+        assert!(report.all_covered());
+        for (p, st) in report.packets.iter().enumerate() {
+            assert_eq!(st.injected_at, p as u64 * interval);
+            assert!(st.pushed_at.unwrap() >= st.injected_at);
+        }
+        // Deferred injections are announced at their injection slot.
+        for p in 1..plan.len() {
+            assert!(obs.events.iter().any(|e| matches!(
+                e,
+                SimEvent::PacketInjected { slot, node, packet }
+                    if *slot == p as u64 * interval
+                        && *node == SOURCE
+                        && *packet == p as u32
+            )));
+        }
     }
 
     #[test]
