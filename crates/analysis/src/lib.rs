@@ -32,5 +32,5 @@ pub use events::{PacketReplay, ReplayReport};
 pub use forensics::{ForensicsError, ForensicsReport, PacketForensics, Via, Violation};
 pub use plot::{ascii_chart, PlotOptions};
 pub use series::{Series, Table};
-pub use stats::Summary;
+pub use stats::{mad, median, Summary};
 pub use sweep::{monte_carlo_mean, parallel_sweep};

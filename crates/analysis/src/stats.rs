@@ -63,6 +63,27 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Median of an unsorted sample (`None` when empty). Robust location
+/// estimate for noisy wall-clock measurements: one cold-cache or
+/// preempted repetition shifts a mean but leaves the median alone.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    Some(percentile_sorted(&sorted, 0.50))
+}
+
+/// Median absolute deviation from the median (`None` when empty) — the
+/// robust scale companion of [`median`]. Raw MAD; multiply by 1.4826
+/// for a Gaussian-consistent σ estimate.
+pub fn mad(samples: &[f64]) -> Option<f64> {
+    let m = median(samples)?;
+    let devs: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&devs)
+}
+
 /// Ordinary least squares fit `y = a + b·x`; returns `(a, b)`.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     assert_eq!(xs.len(), ys.len());
@@ -105,6 +126,20 @@ mod tests {
         assert!((percentile_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
         assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
         assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_outliers() {
+        // One wild outlier moves the mean far but the median/MAD little.
+        let clean = [10.0, 11.0, 9.0, 10.5, 9.5];
+        let dirty = [10.0, 11.0, 9.0, 10.5, 1000.0];
+        assert_eq!(median(&clean), Some(10.0));
+        assert_eq!(median(&dirty), Some(10.5));
+        assert_eq!(mad(&clean), Some(0.5));
+        assert_eq!(mad(&dirty), Some(0.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(mad(&[]), None);
+        assert_eq!(mad(&[7.0]), Some(0.0));
     }
 
     #[test]

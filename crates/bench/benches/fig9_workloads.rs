@@ -1,7 +1,8 @@
 //! Criterion coverage of the fig9 GreenOrbs workloads — the same six
 //! cases the `experiments perf` subcommand times (OPT / DBAO / OF at
 //! duty 5 %, clean and under the composed fault stack), so criterion's
-//! statistics complement the single-shot `BENCH_<label>.json` numbers.
+//! statistics complement the median/MAD rep numbers in
+//! `BENCH_<label>.json`.
 //!
 //! The workload mirrors `ldcf_bench::perf::perf` with the quick option
 //! set; any drift between the two is a bug in whichever changed.

@@ -1,10 +1,11 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]
+//! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR] [--profile]
 //! experiments forensics --trace FILE [--out DIR]
-//! experiments perf [--quick] [--label NAME] [--out DIR]
-//! experiments perf --validate FILE
+//! experiments perf [--quick] [--label NAME] [--out DIR] [--profile] [--reps N]
+//! experiments perf --validate FILE | --validate-profile FILE
+//! experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]
 //!
 //! artefacts:
 //!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
@@ -26,6 +27,10 @@
 //! `--trace-events DIR` streams every flood's slot-level events to one
 //! JSONL file per run; `--metrics DIR` snapshots per-run metric
 //! registries (delay histogram, per-node load, coverage growth) as JSON.
+//! `--profile` on a generic artefact attaches the engine phase profiler
+//! to every simulation and prints a per-phase cost summary to stderr —
+//! the artefact bytes themselves must not change (CI diffs them against
+//! the pinned baselines with profiling on).
 //!
 //! `forensics` replays one `--trace-events` JSONL file through
 //! `ldcf_analysis::ForensicsReport`: it reconstructs each packet's
@@ -50,9 +55,13 @@ struct Cli {
     trace: Option<PathBuf>,
     label: Option<String>,
     validate: Option<PathBuf>,
+    validate_profile: Option<PathBuf>,
     baseline: Option<PathBuf>,
     spec: Option<PathBuf>,
     digest: bool,
+    profile: bool,
+    reps: usize,
+    no_progress: bool,
 }
 
 /// The flags each subcommand accepts. Everything not listed here is a
@@ -63,9 +72,24 @@ struct Cli {
 fn allowed_flags(artefact: &str) -> &'static [&'static str] {
     match artefact {
         "forensics" => &["--trace", "--out"],
-        "perf" => &["--quick", "--label", "--out", "--validate", "--baseline"],
-        "campaign" => &["--spec", "--quick", "--out", "--digest"],
-        _ => &["--quick", "--out", "--trace-events", "--metrics"],
+        "perf" => &[
+            "--quick",
+            "--label",
+            "--out",
+            "--validate",
+            "--validate-profile",
+            "--baseline",
+            "--profile",
+            "--reps",
+        ],
+        "campaign" => &["--spec", "--quick", "--out", "--digest", "--no-progress"],
+        _ => &[
+            "--quick",
+            "--out",
+            "--trace-events",
+            "--metrics",
+            "--profile",
+        ],
     }
 }
 
@@ -76,9 +100,13 @@ fn parse_args() -> Cli {
     let mut trace = None;
     let mut label = None;
     let mut validate = None;
+    let mut validate_profile = None;
     let mut baseline = None;
     let mut spec = None;
     let mut digest = false;
+    let mut profile = false;
+    let mut reps = ldcf_bench::perf::DEFAULT_REPS;
+    let mut no_progress = false;
     let mut trace_events = None;
     let mut metrics = None;
     let mut seen: Vec<String> = Vec::new();
@@ -92,8 +120,21 @@ fn parse_args() -> Cli {
             "--help" | "-h" => usage(""),
             "--quick" => quick = true,
             "--digest" => digest = true,
+            "--profile" => profile = true,
+            "--no-progress" => no_progress = true,
+            "--reps" => {
+                let n = value("a count");
+                reps = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        usage(&format!("--reps wants a positive integer, got {n:?}"))
+                    });
+            }
             "--label" => label = Some(value("a name")),
             "--validate" => validate = Some(PathBuf::from(value("a file"))),
+            "--validate-profile" => validate_profile = Some(PathBuf::from(value("a file"))),
             "--baseline" => baseline = Some(PathBuf::from(value("a file"))),
             "--out" => out = Some(PathBuf::from(value("a directory"))),
             "--trace" => trace = Some(PathBuf::from(value("a file"))),
@@ -137,9 +178,13 @@ fn parse_args() -> Cli {
         trace,
         label,
         validate,
+        validate_profile,
         baseline,
         spec,
         digest,
+        profile,
+        reps,
+        no_progress,
     }
 }
 
@@ -148,11 +193,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR]\n\
+        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR] [--profile]\n\
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
-         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE]\n\
-         \u{20}      experiments perf --validate FILE\n\
-         \u{20}      experiments campaign --spec FILE [--quick] [--out DIR]\n\
+         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE] [--profile] [--reps N]\n\
+         \u{20}      experiments perf --validate FILE | --validate-profile FILE\n\
+         \u{20}      experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]\n\
          \u{20}      experiments campaign --spec FILE --digest\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
@@ -203,10 +248,14 @@ fn run_forensics(cli: &Cli) -> ! {
     std::process::exit(1);
 }
 
-/// The `perf` artefact: run the throughput campaign, print the summary
-/// table, write + validate `BENCH_<label>.json`, and report per-case
-/// speedups against `BENCH_baseline.json` when one is present beside
-/// it. `--validate FILE` instead checks an existing BENCH file only.
+/// The `perf` artefact: run the throughput campaign (`--reps`
+/// repetitions per case, median/MAD summarized), print the summary
+/// table, write + validate `BENCH_<label>.json`, and gate against a
+/// baseline with the noise-aware tolerance. `--profile` additionally
+/// runs each case once with a phase profiler attached and writes
+/// `PROFILE_<label>.json` (validated: the phase times must cover
+/// ≥ 95 % of each case's wall clock). `--validate FILE` /
+/// `--validate-profile FILE` instead check an existing file only.
 fn run_perf(cli: &Cli) -> ! {
     use ldcf_bench::perf;
 
@@ -228,12 +277,30 @@ fn run_perf(cli: &Cli) -> ! {
             }
         }
     }
+    if let Some(file) = &cli.validate_profile {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| usage(&format!("--validate-profile {}: {e}", file.display())));
+        match perf::validate_profile_json(&text) {
+            Ok(names) => {
+                println!(
+                    "{}: valid PROFILE file ({} cases)",
+                    file.display(),
+                    names.len()
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{}: invalid PROFILE file: {e}", file.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     let label = cli
         .label
         .clone()
         .unwrap_or_else(|| if cli.quick { "quick" } else { "full" }.to_string());
-    let report = perf::perf(&cli.opts, cli.quick, &label);
+    let report = perf::perf(&cli.opts, cli.quick, &label, cli.reps);
     println!("\n## perf\n\n{}", report.to_markdown());
 
     let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
@@ -247,35 +314,60 @@ fn run_perf(cli: &Cli) -> ! {
     }
     eprintln!("perf: wrote {} (validated)", path.display());
 
+    // The profiled pass runs after (and apart from) the timing reps, so
+    // BENCH numbers never carry the ~9 clock reads/slot of profiling.
+    if cli.profile {
+        let prof_report = perf::profile(&cli.opts, cli.quick, &label);
+        println!("\n## perf profile\n\n{}", prof_report.to_markdown());
+        let prof_path = dir.join(format!("PROFILE_{label}.json"));
+        let prof_json = prof_report.to_json_pretty() + "\n";
+        std::fs::write(&prof_path, &prof_json).expect("write PROFILE file");
+        if let Err(e) = perf::validate_profile_json(&prof_json) {
+            eprintln!(
+                "perf: emitted {} fails validation: {e}",
+                prof_path.display()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf: wrote {} (validated)", prof_path.display());
+    }
+
     // `--baseline FILE` is the CI regression gate: non-zero exit when
-    // any case runs more than REGRESSION_TOLERANCE slower than the
-    // committed baseline (policy documented in EXPERIMENTS.md).
+    // any case's median throughput falls below the baseline's by more
+    // than the noise-aware tolerance (policy in EXPERIMENTS.md).
     if let Some(file) = &cli.baseline {
         let text = std::fs::read_to_string(file)
             .unwrap_or_else(|e| usage(&format!("--baseline {}: {e}", file.display())));
-        let ups = match perf::speedup_vs_baseline(&text, &report) {
-            Ok(ups) => ups,
+        let verdicts = match perf::gate_vs_baseline(&text, &report) {
+            Ok(v) => v,
             Err(e) => {
                 eprintln!("perf: baseline {} not comparable: {e}", file.display());
                 std::process::exit(1);
             }
         };
-        for (name, x) in &ups {
-            println!("speedup vs baseline: {name} {x:.2}x");
-        }
-        let bad = perf::regressions(&ups);
-        if !bad.is_empty() {
-            for (name, x) in &bad {
+        let mut failed = false;
+        for v in &verdicts {
+            println!(
+                "speedup vs baseline: {} {:.2}x (tolerance {:.0}%)",
+                v.name,
+                v.speedup,
+                v.tolerance * 100.0
+            );
+            if v.regressed {
+                failed = true;
                 eprintln!(
-                    "perf: REGRESSION {name}: {x:.2}x (gate: ≥ {:.2}x of baseline)",
-                    1.0 - perf::REGRESSION_TOLERANCE
+                    "perf: REGRESSION {}: {:.2}x (gate: ≥ {:.2}x of baseline at measured noise)",
+                    v.name,
+                    v.speedup,
+                    1.0 - v.tolerance
                 );
             }
+        }
+        if failed {
             std::process::exit(1);
         }
         println!(
-            "perf: no case regressed more than {:.0}% vs {}",
-            perf::REGRESSION_TOLERANCE * 100.0,
+            "perf: no case regressed beyond its noise-aware tolerance vs {}",
             file.display()
         );
         std::process::exit(0);
@@ -284,10 +376,10 @@ fn run_perf(cli: &Cli) -> ! {
     let baseline = dir.join("BENCH_baseline.json");
     if label != "baseline" && baseline.exists() {
         let text = std::fs::read_to_string(&baseline).expect("read baseline");
-        match perf::speedup_vs_baseline(&text, &report) {
-            Ok(ups) => {
-                for (name, x) in ups {
-                    println!("speedup vs baseline: {name} {x:.2}x");
+        match perf::gate_vs_baseline(&text, &report) {
+            Ok(verdicts) => {
+                for v in verdicts {
+                    println!("speedup vs baseline: {} {:.2}x", v.name, v.speedup);
                 }
             }
             Err(e) => eprintln!("perf: baseline not comparable: {e}"),
@@ -333,7 +425,8 @@ fn run_campaign_cmd(cli: &Cli) -> ! {
     let out = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));
     runner::ledger_reset();
     let t0 = std::time::Instant::now();
-    let outcome = match ldcf_bench::campaign::run_campaign(spec, cli.quick, &out) {
+    let outcome = match ldcf_bench::campaign::run_campaign(spec, cli.quick, &out, !cli.no_progress)
+    {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -404,6 +497,34 @@ fn opts_value(opts: &ExpOptions, ledger: &runner::WorkLedger) -> Value {
     ])
 }
 
+/// With `--profile` on a generic artefact: print where the artefact's
+/// simulation time went, from the process-global profile the runner
+/// accumulated. Stderr only — artefact bytes stay profiling-invariant.
+fn report_profile(name: &str) {
+    let prof = runner::profile_snapshot();
+    if prof.slots() == 0 {
+        return;
+    }
+    let total = prof.slot_total_ns().max(1);
+    let mut shares: Vec<(ldcf_sim::Phase, u64)> = ldcf_sim::Phase::ALL
+        .iter()
+        .map(|&p| (p, prof.phase_total_ns(p)))
+        .collect();
+    shares.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    let top: Vec<String> = shares
+        .iter()
+        .take(3)
+        .map(|&(p, ns)| format!("{} {:.0}%", p.name(), 100.0 * ns as f64 / total as f64))
+        .collect();
+    eprintln!(
+        "[{name} profile] {} slots, slot p50 {} ns / p95 {} ns — {}",
+        prof.slots(),
+        prof.slot_hist().p50().unwrap_or(0),
+        prof.slot_hist().p95().unwrap_or(0),
+        top.join(", ")
+    );
+}
+
 fn main() {
     let cli = parse_args();
     if cli.artefact == "forensics" {
@@ -414,6 +535,9 @@ fn main() {
     }
     if cli.artefact == "campaign" {
         run_campaign_cmd(&cli);
+    }
+    if cli.profile {
+        runner::enable_profiling();
     }
     let names: Vec<&str> = match cli.artefact.as_str() {
         "analytical" => vec![
@@ -460,6 +584,9 @@ fn main() {
 
     for name in names {
         runner::ledger_reset();
+        if cli.profile {
+            runner::profile_reset();
+        }
         let t0 = std::time::Instant::now();
         let body = match name {
             "table1" => experiments::table1(1024),
@@ -517,6 +644,9 @@ fn main() {
             );
         } else {
             eprintln!("[{name}] done in {wall:?}");
+        }
+        if cli.profile {
+            report_profile(name);
         }
     }
 }

@@ -22,6 +22,7 @@
 //!   aggregate bytes as an uninterrupted run. Stale checkpoints (spec
 //!   changed → digest changed) are ignored and overwritten.
 
+use crate::heartbeat::Heartbeat;
 use crate::runner::{self, ProtocolKind};
 use ldcf_analysis::campaign::{campaign_table, CellSummary};
 use ldcf_scenarios::{BuiltScenario, ScenarioSpec, ScheduleModel};
@@ -209,10 +210,17 @@ pub fn validate_campaign_json(text: &str) -> Result<usize, String> {
 /// machine-readable `campaign.json`. All three are byte-reproducible:
 /// same spec → same bytes, whatever the worker count and whether or not
 /// checkpoints were reloaded.
+///
+/// A [`Heartbeat`] additionally streams per-cell progress (completed
+/// count, cell wall clock, aggregate slots/sec, ETA) to
+/// `out/campaign-telemetry.jsonl`, and — when `progress` is true — to
+/// stderr. The telemetry file carries wall-clock data and is excluded
+/// from the byte-reproducibility contract.
 pub fn run_campaign(
     spec: ScenarioSpec,
     quick: bool,
     out: &Path,
+    progress: bool,
 ) -> Result<CampaignOutcome, String> {
     let spec = if quick { quicken(spec) } else { spec };
     let cells = expand_cells(&spec)?;
@@ -234,19 +242,23 @@ pub fn run_campaign(
     let cells_resumed = jobs.iter().filter(|(_, cached)| cached.is_some()).count();
     let cells_total = jobs.len();
 
+    let heartbeat = Heartbeat::new(cells_total, cells_resumed, Some(out), progress);
     let summaries: Vec<Result<CellSummary, String>> = jobs
         .par_iter()
         .map(|(cell, cached)| {
             if let Some(s) = cached {
                 return Ok(s.clone());
             }
+            let t0 = std::time::Instant::now();
             let summary = run_cell(&built, cell);
+            heartbeat.cell_done(&cell_stem(cell), t0.elapsed(), summary.slots_elapsed);
             let path = cells_dir.join(format!("{}.json", cell_stem(cell)));
             std::fs::write(&path, cell_json(&name, &digest, &summary))
                 .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
             Ok(summary)
         })
         .collect();
+    heartbeat.finish();
     let summaries: Vec<CellSummary> = summaries.into_iter().collect::<Result<_, _>>()?;
 
     let table = campaign_table(&summaries);

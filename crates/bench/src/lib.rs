@@ -9,6 +9,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod heartbeat;
 pub mod options;
 pub mod perf;
 pub mod resilience;
@@ -16,5 +17,6 @@ pub mod runner;
 
 pub use campaign::{run_campaign, CampaignOutcome};
 pub use experiments::*;
+pub use heartbeat::Heartbeat;
 pub use options::ExpOptions;
 pub use runner::{run_flood, run_flood_faulted, run_flood_scenario, ProtocolKind};

@@ -1,21 +1,27 @@
 //! The `experiments perf` artefact: machine-readable simulation
-//! throughput over the fig9 GreenOrbs workloads.
+//! throughput over the fig9 GreenOrbs workloads, with multi-repetition
+//! robust statistics and an optional phase-profile artefact.
 //!
 //! Six cases — OPT/DBAO/OF at duty 5 % over the GreenOrbs-style trace,
 //! clean and under the composed fault stack at intensity 0.5 — are run
 //! sequentially (no rayon fan-out, so each case's wall clock measures
-//! the engine alone) and written as `BENCH_<label>.json`:
+//! the engine alone). Each case is repeated (default 5×) and summarized
+//! by median and MAD — one preempted repetition on a noisy runner moves
+//! a mean, not a median — then written as `BENCH_<label>.json`:
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "label": "baseline",
 //!   "git_rev": "abc1234",
 //!   "quick": true,
 //!   "config_digest": "9f…",
 //!   "cases": [ { "name": "fig9-dbao", "protocol": "DBAO",
-//!                "faulted": false, "sims": 1, "slots": 123,
-//!                "wall_ms": 45, "slots_per_sec": 2733.3 }, … ],
+//!                "faulted": false, "sims": 1, "slots": 123, "reps": 5,
+//!                "wall_ms": 45, "wall_ms_reps": [46, 45, 44, 45, 47],
+//!                "slots_per_sec": 2733.3,
+//!                "slots_per_sec_reps": [2674.0, …],
+//!                "slots_per_sec_mad": 31.2 }, … ],
 //!   "total": { "sims": 6, "slots": …, "wall_ms": …, "slots_per_sec": … }
 //! }
 //! ```
@@ -23,14 +29,27 @@
 //! `config_digest` fingerprints the workload (trace seed, packet count,
 //! seeds, coverage, slot cap, duty, fault intensity): two BENCH files
 //! are comparable iff their digests match. The perf trajectory is
-//! tracked by committing `BENCH_baseline.json` and comparing later
-//! labels against it — meaningful only because every optimisation is
-//! bound by the byte-identity contract (same RNG draw count/order, same
-//! artefacts, only faster).
+//! tracked by committing `BENCH_baseline.json` and gating later labels
+//! against it with a **noise-aware** threshold: a case regresses when
+//! its median falls below the baseline median by more than a few
+//! robust standard deviations (see [`gate_vs_baseline`]) — meaningful
+//! only because every optimisation is bound by the byte-identity
+//! contract (same RNG draw count/order, same artefacts, only faster).
+//!
+//! `--profile` additionally runs each case once with an engine
+//! [`PhaseProfiler`] attached and writes `PROFILE_<label>.json`: where
+//! each slot's nanoseconds went (injection / faults / propose / sync /
+//! mac / deliver / prune / energy), as exact totals plus log-bucketed
+//! histograms. The timing repetitions stay unprofiled, so BENCH
+//! numbers never carry profiling overhead.
 
 use crate::options::ExpOptions;
-use crate::runner::{self, run_flood, run_flood_faulted, ProtocolKind};
-use ldcf_sim::{FaultConfig, SimConfig};
+use crate::runner::{
+    self, run_flood, run_flood_faulted, run_flood_faulted_profiled, run_flood_profiled,
+    ProtocolKind,
+};
+use ldcf_analysis::{mad, median};
+use ldcf_sim::{FaultConfig, Phase, PhaseProfiler, SimConfig};
 use serde::Value;
 use std::time::Instant;
 
@@ -41,10 +60,20 @@ const DUTY: f64 = 0.05;
 const FAULT_INTENSITY: f64 = 0.5;
 
 /// BENCH file schema version (bump on incompatible layout changes).
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added multi-repetition robust stats (`reps`, `wall_ms_reps`,
+/// `slots_per_sec_reps`, `slots_per_sec_mad`); `slots_per_sec` became
+/// the median over repetitions.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// PROFILE file schema version.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Timing repetitions per case unless `--reps` overrides.
+pub const DEFAULT_REPS: usize = 5;
 
 /// One measured workload: a protocol over the fig9 trace, clean or
-/// faulted, summed over the option set's seeds.
+/// faulted, summed over the option set's seeds and repeated `reps`
+/// times. `wall_ms` and `slots_per_sec` are medians over repetitions.
 #[derive(Clone, Debug)]
 pub struct PerfCase {
     /// Case name, e.g. `fig9-dbao` or `fig9-dbao-faulted`.
@@ -53,14 +82,24 @@ pub struct PerfCase {
     pub protocol: String,
     /// Whether the composed fault stack was injected.
     pub faulted: bool,
-    /// Floods executed (one per seed).
+    /// Floods executed per repetition (one per seed).
     pub sims: u64,
-    /// Slots stepped across those floods.
+    /// Slots stepped per repetition (identical across reps — the
+    /// workload is deterministic).
     pub slots: u64,
-    /// Wall clock of the case, in milliseconds.
+    /// Timing repetitions.
+    pub reps: u64,
+    /// Median wall clock over repetitions, in milliseconds.
     pub wall_ms: u64,
-    /// Throughput: slots per wall-clock second.
+    /// Per-repetition wall clocks, in run order.
+    pub wall_ms_reps: Vec<u64>,
+    /// Median throughput over repetitions: slots per wall-clock second.
     pub slots_per_sec: f64,
+    /// Per-repetition throughputs, in run order.
+    pub slots_per_sec_reps: Vec<f64>,
+    /// Median absolute deviation of the per-repetition throughputs —
+    /// the robust noise scale the regression gate adapts to.
+    pub slots_per_sec_mad: f64,
 }
 
 /// A full perf run: all cases plus totals and provenance.
@@ -124,48 +163,69 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Run one case: every seed of the option set, sequentially, booking
-/// slots through the work ledger.
+/// Run one case `reps` times: every seed of the option set,
+/// sequentially, booking slots through the work ledger. The workload is
+/// deterministic, so sims/slots are identical across repetitions; only
+/// the wall clock varies.
 fn run_case(
     topo: &ldcf_net::Topology,
     opts: &ExpOptions,
     kind: ProtocolKind,
     faulted: bool,
+    reps: usize,
 ) -> PerfCase {
-    runner::ledger_reset();
-    let t0 = Instant::now();
-    for &seed in &opts.seeds {
-        let cfg = perf_config(opts, seed);
-        if faulted {
-            let faults = FaultConfig::at_intensity(seed, FAULT_INTENSITY);
-            run_flood_faulted(topo, &cfg, kind, &faults, "perf");
-        } else {
-            run_flood(topo, &cfg, kind);
+    let mut wall_ms_reps = Vec::with_capacity(reps);
+    let mut sps_reps = Vec::with_capacity(reps);
+    let mut sims = 0;
+    let mut slots = 0;
+    for _ in 0..reps {
+        runner::ledger_reset();
+        let t0 = Instant::now();
+        for &seed in &opts.seeds {
+            let cfg = perf_config(opts, seed);
+            if faulted {
+                let faults = FaultConfig::at_intensity(seed, FAULT_INTENSITY);
+                run_flood_faulted(topo, &cfg, kind, &faults, "perf");
+            } else {
+                run_flood(topo, &cfg, kind);
+            }
         }
+        let wall = t0.elapsed();
+        let ledger = runner::ledger_snapshot();
+        sims = ledger.sims;
+        slots = ledger.slots;
+        wall_ms_reps.push(wall.as_millis() as u64);
+        sps_reps.push(ledger.slots as f64 / wall.as_secs_f64().max(1e-9));
     }
-    let wall = t0.elapsed();
-    let ledger = runner::ledger_snapshot();
+    let wall_med = median(&wall_ms_reps.iter().map(|&w| w as f64).collect::<Vec<_>>())
+        .expect("reps >= 1")
+        .round() as u64;
     let suffix = if faulted { "-faulted" } else { "" };
     PerfCase {
         name: format!("fig9-{}{suffix}", kind.name().to_lowercase()),
         protocol: kind.name().to_string(),
         faulted,
-        sims: ledger.sims,
-        slots: ledger.slots,
-        wall_ms: wall.as_millis() as u64,
-        slots_per_sec: ledger.slots as f64 / wall.as_secs_f64().max(1e-9),
+        sims,
+        slots,
+        reps: reps as u64,
+        wall_ms: wall_med,
+        wall_ms_reps,
+        slots_per_sec: median(&sps_reps).expect("reps >= 1"),
+        slots_per_sec_mad: mad(&sps_reps).expect("reps >= 1"),
+        slots_per_sec_reps: sps_reps,
     }
 }
 
 /// Run the full perf campaign: OPT/DBAO/OF, clean then faulted, over
-/// the fig9 trace. Cases run one at a time so wall clocks don't share
-/// cores.
-pub fn perf(opts: &ExpOptions, quick: bool, label: &str) -> PerfReport {
+/// the fig9 trace, `reps` timing repetitions each. Cases run one at a
+/// time so wall clocks don't share cores.
+pub fn perf(opts: &ExpOptions, quick: bool, label: &str, reps: usize) -> PerfReport {
+    assert!(reps >= 1, "perf needs at least one repetition");
     let topo = ldcf_trace::greenorbs::default_trace(opts.trace_seed);
     let mut cases = Vec::new();
     for faulted in [false, true] {
         for kind in ProtocolKind::paper_set() {
-            cases.push(run_case(&topo, opts, kind, faulted));
+            cases.push(run_case(&topo, opts, kind, faulted, reps));
         }
     }
     PerfReport {
@@ -178,7 +238,8 @@ pub fn perf(opts: &ExpOptions, quick: bool, label: &str) -> PerfReport {
 }
 
 impl PerfReport {
-    /// Total work across the cases as `(sims, slots, wall_ms)`.
+    /// Total work across the cases as `(sims, slots, wall_ms)` (one
+    /// repetition's worth: medians, not sums over repetitions).
     fn totals(&self) -> (u64, u64, u64) {
         self.cases.iter().fold((0, 0, 0), |(s, sl, w), c| {
             (s + c.sims, sl + c.slots, w + c.wall_ms)
@@ -199,8 +260,26 @@ impl PerfReport {
                 ("faulted".into(), Value::Bool(c.faulted)),
                 ("sims".into(), Value::UInt(c.sims)),
                 ("slots".into(), Value::UInt(c.slots)),
+                ("reps".into(), Value::UInt(c.reps)),
                 ("wall_ms".into(), Value::UInt(c.wall_ms)),
+                (
+                    "wall_ms_reps".into(),
+                    Value::Array(c.wall_ms_reps.iter().map(|&w| Value::UInt(w)).collect()),
+                ),
                 ("slots_per_sec".into(), Value::Float(c.slots_per_sec)),
+                (
+                    "slots_per_sec_reps".into(),
+                    Value::Array(
+                        c.slots_per_sec_reps
+                            .iter()
+                            .map(|&x| Value::Float(x))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "slots_per_sec_mad".into(),
+                    Value::Float(c.slots_per_sec_mad),
+                ),
             ])
         };
         let (sims, slots, wall_ms) = self.totals();
@@ -238,24 +317,29 @@ impl PerfReport {
         writeln!(
             out,
             "Engine throughput over the fig9 GreenOrbs workloads \
-             (duty 5 %, label `{}`, rev {}, digest {}).\n",
+             (duty 5 %, label `{}`, rev {}, digest {}; medians over \
+             per-case repetitions, ± MAD).\n",
             self.label, self.git_rev, self.config_digest
         )
         .unwrap();
-        writeln!(out, "| case | sims | slots | wall ms | slots/sec |").unwrap();
-        writeln!(out, "|---|---|---|---|---|").unwrap();
+        writeln!(
+            out,
+            "| case | sims | slots | reps | wall ms | slots/sec | ± MAD |"
+        )
+        .unwrap();
+        writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
         for c in &self.cases {
             writeln!(
                 out,
-                "| {} | {} | {} | {} | {:.0} |",
-                c.name, c.sims, c.slots, c.wall_ms, c.slots_per_sec
+                "| {} | {} | {} | {} | {} | {:.0} | {:.0} |",
+                c.name, c.sims, c.slots, c.reps, c.wall_ms, c.slots_per_sec, c.slots_per_sec_mad
             )
             .unwrap();
         }
         let (sims, slots, wall_ms) = self.totals();
         writeln!(
             out,
-            "| **total** | {} | {} | {} | {:.0} |",
+            "| **total** | {} | {} | | {} | {:.0} | |",
             sims,
             slots,
             wall_ms,
@@ -266,9 +350,10 @@ impl PerfReport {
     }
 }
 
-/// Validate a `BENCH_*.json` document: schema fields present and every
-/// throughput strictly positive. Returns the parsed value's case names
-/// on success (CI uses this via `experiments perf --validate`).
+/// Validate a `BENCH_*.json` document: schema fields present, every
+/// throughput strictly positive, and the repetition arrays consistent
+/// with their summary stats. Returns the case names on success (CI uses
+/// this via `experiments perf --validate`).
 pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
     let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let version = v
@@ -300,12 +385,38 @@ pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
                 .and_then(Value::as_u64)
                 .ok_or(format!("case '{name}' missing integer '{field}'"))?;
         }
+        let reps = c
+            .get("reps")
+            .and_then(Value::as_u64)
+            .ok_or(format!("case '{name}' missing integer 'reps'"))?;
+        if reps < 1 {
+            return Err(format!("case '{name}' has zero reps"));
+        }
+        for field in ["wall_ms_reps", "slots_per_sec_reps"] {
+            match c.get(field) {
+                Some(Value::Array(a)) if a.len() == reps as usize => {}
+                Some(Value::Array(a)) => {
+                    return Err(format!(
+                        "case '{name}' {field} has {} entries, reps says {reps}",
+                        a.len()
+                    ))
+                }
+                _ => return Err(format!("case '{name}' missing array '{field}'")),
+            }
+        }
         let sps = c
             .get("slots_per_sec")
             .and_then(Value::as_f64)
             .ok_or(format!("case '{name}' missing 'slots_per_sec'"))?;
         if !sps.is_finite() || sps <= 0.0 {
             return Err(format!("case '{name}' slots_per_sec {sps} not > 0"));
+        }
+        let sps_mad = c
+            .get("slots_per_sec_mad")
+            .and_then(Value::as_f64)
+            .ok_or(format!("case '{name}' missing 'slots_per_sec_mad'"))?;
+        if !sps_mad.is_finite() || sps_mad < 0.0 {
+            return Err(format!("case '{name}' slots_per_sec_mad {sps_mad} < 0"));
         }
         names.push(name.to_string());
     }
@@ -320,32 +431,58 @@ pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
     Ok(names)
 }
 
-/// Fractional slowdown tolerated by the CI perf gate: a case counts as
-/// regressed when its speedup over the committed baseline drops below
-/// `1 − REGRESSION_TOLERANCE` (i.e. it runs >25 % slower). The margin
-/// is deliberately wide — shared CI runners jitter by tens of percent —
-/// while still catching order-of-magnitude slips; EXPERIMENTS.md
-/// documents the policy and how to regenerate the baseline.
-pub const REGRESSION_TOLERANCE: f64 = 0.25;
+// ---------------------------------------------------------------------
+// Noise-aware regression gate
+// ---------------------------------------------------------------------
 
-/// The subset of `speedups` the CI gate fails on (see
-/// [`REGRESSION_TOLERANCE`]).
-pub fn regressions(speedups: &[(String, f64)]) -> Vec<(String, f64)> {
-    speedups
-        .iter()
-        .filter(|(_, x)| *x < 1.0 - REGRESSION_TOLERANCE)
-        .cloned()
-        .collect()
+/// How many robust standard deviations of measurement noise a median
+/// may drop before the gate calls it a regression.
+pub const NOISE_MULTIPLIER: f64 = 4.0;
+
+/// Tolerance floor — the flat 25 % the old single-sample gate used.
+/// Within-run MAD understates between-run drift (reps share cache and
+/// thermal state; the committed baseline was measured on another day,
+/// possibly another machine), so the gate never tightens below what
+/// that drift was already observed to reach. The actual tightening
+/// over the old gate comes from comparing medians of ≥ 5 reps instead
+/// of single samples.
+pub const MIN_TOLERANCE: f64 = 0.25;
+
+/// Tolerance ceiling: whatever the measured noise claims, a case
+/// running ≥ 40 % slower than baseline always fails the gate.
+pub const MAX_TOLERANCE: f64 = 0.40;
+
+/// Scale factor turning a MAD into a Gaussian-consistent σ estimate.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// One case's verdict from [`gate_vs_baseline`].
+#[derive(Clone, Debug)]
+pub struct GateVerdict {
+    /// Case name (present in both baseline and current report).
+    pub name: String,
+    /// Current median throughput ÷ baseline median throughput.
+    pub speedup: f64,
+    /// The noise-adapted fractional slowdown tolerated for this case.
+    pub tolerance: f64,
+    /// Whether `speedup < 1 − tolerance`: a real regression.
+    pub regressed: bool,
 }
 
-/// Per-case speedup of `report` over a baseline `BENCH_*.json`
-/// document: `(case name, report slots/sec ÷ baseline slots/sec)` for
-/// every case present in both. `Err` if the baseline is malformed or
-/// its `config_digest` differs (the workloads are not comparable).
-pub fn speedup_vs_baseline(
+/// Noise-aware perf gate: compare `report` against a baseline
+/// `BENCH_*.json` document, case by case.
+///
+/// For each case the tolerated slowdown adapts to *measured* noise:
+/// with `r = 1.4826 · MAD ∕ median` the relative robust σ of each
+/// side, `tolerance = clamp(NOISE_MULTIPLIER · √(r_base² + r_cur²),
+/// MIN_TOLERANCE, MAX_TOLERANCE)`. A quiet machine keeps the gate at
+/// the 25 % floor (the flat tolerance the old single-sample gate
+/// used); a jittery shared runner loosens it, but never beyond 40 %.
+/// `Err` if the baseline is malformed or its `config_digest` differs
+/// (the workloads are not comparable).
+pub fn gate_vs_baseline(
     baseline_json: &str,
     report: &PerfReport,
-) -> Result<Vec<(String, f64)>, String> {
+) -> Result<Vec<GateVerdict>, String> {
     validate_bench_json(baseline_json)?;
     let base: Value = serde_json::from_str(baseline_json).map_err(|e| e.to_string())?;
     let base_digest = base
@@ -361,23 +498,319 @@ pub fn speedup_vs_baseline(
     let Some(Value::Array(base_cases)) = base.get("cases") else {
         return Err("baseline has no cases".into());
     };
+    let rel_sigma = |med: f64, mad: f64| MAD_TO_SIGMA * mad / med.max(1e-9);
     let mut out = Vec::new();
     for c in &report.cases {
-        let base_sps = base_cases
+        let Some(b) = base_cases
             .iter()
             .find(|b| b.get("name").and_then(Value::as_str) == Some(c.name.as_str()))
-            .and_then(|b| b.get("slots_per_sec"))
-            .and_then(Value::as_f64);
-        if let Some(base_sps) = base_sps {
-            out.push((c.name.clone(), c.slots_per_sec / base_sps));
-        }
+        else {
+            continue;
+        };
+        let (Some(base_med), Some(base_mad)) = (
+            b.get("slots_per_sec").and_then(Value::as_f64),
+            b.get("slots_per_sec_mad").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let r = (rel_sigma(base_med, base_mad).powi(2)
+            + rel_sigma(c.slots_per_sec, c.slots_per_sec_mad).powi(2))
+        .sqrt();
+        let tolerance = (NOISE_MULTIPLIER * r).clamp(MIN_TOLERANCE, MAX_TOLERANCE);
+        let speedup = c.slots_per_sec / base_med;
+        out.push(GateVerdict {
+            name: c.name.clone(),
+            speedup,
+            tolerance,
+            regressed: speedup < 1.0 - tolerance,
+        });
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Phase-profile artefact
+// ---------------------------------------------------------------------
+
+/// Fraction of a profiled case's measured wall clock that the engine's
+/// per-phase times must account for. The phase chain telescopes inside
+/// the slot loop, so the only unattributed time is outside it — trace
+/// construction, topology cloning, report finalization — which must
+/// stay under 5 %.
+pub const MIN_PHASE_COVERAGE: f64 = 0.95;
+
+/// One profiled case: the fig9 workload run once with an engine
+/// [`PhaseProfiler`] attached.
+#[derive(Clone, Debug)]
+pub struct ProfiledCase {
+    /// Case name, matching the BENCH vocabulary (e.g. `fig9-dbao`).
+    pub name: String,
+    /// Protocol display name.
+    pub protocol: String,
+    /// Whether the composed fault stack was injected.
+    pub faulted: bool,
+    /// Floods executed (one per seed).
+    pub sims: u64,
+    /// Slots stepped across those floods.
+    pub slots: u64,
+    /// Wall clock of the case's run loops, in nanoseconds, summed over
+    /// seeds (engine construction excluded — the profiler's slot totals
+    /// must cover ≥ [`MIN_PHASE_COVERAGE`] of this).
+    pub wall_ns: u64,
+    /// The merged phase profile of the case's floods.
+    pub profile: PhaseProfiler,
+}
+
+/// A full profile run: every perf case, profiled.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// Label the report is filed under (`PROFILE_<label>.json`).
+    pub label: String,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Quick (reduced-size) option set?
+    pub quick: bool,
+    /// Workload fingerprint (same vocabulary as BENCH files).
+    pub config_digest: String,
+    /// The profiled cases, in BENCH case order.
+    pub cases: Vec<ProfiledCase>,
+}
+
+/// Run every perf case once with a phase profiler attached. Kept apart
+/// from [`perf`]'s timing repetitions so BENCH numbers never include
+/// profiling overhead.
+pub fn profile(opts: &ExpOptions, quick: bool, label: &str) -> ProfileReport {
+    let topo = ldcf_trace::greenorbs::default_trace(opts.trace_seed);
+    let mut cases = Vec::new();
+    for faulted in [false, true] {
+        for kind in ProtocolKind::paper_set() {
+            runner::ledger_reset();
+            let mut merged = PhaseProfiler::new();
+            let mut wall_ns = 0u64;
+            for &seed in &opts.seeds {
+                let cfg = perf_config(opts, seed);
+                let (prof, run_wall) = if faulted {
+                    let faults = FaultConfig::at_intensity(seed, FAULT_INTENSITY);
+                    let r = run_flood_faulted_profiled(&topo, &cfg, kind, &faults);
+                    (r.2, r.3)
+                } else {
+                    let r = run_flood_profiled(&topo, &cfg, kind);
+                    (r.2, r.3)
+                };
+                merged.merge(&prof);
+                wall_ns += run_wall;
+            }
+            let ledger = runner::ledger_snapshot();
+            let suffix = if faulted { "-faulted" } else { "" };
+            cases.push(ProfiledCase {
+                name: format!("fig9-{}{suffix}", kind.name().to_lowercase()),
+                protocol: kind.name().to_string(),
+                faulted,
+                sims: ledger.sims,
+                slots: ledger.slots,
+                wall_ns,
+                profile: merged,
+            });
+        }
+    }
+    ProfileReport {
+        label: label.to_string(),
+        git_rev: git_rev(),
+        quick,
+        config_digest: config_digest(opts),
+        cases,
+    }
+}
+
+impl ProfileReport {
+    /// The on-disk `PROFILE_<label>.json` rendering. Each case carries
+    /// its wall clock, the phase-coverage ratio, and the full profiler
+    /// JSON (slot histogram plus per-phase totals/shares/histograms).
+    pub fn to_json_pretty(&self) -> String {
+        let case_value = |c: &ProfiledCase| {
+            let coverage = c.profile.slot_total_ns() as f64 / (c.wall_ns as f64).max(1.0);
+            Value::Object(vec![
+                ("name".into(), Value::Str(c.name.clone())),
+                ("protocol".into(), Value::Str(c.protocol.clone())),
+                ("faulted".into(), Value::Bool(c.faulted)),
+                ("sims".into(), Value::UInt(c.sims)),
+                ("slots".into(), Value::UInt(c.slots)),
+                ("wall_ns".into(), Value::UInt(c.wall_ns)),
+                ("phase_coverage".into(), Value::Float(coverage)),
+                ("profile".into(), c.profile.to_value()),
+            ])
+        };
+        let root = Value::Object(vec![
+            ("schema_version".into(), Value::UInt(PROFILE_SCHEMA_VERSION)),
+            ("label".into(), Value::Str(self.label.clone())),
+            ("git_rev".into(), Value::Str(self.git_rev.clone())),
+            ("quick".into(), Value::Bool(self.quick)),
+            (
+                "config_digest".into(),
+                Value::Str(self.config_digest.clone()),
+            ),
+            (
+                "cases".into(),
+                Value::Array(self.cases.iter().map(case_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&root).expect("profile report serializes")
+    }
+
+    /// Human summary: per case, slot-cost quantiles and the phase
+    /// breakdown sorted by share.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Engine phase profile over the fig9 GreenOrbs workloads \
+             (label `{}`, rev {}, digest {}).\n",
+            self.label, self.git_rev, self.config_digest
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "| case | slots | slot p50 ns | p95 | p99 | max | top phases |"
+        )
+        .unwrap();
+        writeln!(out, "|---|---|---|---|---|---|---|").unwrap();
+        for c in &self.cases {
+            let h = c.profile.slot_hist();
+            let mut shares: Vec<(Phase, u64)> = Phase::ALL
+                .iter()
+                .map(|&p| (p, c.profile.phase_total_ns(p)))
+                .collect();
+            shares.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+            let total = c.profile.slot_total_ns().max(1);
+            let top: Vec<String> = shares
+                .iter()
+                .take(3)
+                .map(|&(p, ns)| format!("{} {:.0}%", p.name(), 100.0 * ns as f64 / total as f64))
+                .collect();
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                c.name,
+                c.slots,
+                h.p50().unwrap_or(0),
+                h.p95().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.max,
+                top.join(", ")
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Validate a `PROFILE_*.json` document: schema fields present, every
+/// case's phase totals summing exactly to its slot total (the
+/// telescoping invariant survives serialization), and phase coverage —
+/// slot-loop time over measured case wall time — at least
+/// [`MIN_PHASE_COVERAGE`]. Returns the case names on success.
+pub fn validate_profile_json(text: &str) -> Result<Vec<String>, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != PROFILE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {PROFILE_SCHEMA_VERSION}"
+        ));
+    }
+    for field in ["label", "git_rev", "config_digest"] {
+        v.get(field)
+            .and_then(Value::as_str)
+            .ok_or(format!("missing string field '{field}'"))?;
+    }
+    let cases = match v.get("cases") {
+        Some(Value::Array(cases)) if !cases.is_empty() => cases,
+        _ => return Err("missing or empty 'cases' array".into()),
+    };
+    let expected_phases: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+    let mut names = Vec::new();
+    for c in cases {
+        let name = c
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("case missing 'name'")?;
+        let wall_ns = c
+            .get("wall_ns")
+            .and_then(Value::as_u64)
+            .ok_or(format!("case '{name}' missing 'wall_ns'"))?;
+        if wall_ns == 0 {
+            return Err(format!("case '{name}' wall_ns is 0"));
+        }
+        let profile = c
+            .get("profile")
+            .ok_or(format!("case '{name}' missing 'profile'"))?;
+        let slots = profile
+            .get("slots")
+            .and_then(Value::as_u64)
+            .ok_or(format!("case '{name}' profile missing 'slots'"))?;
+        if slots == 0 {
+            return Err(format!("case '{name}' profiled zero slots"));
+        }
+        let slot_total = profile
+            .get("slot_total_ns")
+            .and_then(Value::as_u64)
+            .ok_or(format!("case '{name}' profile missing 'slot_total_ns'"))?;
+        let Some(Value::Array(phases)) = profile.get("phases") else {
+            return Err(format!("case '{name}' profile missing 'phases'"));
+        };
+        let got: Vec<&str> = phases
+            .iter()
+            .filter_map(|p| p.get("phase").and_then(Value::as_str))
+            .collect();
+        if got != expected_phases {
+            return Err(format!(
+                "case '{name}' phases {got:?} != expected {expected_phases:?}"
+            ));
+        }
+        let phase_sum: u64 = phases
+            .iter()
+            .filter_map(|p| p.get("total_ns").and_then(Value::as_u64))
+            .sum();
+        if phase_sum != slot_total {
+            return Err(format!(
+                "case '{name}' phase totals {phase_sum} != slot total {slot_total} \
+                 (the telescoping invariant is broken)"
+            ));
+        }
+        let coverage = slot_total as f64 / wall_ns as f64;
+        if coverage < MIN_PHASE_COVERAGE {
+            return Err(format!(
+                "case '{name}' phase coverage {coverage:.3} < {MIN_PHASE_COVERAGE} \
+                 (too much unattributed time outside the slot loop)"
+            ));
+        }
+        names.push(name.to_string());
+    }
+    Ok(names)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn tiny_case(name: &str, sps: f64, mad: f64) -> PerfCase {
+        PerfCase {
+            name: name.into(),
+            protocol: "DBAO".into(),
+            faulted: false,
+            sims: 1,
+            slots: 1000,
+            reps: 3,
+            wall_ms: 10,
+            wall_ms_reps: vec![10, 10, 11],
+            slots_per_sec: sps,
+            slots_per_sec_reps: vec![sps - mad, sps, sps + mad],
+            slots_per_sec_mad: mad,
+        }
+    }
 
     fn tiny_report() -> PerfReport {
         PerfReport {
@@ -385,15 +818,7 @@ mod tests {
             git_rev: "deadbee".into(),
             quick: true,
             config_digest: config_digest(&ExpOptions::quick()),
-            cases: vec![PerfCase {
-                name: "fig9-dbao".into(),
-                protocol: "DBAO".into(),
-                faulted: false,
-                sims: 1,
-                slots: 1000,
-                wall_ms: 10,
-                slots_per_sec: 100_000.0,
-            }],
+            cases: vec![tiny_case("fig9-dbao", 100_000.0, 500.0)],
         }
     }
 
@@ -413,9 +838,23 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_rep_array_mismatch() {
+        let mut r = tiny_report();
+        r.cases[0].wall_ms_reps.pop();
+        let err = validate_bench_json(&r.to_json_pretty()).unwrap_err();
+        assert!(err.contains("reps says"), "got: {err}");
+    }
+
+    #[test]
     fn validation_rejects_garbage() {
         assert!(validate_bench_json("{}").is_err());
         assert!(validate_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_old_schema() {
+        let err = validate_bench_json(r#"{"schema_version": 1}"#).unwrap_err();
+        assert!(err.contains("schema_version 1"), "got: {err}");
     }
 
     #[test]
@@ -428,44 +867,57 @@ mod tests {
     }
 
     #[test]
-    fn speedup_compares_matching_cases_only() {
+    fn gate_compares_matching_cases_only() {
         let base = tiny_report();
         let mut faster = tiny_report();
         faster.cases[0].slots_per_sec *= 3.0;
-        faster.cases.push(PerfCase {
-            name: "fig9-of".into(),
-            protocol: "OF".into(),
-            faulted: false,
-            sims: 1,
-            slots: 1,
-            wall_ms: 1,
-            slots_per_sec: 1.0,
-        });
-        let ups = speedup_vs_baseline(&base.to_json_pretty(), &faster).unwrap();
-        assert_eq!(ups.len(), 1);
-        assert_eq!(ups[0].0, "fig9-dbao");
-        assert!((ups[0].1 - 3.0).abs() < 1e-9);
+        faster.cases.push(tiny_case("fig9-of", 1000.0, 5.0));
+        let verdicts = gate_vs_baseline(&base.to_json_pretty(), &faster).unwrap();
+        assert_eq!(verdicts.len(), 1, "fig9-of is absent from the baseline");
+        assert_eq!(verdicts[0].name, "fig9-dbao");
+        assert!((verdicts[0].speedup - 3.0).abs() < 1e-9);
+        assert!(!verdicts[0].regressed);
 
         let mut other = faster.clone();
         other.config_digest = "0".repeat(16);
-        assert!(speedup_vs_baseline(&base.to_json_pretty(), &other)
+        assert!(gate_vs_baseline(&base.to_json_pretty(), &other)
             .unwrap_err()
             .contains("digest mismatch"));
     }
 
     #[test]
-    fn regression_gate_trips_only_past_the_tolerance() {
-        let speedups = vec![
-            ("fine".to_string(), 1.1),
-            ("noisy-but-ok".to_string(), 0.76),
-            ("regressed".to_string(), 0.74),
-            ("disaster".to_string(), 0.1),
-        ];
-        let bad = regressions(&speedups);
-        assert_eq!(
-            bad.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
-            ["regressed", "disaster"]
-        );
+    fn gate_tolerance_adapts_to_noise_within_bounds() {
+        // Quiet measurements (tiny MAD): tolerance clamps to the floor,
+        // so a 28 % drop regresses while a 20 % drop is forgiven.
+        let quiet_base = tiny_report();
+        let mut quiet_cur = tiny_report();
+        quiet_cur.cases[0].slots_per_sec *= 0.72;
+        let v = &gate_vs_baseline(&quiet_base.to_json_pretty(), &quiet_cur).unwrap()[0];
+        assert!((v.tolerance - MIN_TOLERANCE).abs() < 1e-9);
+        assert!(v.regressed, "28% drop on a quiet machine regresses");
+        let mut quiet_ok = tiny_report();
+        quiet_ok.cases[0].slots_per_sec *= 0.80;
+        let v = &gate_vs_baseline(&quiet_base.to_json_pretty(), &quiet_ok).unwrap()[0];
+        assert!(!v.regressed, "20% drop stays within the floor");
+
+        // Noisy measurements (MAD = 3% of median): tolerance widens and
+        // the same 28 % drop is forgiven…
+        let mut noisy_base = tiny_report();
+        noisy_base.cases[0].slots_per_sec_mad = 3_000.0;
+        let mut noisy_cur = noisy_base.clone();
+        noisy_cur.cases[0].slots_per_sec *= 0.72;
+        let v = &gate_vs_baseline(&noisy_base.to_json_pretty(), &noisy_cur).unwrap()[0];
+        assert!(v.tolerance > MIN_TOLERANCE);
+        assert!(!v.regressed, "28% drop within noise is forgiven");
+
+        // …but however noisy, tolerance never exceeds the ceiling.
+        let mut wild_base = tiny_report();
+        wild_base.cases[0].slots_per_sec_mad = 50_000.0;
+        let mut wild_cur = wild_base.clone();
+        wild_cur.cases[0].slots_per_sec *= 0.5;
+        let v = &gate_vs_baseline(&wild_base.to_json_pretty(), &wild_cur).unwrap()[0];
+        assert!((v.tolerance - MAX_TOLERANCE).abs() < 1e-9);
+        assert!(v.regressed, "a 2x slowdown always fails the gate");
     }
 
     #[test]
@@ -478,11 +930,63 @@ mod tests {
             max_slots: 200_000,
             ..ExpOptions::quick()
         };
-        let report = perf(&opts, true, "unit");
+        let report = perf(&opts, true, "unit", 2);
         assert_eq!(report.cases.len(), 6);
-        assert!(report.case("fig9-dbao").is_some());
+        let dbao = report.case("fig9-dbao").expect("dbao case");
+        assert_eq!(dbao.reps, 2);
+        assert_eq!(dbao.wall_ms_reps.len(), 2);
+        assert_eq!(dbao.slots_per_sec_reps.len(), 2);
         assert!(report.case("fig9-dbao-faulted").is_some());
         let json = report.to_json_pretty();
         validate_bench_json(&json).expect("self-produced report validates");
+    }
+
+    #[test]
+    fn profile_report_validates_and_telescopes() {
+        let opts = ExpOptions {
+            m: 2,
+            seeds: vec![1],
+            max_slots: 200_000,
+            ..ExpOptions::quick()
+        };
+        let report = profile(&opts, true, "unit");
+        assert_eq!(report.cases.len(), 6);
+        for c in &report.cases {
+            assert_eq!(
+                c.profile.slots(),
+                c.slots,
+                "{}: every slot profiled",
+                c.name
+            );
+            assert_eq!(
+                c.profile.phases_total_ns(),
+                c.profile.slot_total_ns(),
+                "{}: phase times telescope",
+                c.name
+            );
+        }
+        let json = report.to_json_pretty();
+        let names = validate_profile_json(&json).expect("self-produced profile validates");
+        assert_eq!(names.len(), 6);
+        let md = report.to_markdown();
+        assert!(md.contains("top phases"));
+    }
+
+    #[test]
+    fn profile_validation_rejects_broken_telescoping() {
+        let opts = ExpOptions {
+            m: 1,
+            seeds: vec![1],
+            max_slots: 200_000,
+            ..ExpOptions::quick()
+        };
+        let report = profile(&opts, true, "unit");
+        let json = report.to_json_pretty();
+        // Corrupt one phase total; the validator must notice the sum no
+        // longer matches slot_total_ns.
+        let broken = json.replacen("\"total_ns\": ", "\"total_ns\": 9", 1);
+        assert_ne!(json, broken, "corruption must apply");
+        let err = validate_profile_json(&broken).unwrap_err();
+        assert!(err.contains("telescoping"), "got: {err}");
     }
 }

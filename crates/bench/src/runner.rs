@@ -8,22 +8,26 @@
 //!   writes its slot-level event stream as one JSONL file;
 //! * optional **metrics capture** (`--metrics DIR`) — every flood
 //!   snapshots a `MetricsRegistry` (delay histogram, per-node load,
-//!   queue depth, coverage growth) as one JSON file.
+//!   queue depth, coverage growth) as one JSON file;
+//! * optional **self-profiling** (`--profile`) — every flood runs with
+//!   an engine phase profiler attached, accumulating per-phase timing
+//!   histograms into a process-global [`PhaseProfiler`].
 //!
 //! Tracing is opt-in per process: when neither directory is configured,
-//! floods run with the engine's `NullObserver` and pay nothing.
+//! floods run with the engine's `NullObserver` and pay nothing; same
+//! for profiling and the engine's `NullProfiler`.
 
 use ldcf_net::{NeighborTable, Topology};
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
 use ldcf_sim::{
-    Engine, FaultConfig, FloodingProtocol, Injection, JsonlSink, MetricsObserver, SimConfig,
-    SimEvent, SimObserver, SimReport,
+    Engine, FaultConfig, FaultPlan, FloodingProtocol, Injection, JsonlSink, MetricsObserver,
+    PhaseProfiler, SimConfig, SimEvent, SimObserver, SimReport,
 };
 use std::collections::BTreeSet;
 use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// The protocols under evaluation (§V-A) plus ablation variants.
@@ -279,6 +283,70 @@ impl SimObserver for TraceObserver {
 }
 
 // ---------------------------------------------------------------------
+// Self-profiling configuration
+// ---------------------------------------------------------------------
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static PROFILE: Mutex<Option<PhaseProfiler>> = Mutex::new(None);
+
+/// Attach a phase profiler to every subsequent flood run through this
+/// module, merging each run's phase timings into a process-global
+/// [`PhaseProfiler`] (read it with [`profile_snapshot`]). Profiling
+/// reads wall clocks only — simulation outcomes and artefacts stay
+/// byte-identical (`--profile` on any artefact command proves this in
+/// CI against the pinned baselines).
+pub fn enable_profiling() {
+    PROFILING.store(true, Ordering::Relaxed);
+}
+
+/// Whether [`enable_profiling`] was called.
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Reset the accumulated profile (call at the start of each artefact,
+/// like [`ledger_reset`]).
+pub fn profile_reset() {
+    *PROFILE.lock().expect("profile lock") = None;
+}
+
+/// The phase timings accumulated since the last [`profile_reset`]
+/// (empty when profiling is off or nothing ran).
+pub fn profile_snapshot() -> PhaseProfiler {
+    PROFILE
+        .lock()
+        .expect("profile lock")
+        .clone()
+        .unwrap_or_default()
+}
+
+/// Fold one run's profile into the process-global accumulator.
+fn profile_absorb(p: &PhaseProfiler) {
+    PROFILE
+        .lock()
+        .expect("profile lock")
+        .get_or_insert_with(PhaseProfiler::new)
+        .merge(p);
+}
+
+/// Run an engine to completion, attaching a phase profiler first when
+/// process-wide profiling is on. All flood entry points funnel through
+/// here, so `--profile` covers every artefact the binary can produce.
+fn run_engine<P: FloodingProtocol, O: SimObserver, F: FaultPlan>(
+    engine: Engine<P, O, F>,
+) -> (SimReport, EnergyLedger) {
+    if profiling_enabled() {
+        let mut prof = PhaseProfiler::new();
+        let (report, energy, _) = engine.with_profiler(&mut prof).run_traced();
+        profile_absorb(&prof);
+        (report, energy)
+    } else {
+        let (report, energy, _) = engine.run_traced();
+        (report, energy)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Flood dispatch
 // ---------------------------------------------------------------------
 
@@ -301,11 +369,8 @@ fn run_one<P: FloodingProtocol>(
 ) -> (SimReport, EnergyLedger) {
     let engine = Engine::new(topo.clone(), cfg.clone(), protocol);
     let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), "") {
-        Some(obs) => {
-            let (report, energy, _) = engine.with_observer(obs).run_traced();
-            (report, energy)
-        }
-        None => engine.run(),
+        Some(obs) => run_engine(engine.with_observer(obs)),
+        None => run_engine(engine),
     };
     book_run(kind, cfg, &report);
     (report, energy)
@@ -322,11 +387,8 @@ fn run_one_faulted<P: FloodingProtocol>(
     let engine = Engine::new(topo.clone(), cfg.clone(), protocol).with_faults(faults.build());
     let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), fault_tag)
     {
-        Some(obs) => {
-            let (report, energy, _) = engine.with_observer(obs).run_traced();
-            (report, energy)
-        }
-        None => engine.run(),
+        Some(obs) => run_engine(engine.with_observer(obs)),
+        None => run_engine(engine),
     };
     book_run(kind, cfg, &report);
     (report, energy)
@@ -376,14 +438,55 @@ pub fn run_flood_scenario(
     dispatch_protocol!(kind, |p| {
         let engine = Engine::with_injections(topo.clone(), cfg.clone(), schedules, plan, p);
         let (report, energy) = match TraceObserver::for_run(kind.name(), cfg, topo.n_nodes(), tag) {
-            Some(obs) => {
-                let (report, energy, _) = engine.with_observer(obs).run_traced();
-                (report, energy)
-            }
-            None => engine.run(),
+            Some(obs) => run_engine(engine.with_observer(obs)),
+            None => run_engine(engine),
         };
         book_run(kind, cfg, &report);
         (report, energy)
+    })
+}
+
+/// Like [`run_flood`], but with a [`PhaseProfiler`] lent to the engine
+/// for this run only, returned alongside the results and the wall-clock
+/// nanoseconds of the run loop itself (engine construction excluded —
+/// the profiler's phase coverage is judged against the loop it actually
+/// instruments). Used by `experiments perf --profile`, which wants a
+/// per-case profile without flipping the process-global switch (the
+/// timing repetitions must stay unprofiled so BENCH numbers never carry
+/// profiling overhead).
+pub fn run_flood_profiled(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+) -> (SimReport, EnergyLedger, PhaseProfiler, u64) {
+    dispatch_protocol!(kind, |p| {
+        let mut prof = PhaseProfiler::new();
+        let engine = Engine::new(topo.clone(), cfg.clone(), p).with_profiler(&mut prof);
+        let t0 = std::time::Instant::now();
+        let (report, energy, _) = engine.run_traced();
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        book_run(kind, cfg, &report);
+        (report, energy, prof, wall_ns)
+    })
+}
+
+/// [`run_flood_profiled`] with a fault plan injected.
+pub fn run_flood_faulted_profiled(
+    topo: &Topology,
+    cfg: &SimConfig,
+    kind: ProtocolKind,
+    faults: &FaultConfig,
+) -> (SimReport, EnergyLedger, PhaseProfiler, u64) {
+    dispatch_protocol!(kind, |p| {
+        let mut prof = PhaseProfiler::new();
+        let engine = Engine::new(topo.clone(), cfg.clone(), p)
+            .with_faults(faults.build())
+            .with_profiler(&mut prof);
+        let t0 = std::time::Instant::now();
+        let (report, energy, _) = engine.run_traced();
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        book_run(kind, cfg, &report);
+        (report, energy, prof, wall_ns)
     })
 }
 

@@ -37,8 +37,8 @@ fn two_runs_and_both_thread_counts_are_byte_identical() {
     let d2 = fresh_dir("run2");
     let d3 = fresh_dir("run3");
 
-    let o1 = run_campaign(demo_spec(), true, &d1).unwrap();
-    let o2 = run_campaign(demo_spec(), true, &d2).unwrap();
+    let o1 = run_campaign(demo_spec(), true, &d1, false).unwrap();
+    let o2 = run_campaign(demo_spec(), true, &d2, false).unwrap();
     assert_eq!(o1.digest, o2.digest);
     assert_eq!(o1.cells_run, 6);
     assert_eq!(artefacts(&d1), artefacts(&d2), "two runs, same bytes");
@@ -46,7 +46,7 @@ fn two_runs_and_both_thread_counts_are_byte_identical() {
     // One worker thread vs the default: the aggregate must not depend
     // on execution order.
     rayon::set_thread_limit(Some(1));
-    let o3 = run_campaign(demo_spec(), true, &d3);
+    let o3 = run_campaign(demo_spec(), true, &d3, false);
     rayon::set_thread_limit(None);
     let o3 = o3.unwrap();
     assert_eq!(o3.digest, o1.digest);
@@ -64,10 +64,17 @@ fn two_runs_and_both_thread_counts_are_byte_identical() {
 #[test]
 fn resume_after_partial_loss_reruns_only_missing_cells_same_bytes() {
     let dir = fresh_dir("resume");
-    let first = run_campaign(demo_spec(), true, &dir).unwrap();
+    let first = run_campaign(demo_spec(), true, &dir, false).unwrap();
     assert_eq!(first.cells_total, 6);
     assert_eq!(first.cells_run, 6);
     let (md, json) = artefacts(&dir);
+
+    // The heartbeat streamed telemetry beside the artefacts: one start
+    // record, one per simulated cell, one summary. (Its contents are
+    // wall-clock data, deliberately outside the byte-identity checks.)
+    let telemetry = std::fs::read_to_string(dir.join("campaign-telemetry.jsonl")).unwrap();
+    assert_eq!(telemetry.lines().count(), 8, "start + 6 cells + done");
+    assert!(telemetry.lines().all(|l| l.starts_with('{')));
 
     // Simulate a killed run: two checkpoints and the aggregates gone.
     let mut cells: Vec<PathBuf> = std::fs::read_dir(dir.join("cells"))
@@ -81,7 +88,7 @@ fn resume_after_partial_loss_reruns_only_missing_cells_same_bytes() {
     std::fs::remove_file(dir.join("campaign.md")).unwrap();
     std::fs::remove_file(dir.join("campaign.json")).unwrap();
 
-    let second = run_campaign(demo_spec(), true, &dir).unwrap();
+    let second = run_campaign(demo_spec(), true, &dir, false).unwrap();
     assert_eq!(second.cells_resumed, 4, "four checkpoints survived");
     assert_eq!(second.cells_run, 2, "only the lost cells re-simulate");
     assert_eq!(artefacts(&dir), (md, json), "resumed run, same bytes");
@@ -92,14 +99,14 @@ fn resume_after_partial_loss_reruns_only_missing_cells_same_bytes() {
 #[test]
 fn stale_checkpoints_from_another_spec_are_ignored() {
     let dir = fresh_dir("stale");
-    run_campaign(demo_spec(), true, &dir).unwrap();
+    run_campaign(demo_spec(), true, &dir, false).unwrap();
 
     // A different topology seed changes the spec digest but leaves
     // every cell filename identical — the old checkpoints must be
     // re-run, not silently reused.
     let mut spec = demo_spec();
     spec.topology_seed = 1234;
-    let outcome = run_campaign(spec, true, &dir).unwrap();
+    let outcome = run_campaign(spec, true, &dir, false).unwrap();
     assert_eq!(outcome.cells_resumed, 0, "stale digests never resume");
     assert_eq!(outcome.cells_run, 6);
 

@@ -49,6 +49,33 @@ fn foreign_flags_are_rejected_per_subcommand() {
     let out = run(&["perf", "--digest"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("'--digest' is not valid for 'perf'"));
+
+    // --reps and --validate-profile belong to perf only.
+    let out = run(&["fig3", "--reps", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--reps' is not valid for 'fig3'"));
+    let out = run(&["fig3", "--validate-profile", "x.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--validate-profile' is not valid for 'fig3'"));
+
+    // --no-progress belongs to campaign only.
+    let out = run(&["perf", "--no-progress"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--no-progress' is not valid for 'perf'"));
+
+    // --profile drives artefact/perf runs, not forensics.
+    let out = run(&["forensics", "--profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--profile' is not valid for 'forensics'"));
+}
+
+#[test]
+fn reps_must_be_a_positive_integer() {
+    for bad in ["0", "-1", "three"] {
+        let out = run(&["perf", "--reps", bad]);
+        assert_eq!(out.status.code(), Some(2), "--reps {bad} must be rejected");
+        assert!(stderr(&out).contains("--reps"), "stderr: {}", stderr(&out));
+    }
 }
 
 #[test]

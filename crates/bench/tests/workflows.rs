@@ -53,6 +53,14 @@ fn ci_workflow_parses_and_caches_on_the_lockfile() {
     assert!(text.contains("baselines/scenarios.sha256"));
     assert!(text.contains("campaign --spec scenarios/demo-quick.toml"));
     assert!(text.contains("0/6 cells run, 6 resumed"));
+    // Telemetry gates: byte-identity is proven with the profiler ON,
+    // the PROFILE artefact is schema-validated, the allocation gate
+    // runs as its own step, and the heartbeat paths are exercised.
+    assert!(text.contains("fig9 --quick --profile"));
+    assert!(text.contains("--validate-profile"));
+    assert!(text.contains("--test alloc_gate"));
+    assert!(text.contains("--no-progress"));
+    assert!(text.contains("campaign-telemetry.jsonl"));
 }
 
 #[test]

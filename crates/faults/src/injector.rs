@@ -95,6 +95,18 @@ impl FaultConfig {
         self
     }
 
+    /// Keep only the churn model (drop burst, degradation and drift).
+    /// Churn is the one fault model whose recovery path is allowed to
+    /// allocate (a rebooted node redraws its working schedule); the
+    /// allocation-gate tests use this profile to budget that path in
+    /// isolation, with every steady-state model stripped away.
+    pub fn churn_only(mut self) -> Self {
+        self.burst = None;
+        self.degradation = None;
+        self.drift = None;
+        self
+    }
+
     /// Instantiate the configured models.
     pub fn build(&self) -> FaultInjector {
         FaultInjector {
@@ -249,6 +261,14 @@ mod tests {
         assert!(cfg.burst.is_some() && cfg.drift.is_some());
         assert!(cfg.degradation.is_none() && cfg.churn.is_none());
         assert_eq!(cfg.build().source_retry_backoff(), None);
+    }
+
+    #[test]
+    fn churn_only_strips_everything_else() {
+        let cfg = FaultConfig::at_intensity(1, 0.5).churn_only();
+        assert!(cfg.churn.is_some());
+        assert!(cfg.burst.is_none() && cfg.degradation.is_none() && cfg.drift.is_none());
+        assert!(cfg.build().source_retry_backoff().is_some());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`JsonlSink`] — one JSON object per event, one event per line.
 //! * [`RunManifest`] — provenance (protocols, config, seeds, wall clock,
 //!   slots/sec) written next to every generated artefact.
+//! * [`telemetry`] — the simulator profiling *itself*: zero-cost engine
+//!   phase timers ([`SimProfiler`]), fixed-memory mergeable
+//!   [`StreamingHistogram`]s, and the [`CountingAlloc`] allocation
+//!   gate.
 
 #![warn(missing_docs)]
 
@@ -29,9 +33,13 @@ pub mod manifest;
 pub mod metrics;
 pub mod observer;
 pub mod sink;
+pub mod telemetry;
 
 pub use event::SimEvent;
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsObserver, MetricsRegistry, Series};
 pub use observer::{NullObserver, SimObserver, VecObserver};
 pub use sink::{read_jsonl, JsonlSink};
+pub use telemetry::{
+    CountingAlloc, NullProfiler, Phase, PhaseProfiler, SimProfiler, StreamingHistogram,
+};

@@ -65,6 +65,14 @@ impl CollisionBackoff {
         }
     }
 
+    /// Reserve room for `pairs` distinct `(sender, receiver)` keys.
+    /// Collision keys are always neighbor pairs, so reserving the
+    /// topology's directed edge count up front means the map never
+    /// rehashes mid-run — the allocation gate counts on that.
+    pub fn reserve(&mut self, pairs: usize) {
+        self.blocked_until.reserve(pairs);
+    }
+
     /// Whether `sender` is still backing off from `receiver` at `now`.
     pub fn blocked(&self, sender: NodeId, receiver: NodeId, now: u64) -> bool {
         self.blocked_until
@@ -129,7 +137,14 @@ pub fn all_candidates_into(
                 targets.push((v, q.prr()));
             }
         }
-        targets.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("PRR is finite"));
+        // Each receiver appears once and is pushed in ascending id order,
+        // so an id tie-break reproduces the stable order exactly without
+        // the merge-sort scratch a stable sort would allocate per call.
+        targets.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("PRR is finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         out.extend(targets.iter().map(|&(v, _)| (e.packet, v)));
     }
 }

@@ -160,6 +160,9 @@ impl FloodingProtocol for Dbao {
 
     fn on_start(&mut self, state: &SimState) {
         self.build_ranks(&state.topo);
+        // Collision keys are directed neighbor pairs; reserving them all
+        // keeps the back-off map from rehashing mid-run.
+        self.backoff.reserve(state.topo.n_edges() * 2);
     }
 
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {

@@ -37,6 +37,12 @@ impl FloodingProtocol for NaiveFlood {
         "NAIVE"
     }
 
+    fn on_start(&mut self, state: &SimState) {
+        // Collision keys are directed neighbor pairs; reserving them all
+        // keeps the back-off map from rehashing mid-run.
+        self.backoff.reserve(state.topo.n_edges() * 2);
+    }
+
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
         let backoff = &self.backoff;
         let now = state.now;

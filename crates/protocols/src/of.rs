@@ -111,6 +111,19 @@ impl FloodingProtocol for OpportunisticFlooding {
 
     fn on_start(&mut self, state: &SimState) {
         self.tree = Some(EnergyTree::build(&state.topo));
+        // Scratch high-water marks, known up front: collision keys are
+        // directed neighbor pairs, a per-packet receiver list is bounded
+        // by the max degree, and a sender's candidate list by queue ×
+        // degree. Reserving here keeps the slot loop allocation-free.
+        let topo = &state.topo;
+        self.backoff.reserve(topo.n_edges() * 2);
+        let max_degree = (0..topo.n_nodes())
+            .map(|i| topo.degree(NodeId::from(i)))
+            .max()
+            .unwrap_or(0);
+        self.targets_buf.reserve(max_degree);
+        self.cand_buf
+            .reserve(state.cfg.n_packets as usize * max_degree);
     }
 
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {

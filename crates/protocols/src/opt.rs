@@ -47,6 +47,17 @@ impl FloodingProtocol for Opt {
         ldcf_sim::mac::Overhearing::Enabled
     }
 
+    fn on_start(&mut self, state: &SimState) {
+        // Scratch high-water marks, known up front: at most one candidate
+        // per receiver per slot, one matched-bit word row per 64 nodes.
+        // Reserving here keeps the slot loop allocation-free even as the
+        // flood wave widens.
+        let nw = state.topo.words_per_row();
+        self.candidates.reserve(state.n_nodes());
+        self.sender_busy.reserve(nw);
+        self.receiver_busy.reserve(nw);
+    }
+
     fn propose(&mut self, state: &SimState, out: &mut Vec<TxIntent>) {
         let nw = state.topo.words_per_row();
         // Candidate receptions: (prr, receiver, sender, packet), collected
@@ -89,10 +100,15 @@ impl FloodingProtocol for Opt {
         }
         // Greedy matching, best links first: each sender serves one
         // receiver; each receiver hears one sender; senders cannot also
-        // be receivers this slot. (Stable sort: ties keep collection
-        // order, i.e. ascending receiver id.)
-        self.candidates
-            .sort_by(|a, b| b.0.partial_cmp(&a.0).expect("PRR is finite"));
+        // be receivers this slot. Each receiver appears at most once, so
+        // breaking PRR ties by ascending receiver id makes the order
+        // total — identical to the stable collection order, but
+        // sortable in place (a stable sort would allocate every slot).
+        self.candidates.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("PRR is finite")
+                .then_with(|| a.1.cmp(&b.1))
+        });
         self.sender_busy.clear();
         self.sender_busy.resize(nw, 0);
         self.receiver_busy.clear();

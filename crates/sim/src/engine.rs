@@ -9,11 +9,12 @@ use crate::stats::SimReport;
 use ldcf_faults::{ChurnAction, FaultPlan, NullFaultPlan};
 use ldcf_net::bitset;
 use ldcf_net::{NeighborTable, NodeId, PacketId, Topology, SOURCE};
-use ldcf_obs::{NullObserver, SimEvent, SimObserver};
+use ldcf_obs::{NullObserver, NullProfiler, Phase, SimEvent, SimObserver, SimProfiler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// One packet's entry into the network: which node originates it and at
 /// which slot. The default plan — every packet at the source, slot 0 —
@@ -262,8 +263,19 @@ impl SimState {
 /// randomness lives in the plan's own RNGs: an enabled plan only moves
 /// the thresholds of the engine's existing Bernoulli draws, never their
 /// count or order, so the engine RNG stream is untouched.
-pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver, F: FaultPlan = NullFaultPlan>
-{
+///
+/// And generic over a [`SimProfiler`]; the default [`NullProfiler`]
+/// has `ENABLED = false`, so no clock is ever read and every timing
+/// site compiles away. Attach a profiler with [`Engine::with_profiler`].
+/// Profiling reads wall clocks but touches no simulation state and no
+/// RNG, so a profiled run's outcomes are byte-identical to an
+/// unprofiled one.
+pub struct Engine<
+    P: FloodingProtocol,
+    O: SimObserver = NullObserver,
+    F: FaultPlan = NullFaultPlan,
+    Pr: SimProfiler = NullProfiler,
+> {
     state: SimState,
     protocol: P,
     rng: StdRng,
@@ -278,6 +290,14 @@ pub struct Engine<P: FloodingProtocol, O: SimObserver = NullObserver, F: FaultPl
     delivered_buf: Vec<(NodeId, PacketId)>,
     obs: O,
     faults: F,
+    profiler: Pr,
+    /// Final clock read of the previous slot, carried over as the next
+    /// slot's start anchor (profiled runs only). Chaining the anchor
+    /// across slots attributes the inter-slot overhead — the profiler's
+    /// own bookkeeping, the run loop, the termination check — to the
+    /// next slot instead of leaving it unattributed, so the profile's
+    /// phase coverage of the run loop's wall clock stays near 1.
+    slot_anchor: Option<Instant>,
     /// Scratch buffer for [`FaultPlan::churn_actions`].
     churn_buf: Vec<ChurnAction>,
     /// Pending source retries `(due_slot, packet)` (churn recovery).
@@ -372,7 +392,12 @@ impl<P: FloodingProtocol> Engine<P> {
             packet_words,
             holder_bits: vec![0; m * node_words],
             node_words,
-            queues: vec![FcfsQueue::new(); n],
+            // Queue capacity is bounded by the packet count; reserving it
+            // up front keeps the slot loop free of first-touch Vec growth
+            // (the allocation gate asserts zero heap allocs per slot).
+            // Built per node — `vec![q; n]` would clone the prototype,
+            // and a Vec clone keeps only its length, not its capacity.
+            queues: (0..n).map(|_| FcfsQueue::with_capacity(m)).collect(),
             holders: vec![0; m],
             coverage_target,
             down: vec![0; node_words],
@@ -429,12 +454,19 @@ impl<P: FloodingProtocol> Engine<P> {
             rng,
             report,
             energy: EnergyLedger::default(),
-            intents_buf: Vec::new(),
-            mac_scratch: MacScratch::default(),
-            res_buf: SlotResolution::default(),
-            delivered_buf: Vec::new(),
+            // Slot-loop scratch, pre-sized to its worst-case high-water
+            // mark (≤ one intent per sender, ≤ one delivery per
+            // receiver): the flood wave widening mid-run must not grow
+            // any of these — the allocation gate asserts zero heap
+            // allocations per steady-state slot.
+            intents_buf: Vec::with_capacity(n),
+            mac_scratch: MacScratch::for_nodes(n),
+            res_buf: SlotResolution::for_nodes(n),
+            delivered_buf: Vec::with_capacity(n),
             obs: NullObserver,
             faults: NullFaultPlan,
+            profiler: NullProfiler,
+            slot_anchor: None,
             churn_buf: Vec::new(),
             retry_heap: BinaryHeap::new(),
             retry_attempts: vec![0; m],
@@ -446,12 +478,12 @@ impl<P: FloodingProtocol> Engine<P> {
     }
 }
 
-impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
+impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<P, O, F, Pr> {
     /// Attach an observer, consuming the engine. Typically called right
     /// after construction:
     ///
     /// `Engine::new(topo, cfg, proto).with_observer(JsonlSink::new(file))`
-    pub fn with_observer<O2: SimObserver>(self, obs: O2) -> Engine<P, O2, F> {
+    pub fn with_observer<O2: SimObserver>(self, obs: O2) -> Engine<P, O2, F, Pr> {
         Engine {
             state: self.state,
             protocol: self.protocol,
@@ -464,6 +496,8 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             delivered_buf: self.delivered_buf,
             obs,
             faults: self.faults,
+            profiler: self.profiler,
+            slot_anchor: self.slot_anchor,
             churn_buf: self.churn_buf,
             retry_heap: self.retry_heap,
             retry_attempts: self.retry_attempts,
@@ -477,7 +511,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
     /// Attach a fault plan, consuming the engine:
     ///
     /// `Engine::new(topo, cfg, proto).with_faults(fault_cfg.build())`
-    pub fn with_faults<F2: FaultPlan>(self, faults: F2) -> Engine<P, O, F2> {
+    pub fn with_faults<F2: FaultPlan>(self, faults: F2) -> Engine<P, O, F2, Pr> {
         Engine {
             state: self.state,
             protocol: self.protocol,
@@ -490,6 +524,38 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             delivered_buf: self.delivered_buf,
             obs: self.obs,
             faults,
+            profiler: self.profiler,
+            slot_anchor: self.slot_anchor,
+            churn_buf: self.churn_buf,
+            retry_heap: self.retry_heap,
+            retry_attempts: self.retry_attempts,
+            retry_pending: self.retry_pending,
+            pending_injections: self.pending_injections,
+            next_injection: self.next_injection,
+            start_injections: self.start_injections,
+        }
+    }
+
+    /// Attach a profiler, consuming the engine. Lend a
+    /// [`ldcf_obs::PhaseProfiler`] by mutable reference to keep it after
+    /// the run:
+    ///
+    /// `Engine::new(topo, cfg, proto).with_profiler(&mut profiler)`
+    pub fn with_profiler<Pr2: SimProfiler>(self, profiler: Pr2) -> Engine<P, O, F, Pr2> {
+        Engine {
+            state: self.state,
+            protocol: self.protocol,
+            rng: self.rng,
+            report: self.report,
+            energy: self.energy,
+            intents_buf: self.intents_buf,
+            mac_scratch: self.mac_scratch,
+            res_buf: self.res_buf,
+            delivered_buf: self.delivered_buf,
+            obs: self.obs,
+            faults: self.faults,
+            profiler,
+            slot_anchor: self.slot_anchor,
             churn_buf: self.churn_buf,
             retry_heap: self.retry_heap,
             retry_attempts: self.retry_attempts,
@@ -636,12 +702,41 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         }
     }
 
+    /// Close the current profiling phase: record the time since the
+    /// previous boundary under `phase` and advance the chain. Each
+    /// boundary reads the clock once and hands the timestamp to both
+    /// the closing phase and the opening one, so per-slot phase times
+    /// telescope — their sum equals the slot total exactly. Compiles to
+    /// nothing under [`NullProfiler`].
+    #[inline]
+    fn phase_mark(&mut self, chain: &mut Option<Instant>, phase: Phase) {
+        if Pr::ENABLED {
+            let t = Instant::now();
+            if let Some(prev) = chain.replace(t) {
+                self.profiler
+                    .record(phase, t.duration_since(prev).as_nanos() as u64);
+            }
+        }
+    }
+
     /// Advance one slot. Returns `false` once the run has terminated
     /// (all packets covered, or `max_slots` reached).
     pub fn step(&mut self) -> bool {
         if self.report.all_covered() || self.state.now >= self.state.cfg.max_slots {
             return false;
         }
+        // Profiling timestamp chain: `t_slot` anchors the whole slot,
+        // `t_chain` walks the phase boundaries (see [`Self::phase_mark`]).
+        // The anchor is the previous slot's final clock read when one
+        // exists (see [`Self::slot_anchor`]): the inter-slot gap — the
+        // profiler's own recording, the caller's loop — lands in this
+        // slot's Injection phase instead of vanishing unattributed.
+        let t_slot = if Pr::ENABLED {
+            Some(self.slot_anchor.take().unwrap_or_else(Instant::now))
+        } else {
+            None
+        };
+        let mut t_chain = t_slot;
         if self.state.now == 0 {
             if O::ENABLED {
                 // Dump every node's working schedule up front so a trace
@@ -715,16 +810,20 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             }
         }
 
+        self.phase_mark(&mut t_chain, Phase::Injection);
+
         // --- fault dynamics (churn + source retries) -------------------------
         if F::ENABLED {
             self.apply_churn();
             self.fire_retries();
         }
+        self.phase_mark(&mut t_chain, Phase::Faults);
 
         // --- gather intents ------------------------------------------------
         self.intents_buf.clear();
         let mut intents = std::mem::take(&mut self.intents_buf);
         self.protocol.propose(&self.state, &mut intents);
+        self.phase_mark(&mut t_chain, Phase::Propose);
 
         // Residual local-sync error: each transmission independently
         // misses its rendezvous with probability `mistiming_prob` — the
@@ -815,6 +914,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 it.receiver
             );
         }
+        self.phase_mark(&mut t_chain, Phase::Sync);
 
         // --- resolve through the MAC ---------------------------------------
         let now = self.state.now;
@@ -841,6 +941,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
             &mut self.mac_scratch,
             &mut res,
         );
+        self.phase_mark(&mut t_chain, Phase::Mac);
 
         // --- apply outcomes -------------------------------------------------
         self.report.transmissions += res.transmitted.len() as u64;
@@ -975,6 +1076,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
                 _ => unreachable!("all outcomes handled"),
             }
         }
+        self.phase_mark(&mut t_chain, Phase::Deliver);
 
         // Prune exhausted queue entries: once every neighbor of `u` holds
         // packet `p`, `u` can never again have forwarding work for `p`
@@ -1012,6 +1114,7 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         }
 
         self.protocol.on_events(&self.state, &res.events);
+        self.phase_mark(&mut t_chain, Phase::Prune);
 
         // --- energy for scheduled duty cycling -------------------------------
         // Crashed nodes draw no power: they count as asleep, keeping the
@@ -1052,6 +1155,20 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan> Engine<P, O, F> {
         self.intents_buf = intents;
         self.res_buf = res;
         self.delivered_buf = newly_delivered;
+        if Pr::ENABLED {
+            // One final clock read closes both the Energy phase and the
+            // whole slot, so phase times sum to the slot total exactly.
+            let t = Instant::now();
+            if let Some(prev) = t_chain {
+                self.profiler
+                    .record(Phase::Energy, t.duration_since(prev).as_nanos() as u64);
+            }
+            if let Some(start) = t_slot {
+                self.profiler
+                    .slot_end(t.duration_since(start).as_nanos() as u64);
+            }
+            self.slot_anchor = Some(t);
+        }
         true
     }
 

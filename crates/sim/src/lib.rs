@@ -43,6 +43,11 @@ pub use ldcf_obs::{
     JsonlSink, MetricsObserver, MetricsRegistry, NullObserver, SimEvent, SimObserver, VecObserver,
 };
 
+// Self-profiling (engine phase timers) is likewise defined in
+// `ldcf-obs`; re-exported so callers attaching profilers need only
+// this crate.
+pub use ldcf_obs::{NullProfiler, Phase, PhaseProfiler, SimProfiler, StreamingHistogram};
+
 // Fault injection is defined in `ldcf-faults`; re-exported here so
 // callers attaching fault plans to an [`Engine`] need only this crate.
 pub use ldcf_faults::{ChurnAction, FaultConfig, FaultInjector, FaultPlan, NullFaultPlan};

@@ -105,6 +105,20 @@ pub struct SlotResolution {
 }
 
 impl SlotResolution {
+    /// A resolution with capacity for the worst slot an `n`-node run can
+    /// produce: every node transmits (or defers), and every node logs at
+    /// most one target event plus one overhearing event. Pre-sizing to
+    /// this bound keeps the slot loop free of high-water-mark `Vec`
+    /// growth (the allocation gate asserts zero heap allocs per slot).
+    pub fn for_nodes(n: usize) -> Self {
+        Self {
+            transmitted: Vec::with_capacity(n),
+            committed: Vec::with_capacity(n),
+            deferred: Vec::with_capacity(n),
+            events: Vec::with_capacity(2 * n),
+        }
+    }
+
     /// Empty every vector, keeping capacity for the next slot.
     pub fn clear(&mut self) {
         self.transmitted.clear();
@@ -145,6 +159,24 @@ pub struct MacScratch {
 }
 
 impl MacScratch {
+    /// Scratch pre-sized for an `n`-node run: at most one intent per
+    /// sender per slot, so every index list is bounded by `n`. See
+    /// [`SlotResolution::for_nodes`].
+    pub fn for_nodes(n: usize) -> Self {
+        let words = bitset::words_for(n);
+        Self {
+            order: Vec::with_capacity(n),
+            contended: Vec::with_capacity(n),
+            bypassed: Vec::with_capacity(n),
+            committed: Vec::with_capacity(words),
+            deferred: Vec::with_capacity(words),
+            carrier: Vec::with_capacity(words),
+            busy_rx: Vec::with_capacity(words),
+            seen: Vec::with_capacity(words),
+            targeting: Vec::with_capacity(n),
+        }
+    }
+
     fn reset(&mut self, n_nodes: usize) {
         let words = bitset::words_for(n_nodes);
         self.order.clear();

@@ -33,6 +33,16 @@ impl FcfsQueue {
         Self::default()
     }
 
+    /// Empty queue with room for `cap` entries. A node can queue each
+    /// packet at most once, so reserving the packet count up front makes
+    /// every later [`push`](Self::push) allocation-free — the engine
+    /// builds queues this way to keep its slot loop off the heap.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
     /// Append a packet on arrival (keeps arrival order).
     pub fn push(&mut self, packet: PacketId, arrived_at: u64) {
         debug_assert!(
