@@ -58,6 +58,26 @@ FAULTED="$ART_DIR/traces/dbao-p100-a5-m30-s1-fbd.events.jsonl"
 echo "forensics: $(basename "$FAULTED")"
 ./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
 
+step "binary trace pipeline (fig9 --quick --trace-format bin: export identity, ratio, forensics)"
+# The same fig9 cases traced to the columnar binary container must
+# (a) export back to JSONL byte-identical to the pinned baselines,
+# (b) compress at least 4x over JSONL, and (c) feed forensics directly.
+./target/release/experiments fig9 --quick --out "$ART_DIR/bin-run" \
+    --trace-events "$ART_DIR/bin-run/traces" --trace-format bin > /dev/null
+for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
+    ./target/release/experiments trace info --trace "$bin" --min-ratio 4 > /dev/null
+    ./target/release/experiments trace export --trace "$bin" 2> /dev/null
+done
+(cd "$ART_DIR/bin-run/traces" \
+    && grep -E -- '-s[0-9]\.events\.jsonl$' \
+        "$OLDPWD/crates/bench/baselines/quick/traces.sha256" \
+    | sha256sum --check --quiet)
+for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
+    echo "forensics (bin): $(basename "$bin")"
+    ./target/release/experiments forensics --trace "$bin" > /dev/null
+done
+echo "binary traces export byte-identical, compress >= 4x, replay forensics"
+
 step "perf campaign (--quick, --profile) + schema validation + noise-aware regression gate"
 # Gate: each case's tolerated slowdown adapts to the measured rep noise
 # (MAD-based, clamped to 25–40%; policy in EXPERIMENTS.md; regenerate

@@ -65,17 +65,25 @@ pub struct ReplayReport {
     pub mistimed: u64,
 }
 
-impl ReplayReport {
-    /// Replay an event stream. The packet table is sized by the largest
-    /// packet id seen, so partial traces replay to partial reports.
-    pub fn from_events(events: &[SimEvent]) -> Self {
-        let mut r = ReplayReport::default();
-        // Per-packet flood origin: the default source unless the trace
-        // carries an explicit `packet_injected` (multi-source/periodic
-        // workloads). A packet's push slot is its origin's first attempt.
-        let mut origins: std::collections::HashMap<ldcf_net::PacketId, NodeId> =
-            std::collections::HashMap::new();
-        for ev in events {
+/// Incremental [`ReplayReport`] aggregation: absorbs one event at a
+/// time, so arbitrarily long traces replay in constant memory (plus the
+/// per-packet table). [`ReplayReport::from_source`] drives it over any
+/// fallible event iterator.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayBuilder {
+    report: ReplayReport,
+    // Per-packet flood origin: the default source unless the trace
+    // carries an explicit `packet_injected` (multi-source/periodic
+    // workloads). A packet's push slot is its origin's first attempt.
+    origins: std::collections::HashMap<ldcf_net::PacketId, NodeId>,
+}
+
+impl ReplayBuilder {
+    /// Fold one event into the running aggregates.
+    pub fn absorb(&mut self, ev: &SimEvent) {
+        let r = &mut self.report;
+        let origins = &mut self.origins;
+        {
             match *ev {
                 SimEvent::TxAttempt {
                     slot,
@@ -139,12 +147,43 @@ impl ReplayReport {
                 }
             }
         }
-        r
     }
 
-    /// Parse a JSONL trace (one event per line) and replay it.
+    /// The finished report.
+    pub fn finish(self) -> ReplayReport {
+        self.report
+    }
+}
+
+impl ReplayReport {
+    /// Replay an event stream. The packet table is sized by the largest
+    /// packet id seen, so partial traces replay to partial reports.
+    pub fn from_events(events: &[SimEvent]) -> Self {
+        let mut b = ReplayBuilder::default();
+        for ev in events {
+            b.absorb(ev);
+        }
+        b.finish()
+    }
+
+    /// Replay any fallible event stream (a [`ldcf_obs::JsonlReader`], a
+    /// binary-trace iterator, ...) without ever materialising the full
+    /// event vector.
+    pub fn from_source<I, E>(events: I) -> Result<Self, E>
+    where
+        I: IntoIterator<Item = Result<SimEvent, E>>,
+    {
+        let mut b = ReplayBuilder::default();
+        for ev in events {
+            b.absorb(&ev?);
+        }
+        Ok(b.finish())
+    }
+
+    /// Parse a JSONL trace (one event per line) and replay it
+    /// (streaming, line by line).
     pub fn from_jsonl(text: &str) -> Result<Self, serde::Error> {
-        Ok(Self::from_events(&ldcf_obs::read_jsonl(text)?))
+        Self::from_source(ldcf_obs::JsonlReader::new(text.as_bytes()))
     }
 
     fn packet_mut(&mut self, packet: u32) -> &mut PacketReplay {

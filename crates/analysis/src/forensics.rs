@@ -283,185 +283,236 @@ pub struct ForensicsReport {
     pub advisories: Vec<String>,
 }
 
+/// Streaming pass 1 of the forensic reconstruction: absorbs events one
+/// at a time into the static/dynamic tables the tree pass needs. Peak
+/// memory is bounded by the *reconstruction state* (schedules, fresh
+/// edges, failure slots) — never by the raw event stream, which is why
+/// [`ForensicsReport::from_source`] can digest traces far larger than
+/// RAM.
+#[derive(Debug, Default)]
+struct Collector {
+    schedules: Vec<Option<ScheduleInfo>>,
+    pushed_at: HashMap<PacketId, u64>,
+    covered: HashMap<PacketId, (u64, NodeId)>,
+    last_fresh: HashMap<PacketId, NodeId>,
+    /// Fresh-copy edges in stream order: (packet, child, parent, slot, via).
+    edges: Vec<(PacketId, NodeId, NodeId, u64, Via)>,
+    /// Failed/deferred attempts aimed at (receiver, packet) per slot.
+    failures: HashMap<(u32, PacketId, u64), Cause>,
+    /// Slots each (node, packet) was served: committed, deferred or
+    /// mistimed transmission attempts carrying the packet.
+    serves: HashMap<(u32, PacketId), Vec<u64>>,
+    dup_delivered: u64,
+    dup_overheard: u64,
+    max_packet: Option<PacketId>,
+    oracle: bool,
+    /// Per-packet flood origin; defaults to the source for packets
+    /// without an explicit injection event. An injection precedes the
+    /// packet's first transmission in stream order, so the map is
+    /// complete by the time a push could be recorded.
+    origins: HashMap<PacketId, NodeId>,
+}
+
+impl Collector {
+    fn fail(&mut self, r: NodeId, p: PacketId, s: u64, cause: Cause) {
+        self.failures
+            .entry((r.0, p, s))
+            .and_modify(|c| *c = merge_failures(*c, cause))
+            .or_insert(cause);
+    }
+
+    fn absorb(&mut self, ev: &SimEvent) -> Result<(), ForensicsError> {
+        if let Some(p) = ev.packet_id() {
+            self.max_packet = Some(self.max_packet.map_or(p, |m| m.max(p)));
+        }
+        match *ev {
+            SimEvent::ScheduleSlot {
+                node,
+                period,
+                offset,
+                ..
+            } => {
+                let i = node.index();
+                if i >= self.schedules.len() {
+                    self.schedules.resize_with(i + 1, || None);
+                }
+                let info = self.schedules[i].get_or_insert_with(|| ScheduleInfo {
+                    period,
+                    active: vec![false; period as usize],
+                });
+                if info.period != period || offset >= period {
+                    return Err(ForensicsError(format!(
+                        "inconsistent schedule_slot for node {node}: period {period}, offset {offset}"
+                    )));
+                }
+                info.active[offset as usize] = true;
+            }
+            SimEvent::TxAttempt {
+                slot,
+                sender,
+                packet,
+                bypass_mac,
+                ..
+            } => {
+                self.oracle |= bypass_mac;
+                if sender == self.origins.get(&packet).copied().unwrap_or(SOURCE) {
+                    self.pushed_at.entry(packet).or_insert(slot);
+                }
+                self.serves
+                    .entry((sender.0, packet))
+                    .or_default()
+                    .push(slot);
+            }
+            SimEvent::Mistimed {
+                slot,
+                sender,
+                receiver,
+                packet,
+            } => {
+                self.serves
+                    .entry((sender.0, packet))
+                    .or_default()
+                    .push(slot);
+                self.fail(receiver, packet, slot, Cause::LinkLoss);
+            }
+            SimEvent::Deferred {
+                slot,
+                sender,
+                receiver,
+                packet,
+            } => {
+                self.serves
+                    .entry((sender.0, packet))
+                    .or_default()
+                    .push(slot);
+                self.fail(receiver, packet, slot, Cause::BusyDefer);
+            }
+            SimEvent::LinkLoss {
+                slot,
+                receiver,
+                packet,
+                ..
+            } => self.fail(receiver, packet, slot, Cause::LinkLoss),
+            SimEvent::Collision {
+                slot,
+                receiver,
+                packet,
+                ..
+            } => self.fail(receiver, packet, slot, Cause::Collision),
+            SimEvent::ReceiverBusy {
+                slot,
+                receiver,
+                packet,
+                ..
+            } => self.fail(receiver, packet, slot, Cause::BusyDefer),
+            SimEvent::Delivered {
+                slot,
+                sender,
+                receiver,
+                packet,
+                fresh,
+            } => {
+                if fresh {
+                    self.edges
+                        .push((packet, receiver, sender, slot, Via::Delivery));
+                    self.last_fresh.insert(packet, receiver);
+                } else {
+                    self.dup_delivered += 1;
+                }
+            }
+            SimEvent::Overheard {
+                slot,
+                sender,
+                receiver,
+                packet,
+                fresh,
+            } => {
+                if fresh {
+                    self.edges
+                        .push((packet, receiver, sender, slot, Via::Overhear));
+                    self.last_fresh.insert(packet, receiver);
+                } else {
+                    self.dup_overheard += 1;
+                }
+            }
+            SimEvent::CoverageReached { slot, packet, .. } => {
+                // The engine emits this right after the fresh copy
+                // that crossed the target, so the last fresh
+                // receiver of the packet is the covering node.
+                let who = self.last_fresh.get(&packet).copied().ok_or_else(|| {
+                    ForensicsError(format!(
+                        "coverage_reached for packet {packet} with no prior fresh copy"
+                    ))
+                })?;
+                self.covered.entry(packet).or_insert((slot, who));
+            }
+            // Fault-injection annotations: BurstLoss is tagged onto
+            // a LinkLoss already attributed above; churn and retry
+            // events carry no delay attribution of their own (and
+            // churn traces are rejected later for their schedule
+            // changes anyway).
+            SimEvent::BurstLoss { .. }
+            | SimEvent::NodeCrashed { .. }
+            | SimEvent::NodeRecovered { .. }
+            | SimEvent::SourceRetry { .. } => {}
+            SimEvent::PacketInjected { node, packet, .. } => {
+                self.origins.insert(packet, node);
+            }
+            SimEvent::SlotEnd { .. } => {}
+        }
+        Ok(())
+    }
+}
+
 impl ForensicsReport {
-    /// Parse a JSONL trace and reconstruct it.
+    /// Parse a JSONL trace and reconstruct it (streaming, line by line).
     pub fn from_jsonl(text: &str) -> Result<Self, ForensicsError> {
-        let events = ldcf_obs::read_jsonl(text).map_err(|e| ForensicsError(e.to_string()))?;
-        Self::from_events(&events)
+        Self::from_source(ldcf_obs::JsonlReader::new(text.as_bytes()))
+    }
+
+    /// Reconstruct from any fallible event stream — a
+    /// [`ldcf_obs::JsonlReader`], a [`ldcf_obs::binlog::BinReader`]
+    /// iterator, or an in-memory collection — holding only the
+    /// reconstruction tables, never the full event vector.
+    pub fn from_source<I, E>(events: I) -> Result<Self, ForensicsError>
+    where
+        I: IntoIterator<Item = Result<SimEvent, E>>,
+        E: fmt::Display,
+    {
+        let mut c = Collector::default();
+        for ev in events {
+            let ev = ev.map_err(|e| ForensicsError(e.to_string()))?;
+            c.absorb(&ev)?;
+        }
+        Self::from_collector(c)
     }
 
     /// Reconstruct from an in-memory event stream.
     pub fn from_events(events: &[SimEvent]) -> Result<Self, ForensicsError> {
-        // --- pass 1: static and dynamic tables --------------------------
-        let mut schedules: Vec<Option<ScheduleInfo>> = Vec::new();
-        let mut pushed_at: HashMap<PacketId, u64> = HashMap::new();
-        let mut covered: HashMap<PacketId, (u64, NodeId)> = HashMap::new();
-        let mut last_fresh: HashMap<PacketId, NodeId> = HashMap::new();
-        // Fresh-copy edges in stream order: (packet, child, parent, slot, via).
-        let mut edges: Vec<(PacketId, NodeId, NodeId, u64, Via)> = Vec::new();
-        // Failed/deferred attempts aimed at (receiver, packet) per slot.
-        let mut failures: HashMap<(u32, PacketId, u64), Cause> = HashMap::new();
-        // Slots each (node, packet) was served: committed, deferred or
-        // mistimed transmission attempts carrying the packet.
-        let mut serves: HashMap<(u32, PacketId), Vec<u64>> = HashMap::new();
-        let mut dup_delivered = 0u64;
-        let mut dup_overheard = 0u64;
-        let mut max_packet: Option<PacketId> = None;
-        let mut oracle = false;
-        // Per-packet flood origin; defaults to the source for packets
-        // without an explicit injection event. An injection precedes the
-        // packet's first transmission in stream order, so the map is
-        // complete by the time a push could be recorded.
-        let mut origins: HashMap<PacketId, NodeId> = HashMap::new();
-
-        let fail = |failures: &mut HashMap<(u32, PacketId, u64), Cause>, r: NodeId, p, s, cause| {
-            failures
-                .entry((r.0, p, s))
-                .and_modify(|c| *c = merge_failures(*c, cause))
-                .or_insert(cause);
-        };
-
+        let mut c = Collector::default();
         for ev in events {
-            if let Some(p) = match *ev {
-                SimEvent::TxAttempt { packet, .. }
-                | SimEvent::Delivered { packet, .. }
-                | SimEvent::Overheard { packet, .. }
-                | SimEvent::LinkLoss { packet, .. }
-                | SimEvent::Collision { packet, .. }
-                | SimEvent::ReceiverBusy { packet, .. }
-                | SimEvent::Mistimed { packet, .. }
-                | SimEvent::Deferred { packet, .. }
-                | SimEvent::CoverageReached { packet, .. }
-                | SimEvent::PacketInjected { packet, .. } => Some(packet),
-                _ => None,
-            } {
-                max_packet = Some(max_packet.map_or(p, |m| m.max(p)));
-            }
-            match *ev {
-                SimEvent::ScheduleSlot {
-                    node,
-                    period,
-                    offset,
-                    ..
-                } => {
-                    let i = node.index();
-                    if i >= schedules.len() {
-                        schedules.resize_with(i + 1, || None);
-                    }
-                    let info = schedules[i].get_or_insert_with(|| ScheduleInfo {
-                        period,
-                        active: vec![false; period as usize],
-                    });
-                    if info.period != period || offset >= period {
-                        return Err(ForensicsError(format!(
-                            "inconsistent schedule_slot for node {node}: period {period}, offset {offset}"
-                        )));
-                    }
-                    info.active[offset as usize] = true;
-                }
-                SimEvent::TxAttempt {
-                    slot,
-                    sender,
-                    packet,
-                    bypass_mac,
-                    ..
-                } => {
-                    oracle |= bypass_mac;
-                    if sender == origins.get(&packet).copied().unwrap_or(SOURCE) {
-                        pushed_at.entry(packet).or_insert(slot);
-                    }
-                    serves.entry((sender.0, packet)).or_default().push(slot);
-                }
-                SimEvent::Mistimed {
-                    slot,
-                    sender,
-                    receiver,
-                    packet,
-                } => {
-                    serves.entry((sender.0, packet)).or_default().push(slot);
-                    fail(&mut failures, receiver, packet, slot, Cause::LinkLoss);
-                }
-                SimEvent::Deferred {
-                    slot,
-                    sender,
-                    receiver,
-                    packet,
-                } => {
-                    serves.entry((sender.0, packet)).or_default().push(slot);
-                    fail(&mut failures, receiver, packet, slot, Cause::BusyDefer);
-                }
-                SimEvent::LinkLoss {
-                    slot,
-                    receiver,
-                    packet,
-                    ..
-                } => fail(&mut failures, receiver, packet, slot, Cause::LinkLoss),
-                SimEvent::Collision {
-                    slot,
-                    receiver,
-                    packet,
-                    ..
-                } => fail(&mut failures, receiver, packet, slot, Cause::Collision),
-                SimEvent::ReceiverBusy {
-                    slot,
-                    receiver,
-                    packet,
-                    ..
-                } => fail(&mut failures, receiver, packet, slot, Cause::BusyDefer),
-                SimEvent::Delivered {
-                    slot,
-                    sender,
-                    receiver,
-                    packet,
-                    fresh,
-                } => {
-                    if fresh {
-                        edges.push((packet, receiver, sender, slot, Via::Delivery));
-                        last_fresh.insert(packet, receiver);
-                    } else {
-                        dup_delivered += 1;
-                    }
-                }
-                SimEvent::Overheard {
-                    slot,
-                    sender,
-                    receiver,
-                    packet,
-                    fresh,
-                } => {
-                    if fresh {
-                        edges.push((packet, receiver, sender, slot, Via::Overhear));
-                        last_fresh.insert(packet, receiver);
-                    } else {
-                        dup_overheard += 1;
-                    }
-                }
-                SimEvent::CoverageReached { slot, packet, .. } => {
-                    // The engine emits this right after the fresh copy
-                    // that crossed the target, so the last fresh
-                    // receiver of the packet is the covering node.
-                    let who = last_fresh.get(&packet).copied().ok_or_else(|| {
-                        ForensicsError(format!(
-                            "coverage_reached for packet {packet} with no prior fresh copy"
-                        ))
-                    })?;
-                    covered.entry(packet).or_insert((slot, who));
-                }
-                // Fault-injection annotations: BurstLoss is tagged onto
-                // a LinkLoss already attributed above; churn and retry
-                // events carry no delay attribution of their own (and
-                // churn traces are rejected later for their schedule
-                // changes anyway).
-                SimEvent::BurstLoss { .. }
-                | SimEvent::NodeCrashed { .. }
-                | SimEvent::NodeRecovered { .. }
-                | SimEvent::SourceRetry { .. } => {}
-                SimEvent::PacketInjected { node, packet, .. } => {
-                    origins.insert(packet, node);
-                }
-                SimEvent::SlotEnd { .. } => {}
-            }
+            c.absorb(ev)?;
         }
+        Self::from_collector(c)
+    }
+
+    /// Pass 2: per-packet trees, attribution and blocking over the
+    /// collected tables.
+    fn from_collector(collector: Collector) -> Result<Self, ForensicsError> {
+        let Collector {
+            schedules,
+            pushed_at,
+            covered,
+            last_fresh: _,
+            edges,
+            failures,
+            serves,
+            dup_delivered,
+            dup_overheard,
+            max_packet,
+            oracle,
+            origins,
+        } = collector;
 
         if schedules.is_empty() {
             return Err(ForensicsError(

@@ -6,8 +6,10 @@
 //! rayon-powered parameter sweeps with Monte-Carlo
 //! averaging ([`sweep`]) — the figures of §V average over seeds and
 //! sweep duty cycles, which is embarrassingly parallel — and replay of
-//! slot-level JSONL event traces back into delay distributions
-//! ([`events`]).
+//! slot-level event traces back into delay distributions ([`events`]).
+//! Traces arrive through [`source`]: a format-sniffing [`EventSource`]
+//! iterator that streams JSONL and binary (`ldcf-obs` binlog) traces
+//! identically, so every report below is format-agnostic.
 //!
 //! Flood forensics lives in [`forensics`]: dissemination-tree
 //! reconstruction and per-node delay attribution ([`attribution`])
@@ -23,14 +25,16 @@ pub mod events;
 pub mod forensics;
 pub mod plot;
 pub mod series;
+pub mod source;
 pub mod stats;
 pub mod sweep;
 
 pub use attribution::{attribute_hop, Cause, DelayAttribution};
 pub use campaign::{campaign_table, predicted_fdl, CampaignRow, CellSummary};
-pub use events::{PacketReplay, ReplayReport};
+pub use events::{PacketReplay, ReplayBuilder, ReplayReport};
 pub use forensics::{ForensicsError, ForensicsReport, PacketForensics, Via, Violation};
 pub use plot::{ascii_chart, PlotOptions};
 pub use series::{Series, Table};
+pub use source::{EventSource, SourceError};
 pub use stats::{mad, median, Summary};
 pub use sweep::{monte_carlo_mean, parallel_sweep};

@@ -1,0 +1,200 @@
+//! Unified event source: one iterator type over JSONL and binary
+//! traces, so forensics, attribution and replay consume either format
+//! through the same `Result<SimEvent, _>` stream.
+//!
+//! The format is sniffed from the file's first bytes (the binary
+//! container starts with `LDCFBIN1`), not its extension — an exported
+//! or renamed trace still opens correctly. Both branches stream:
+//! [`ldcf_obs::JsonlReader`] holds one line, the binlog path one
+//! decoded frame.
+
+use ldcf_obs::binlog::{BinError, BinEvents, BinReader, BIN_MAGIC};
+use ldcf_obs::{JsonlReader, SimEvent};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// Why an event source failed to open or stream.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The file could not be opened or read.
+    Io(io::Error),
+    /// The binary container is damaged.
+    Bin(BinError),
+    /// A JSONL line did not parse.
+    Jsonl(serde::Error),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Io(e) => write!(f, "trace i/o: {e}"),
+            SourceError::Bin(e) => write!(f, "{e}"),
+            SourceError::Jsonl(e) => write!(f, "trace jsonl: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+impl From<io::Error> for SourceError {
+    fn from(e: io::Error) -> Self {
+        SourceError::Io(e)
+    }
+}
+
+impl From<BinError> for SourceError {
+    fn from(e: BinError) -> Self {
+        SourceError::Bin(e)
+    }
+}
+
+/// A streaming [`SimEvent`] iterator over a trace file of either
+/// format. Construct with [`EventSource::open`] and consume through
+/// [`Iterator`]; feed it to [`crate::ForensicsReport::from_source`] or
+/// [`crate::ReplayReport::from_source`].
+pub enum EventSource {
+    /// Row-wise JSONL trace, streamed line by line.
+    Jsonl(JsonlReader<BufReader<File>>),
+    /// Binary columnar trace, streamed frame by frame.
+    Bin(BinEvents<BufReader<File>>),
+}
+
+impl EventSource {
+    /// Open a trace file, sniffing the format from its leading bytes.
+    pub fn open(path: &Path) -> Result<Self, SourceError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        let n = read_up_to(&mut file, &mut magic)?;
+        file.seek(SeekFrom::Start(0))?;
+        if magic[..n] == BIN_MAGIC {
+            Ok(EventSource::Bin(BinReader::new(file)?.events()))
+        } else {
+            Ok(EventSource::Jsonl(JsonlReader::new(file)))
+        }
+    }
+
+    /// `"bin"` or `"jsonl"` — the sniffed format.
+    pub fn format(&self) -> &'static str {
+        match self {
+            EventSource::Jsonl(_) => "jsonl",
+            EventSource::Bin(_) => "bin",
+        }
+    }
+}
+
+/// `read_exact` minus the hard EOF error: short files (an empty JSONL
+/// trace) sniff as JSONL instead of failing to open.
+fn read_up_to<R: Read>(src: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match src.read(&mut buf[n..])? {
+            0 => break,
+            k => n += k,
+        }
+    }
+    Ok(n)
+}
+
+impl Iterator for EventSource {
+    type Item = Result<SimEvent, SourceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            EventSource::Jsonl(r) => Some(r.next()?.map_err(SourceError::Jsonl)),
+            EventSource::Bin(r) => Some(r.next()?.map_err(SourceError::Bin)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldcf_net::NodeId;
+    use ldcf_obs::{BinSink, JsonlSink, SimObserver};
+    use std::io::Write;
+
+    fn events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::TxAttempt {
+                slot: 1,
+                sender: NodeId(0),
+                receiver: NodeId(1),
+                packet: 0,
+                bypass_mac: false,
+            },
+            SimEvent::Delivered {
+                slot: 1,
+                sender: NodeId(0),
+                receiver: NodeId(1),
+                packet: 0,
+                fresh: true,
+            },
+            SimEvent::SlotEnd {
+                slot: 1,
+                queued: 0,
+                active_nodes: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn sniffs_both_formats_regardless_of_extension() {
+        let dir = std::env::temp_dir().join(format!("ldcf-source-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // JSONL under a misleading name.
+        let jsonl_path = dir.join("misleading.bin");
+        let mut sink = JsonlSink::new(File::create(&jsonl_path).unwrap());
+        for ev in &events() {
+            sink.on_event(ev);
+        }
+        sink.on_finish();
+        sink.into_result().unwrap();
+        let src = EventSource::open(&jsonl_path).unwrap();
+        assert_eq!(src.format(), "jsonl");
+        let got: Vec<SimEvent> = src.collect::<Result<_, _>>().unwrap();
+        assert_eq!(got, events());
+
+        // Binary under a misleading name.
+        let bin_path = dir.join("misleading.jsonl");
+        let mut sink = BinSink::new(File::create(&bin_path).unwrap());
+        for ev in &events() {
+            sink.on_event(ev);
+        }
+        sink.on_finish();
+        sink.into_result().unwrap();
+        let src = EventSource::open(&bin_path).unwrap();
+        assert_eq!(src.format(), "bin");
+        let got: Vec<SimEvent> = src.collect::<Result<_, _>>().unwrap();
+        assert_eq!(got, events());
+
+        // Short / empty files sniff as JSONL and stream zero events.
+        let empty_path = dir.join("empty.jsonl");
+        File::create(&empty_path).unwrap().write_all(b"").unwrap();
+        let src = EventSource::open(&empty_path).unwrap();
+        assert_eq!(src.format(), "jsonl");
+        assert_eq!(src.count(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reports_from_either_format_agree() {
+        let evs = events();
+        let mut bin = BinSink::new(Vec::new());
+        for ev in &evs {
+            bin.on_event(ev);
+        }
+        bin.on_finish();
+        let bytes = bin.into_result().unwrap();
+        let from_bin = crate::ReplayReport::from_source(
+            ldcf_obs::binlog::BinReader::new(std::io::Cursor::new(bytes))
+                .unwrap()
+                .events(),
+        )
+        .unwrap();
+        assert_eq!(from_bin, crate::ReplayReport::from_events(&evs));
+    }
+}

@@ -1,8 +1,12 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR] [--profile]
+//! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR]
+//!             [--trace-format jsonl|bin] [--metrics DIR] [--profile]
 //! experiments forensics --trace FILE [--out DIR]
+//! experiments trace info --trace FILE [--min-ratio R]
+//! experiments trace export --trace FILE [--out FILE]
+//! experiments trace query --trace FILE --slot A..B [--node N] [--packet P]
 //! experiments perf [--quick] [--label NAME] [--out DIR] [--profile] [--reps N]
 //! experiments perf --validate FILE | --validate-profile FILE
 //! experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]
@@ -14,6 +18,7 @@
 //!   lifetime-gain | theorem1-check                (extensions)
 //!   resilience                                    (fault-injection campaign)
 //!   forensics                                     (trace post-mortem)
+//!   trace                                         (trace file tooling: info/export/query)
 //!   perf                                          (throughput benchmark → BENCH_<label>.json)
 //!   analytical                                    (all instant artefacts)
 //!   all                                           (everything)
@@ -25,21 +30,35 @@
 //! with a provenance manifest beside it (`DIR/<name>.manifest.json`:
 //! protocols, config, seeds, sims, slots, wall clock, slots/sec).
 //! `--trace-events DIR` streams every flood's slot-level events to one
-//! JSONL file per run; `--metrics DIR` snapshots per-run metric
-//! registries (delay histogram, per-node load, coverage growth) as JSON.
+//! file per run — row-wise JSONL by default, or the columnar binary
+//! container (`--trace-format bin`, typically several times smaller,
+//! with a seekable slot index) — and records the sink's event/byte
+//! totals in each artefact manifest. `--metrics DIR` snapshots per-run
+//! metric registries (delay histogram, per-node load, coverage growth)
+//! as JSON.
 //! `--profile` on a generic artefact attaches the engine phase profiler
 //! to every simulation and prints a per-phase cost summary to stderr —
 //! the artefact bytes themselves must not change (CI diffs them against
 //! the pinned baselines with profiling on).
 //!
-//! `forensics` replays one `--trace-events` JSONL file through
+//! `forensics` replays one `--trace-events` file (either format,
+//! sniffed from its leading bytes) through
 //! `ldcf_analysis::ForensicsReport`: it reconstructs each packet's
 //! dissemination tree, attributes every node's flooding delay to five
 //! causes, extracts critical paths, and checks the run against the
 //! paper's theory (exact attribution sums, spanning trees, Corollary 1
-//! blocking bounds). It prints a human summary, writes
-//! `DIR/<stem>.forensics.json` under `--out`, and exits non-zero if any
-//! hard theory check fails — CI runs it on every quick fig9 trace.
+//! blocking bounds). The trace is streamed — memory stays bounded by
+//! the derived per-packet state, not the event count. It prints a human
+//! summary, writes `DIR/<stem>.forensics.json` under `--out`, and exits
+//! non-zero if any hard theory check fails — CI runs it on every quick
+//! fig9 trace.
+//!
+//! `trace` is the trace-file toolbox: `info` prints event counts, slot
+//! span, byte sizes and the binary-vs-JSONL compression ratio (and
+//! gates on `--min-ratio` for CI); `export` converts a binary trace to
+//! JSONL byte-identical to a direct JSONL run; `query` streams the
+//! events in a slot range (binary traces seek via the trailing index),
+//! optionally filtered to one node or packet.
 
 use ldcf_bench::runner;
 use ldcf_bench::{experiments, ExpOptions};
@@ -49,6 +68,8 @@ use std::path::PathBuf;
 
 struct Cli {
     artefact: String,
+    /// Second positional for `trace`: `info`, `export` or `query`.
+    action: Option<String>,
     opts: ExpOptions,
     quick: bool,
     out: Option<PathBuf>,
@@ -62,6 +83,10 @@ struct Cli {
     profile: bool,
     reps: usize,
     no_progress: bool,
+    min_ratio: Option<f64>,
+    slot: Option<String>,
+    node: Option<u32>,
+    packet: Option<u32>,
 }
 
 /// The flags each subcommand accepts. Everything not listed here is a
@@ -72,6 +97,14 @@ struct Cli {
 fn allowed_flags(artefact: &str) -> &'static [&'static str] {
     match artefact {
         "forensics" => &["--trace", "--out"],
+        "trace" => &[
+            "--trace",
+            "--out",
+            "--min-ratio",
+            "--slot",
+            "--node",
+            "--packet",
+        ],
         "perf" => &[
             "--quick",
             "--label",
@@ -87,6 +120,7 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
             "--quick",
             "--out",
             "--trace-events",
+            "--trace-format",
             "--metrics",
             "--profile",
         ],
@@ -95,6 +129,7 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
 
 fn parse_args() -> Cli {
     let mut artefact: Option<String> = None;
+    let mut action: Option<String> = None;
     let mut quick = false;
     let mut out = None;
     let mut trace = None;
@@ -108,7 +143,12 @@ fn parse_args() -> Cli {
     let mut reps = ldcf_bench::perf::DEFAULT_REPS;
     let mut no_progress = false;
     let mut trace_events = None;
+    let mut trace_format: Option<runner::TraceFormat> = None;
     let mut metrics = None;
+    let mut min_ratio = None;
+    let mut slot = None;
+    let mut node = None;
+    let mut packet = None;
     let mut seen: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -140,12 +180,48 @@ fn parse_args() -> Cli {
             "--trace" => trace = Some(PathBuf::from(value("a file"))),
             "--spec" => spec = Some(PathBuf::from(value("a file"))),
             "--trace-events" => trace_events = Some(PathBuf::from(value("a directory"))),
+            "--trace-format" => {
+                let name = value("jsonl or bin");
+                trace_format = Some(runner::TraceFormat::from_cli_name(&name).unwrap_or_else(
+                    || usage(&format!("--trace-format wants jsonl or bin, got {name:?}")),
+                ));
+            }
             "--metrics" => metrics = Some(PathBuf::from(value("a directory"))),
+            "--min-ratio" => {
+                let r = value("a ratio");
+                min_ratio = Some(
+                    r.parse::<f64>()
+                        .ok()
+                        .filter(|r| *r > 0.0)
+                        .unwrap_or_else(|| {
+                            usage(&format!("--min-ratio wants a positive number, got {r:?}"))
+                        }),
+                );
+            }
+            "--slot" => slot = Some(value("a range A..B")),
+            "--node" => {
+                let n = value("a node id");
+                node = Some(
+                    n.parse::<u32>()
+                        .unwrap_or_else(|_| usage(&format!("--node wants a node id, got {n:?}"))),
+                );
+            }
+            "--packet" => {
+                let p = value("a packet id");
+                packet =
+                    Some(p.parse::<u32>().unwrap_or_else(|_| {
+                        usage(&format!("--packet wants a packet id, got {p:?}"))
+                    }));
+            }
             other if other.starts_with('-') => {
                 usage(&format!("unknown flag '{other}'"));
             }
             other if artefact.is_none() => {
                 artefact = Some(other.to_string());
+                continue;
+            }
+            other if artefact.as_deref() == Some("trace") && action.is_none() => {
+                action = Some(other.to_string());
                 continue;
             }
             other => usage(&format!("unexpected argument '{other}'")),
@@ -159,8 +235,11 @@ fn parse_args() -> Cli {
             usage(&format!("flag '{flag}' is not valid for '{artefact}'"));
         }
     }
+    if trace_format.is_some() && trace_events.is_none() {
+        usage("--trace-format needs --trace-events DIR");
+    }
     if let Some(dir) = &trace_events {
-        runner::enable_event_tracing(dir)
+        runner::enable_event_tracing(dir, trace_format.unwrap_or_default())
             .unwrap_or_else(|e| usage(&format!("--trace-events: {e}")));
     }
     if let Some(dir) = &metrics {
@@ -168,6 +247,7 @@ fn parse_args() -> Cli {
     }
     Cli {
         artefact,
+        action,
         opts: if quick {
             ExpOptions::quick()
         } else {
@@ -185,6 +265,10 @@ fn parse_args() -> Cli {
         profile,
         reps,
         no_progress,
+        min_ratio,
+        slot,
+        node,
+        packet,
     }
 }
 
@@ -193,8 +277,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--metrics DIR] [--profile]\n\
+        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--trace-format jsonl|bin] [--metrics DIR] [--profile]\n\
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
+         \u{20}      experiments trace info --trace FILE [--min-ratio R]\n\
+         \u{20}      experiments trace export --trace FILE [--out FILE]\n\
+         \u{20}      experiments trace query --trace FILE --slot A..B [--node N] [--packet P]\n\
          \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE] [--profile] [--reps N]\n\
          \u{20}      experiments perf --validate FILE | --validate-profile FILE\n\
          \u{20}      experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]\n\
@@ -202,22 +289,22 @@ fn usage(err: &str) -> ! {
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
-         \u{20}          forensics perf campaign analytical all"
+         \u{20}          forensics trace perf campaign analytical all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-/// The `forensics` artefact: replay one JSONL trace, print the summary,
-/// optionally write the JSON report, and exit non-zero on any hard
-/// theory violation.
+/// The `forensics` artefact: stream one trace (either format) through
+/// the forensics collector, print the summary, optionally write the
+/// JSON report, and exit non-zero on any hard theory violation.
 fn run_forensics(cli: &Cli) -> ! {
     let trace = cli
         .trace
         .as_ref()
         .unwrap_or_else(|| usage("forensics needs --trace FILE"));
-    let text = std::fs::read_to_string(trace)
+    let source = ldcf_analysis::EventSource::open(trace)
         .unwrap_or_else(|e| usage(&format!("--trace {}: {e}", trace.display())));
-    let report = match ldcf_analysis::ForensicsReport::from_jsonl(&text) {
+    let report = match ldcf_analysis::ForensicsReport::from_source(source) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -246,6 +333,85 @@ fn run_forensics(cli: &Cli) -> ! {
         report.violations.len()
     );
     std::process::exit(1);
+}
+
+/// The `trace` artefact: file-level tooling over event traces.
+/// `info` measures (and optionally gates) the binary compression ratio,
+/// `export` converts binary → JSONL byte-identically to a direct JSONL
+/// run, `query` streams a slot range using the binary index when the
+/// input has one.
+fn run_trace(cli: &Cli) -> ! {
+    use ldcf_bench::trace_cmd;
+
+    let action = cli
+        .action
+        .as_deref()
+        .unwrap_or_else(|| usage("trace needs an action: info, export or query"));
+    let trace = cli
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| usage("trace needs --trace FILE"));
+    let fail = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    match action {
+        "info" => {
+            let info = trace_cmd::info(trace).unwrap_or_else(|e| fail(e));
+            print!("{}", info.render(trace));
+            if let Some(min) = cli.min_ratio {
+                if info.ratio() < min {
+                    eprintln!(
+                        "trace info: compression ratio {:.2}x below --min-ratio {min}",
+                        info.ratio()
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "trace info: ratio gate passed ({:.2}x >= {min}x)",
+                    info.ratio()
+                );
+            }
+        }
+        "export" => {
+            let out = cli
+                .out
+                .clone()
+                .unwrap_or_else(|| trace_cmd::default_export_path(trace));
+            let (events, bytes) = trace_cmd::export(trace, &out).unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "trace export: {} -> {} ({events} events, {bytes} bytes)",
+                trace.display(),
+                out.display()
+            );
+        }
+        "query" => {
+            let range = cli
+                .slot
+                .as_deref()
+                .unwrap_or_else(|| usage("trace query needs --slot A..B"));
+            let range = trace_cmd::parse_slot_range(range).unwrap_or_else(|e| usage(&e));
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            let stats = trace_cmd::query(trace, range, cli.node, cli.packet, &mut out)
+                .unwrap_or_else(|e| fail(e));
+            use std::io::Write;
+            out.flush().unwrap_or_else(|e| fail(e.to_string()));
+            drop(out);
+            if stats.frames_total > 0 {
+                eprintln!(
+                    "trace query: {} event(s), decoded {}/{} frames via index",
+                    stats.matched, stats.frames_scanned, stats.frames_total
+                );
+            } else {
+                eprintln!("trace query: {} event(s) (full jsonl scan)", stats.matched);
+            }
+        }
+        other => usage(&format!(
+            "unknown trace action '{other}' (expected info, export or query)"
+        )),
+    }
+    std::process::exit(0);
 }
 
 /// The `perf` artefact: run the throughput campaign (`--reps`
@@ -437,18 +603,21 @@ fn run_campaign_cmd(cli: &Cli) -> ! {
     println!("{}", outcome.markdown);
 
     let ledger = runner::ledger_snapshot();
-    let manifest = RunManifest::new(
-        &format!("campaign-{}", outcome.name),
-        ledger.protocols.clone(),
-        Value::Object(vec![(
-            "spec_digest".into(),
-            Value::Str(outcome.digest.clone()),
-        )]),
-        ledger.seeds.clone(),
-        cli.quick,
-        ledger.sims,
-        ledger.slots,
-        wall.as_millis() as u64,
+    let manifest = with_trace_stats(
+        RunManifest::new(
+            &format!("campaign-{}", outcome.name),
+            ledger.protocols.clone(),
+            Value::Object(vec![(
+                "spec_digest".into(),
+                Value::Str(outcome.digest.clone()),
+            )]),
+            ledger.seeds.clone(),
+            cli.quick,
+            ledger.sims,
+            ledger.slots,
+            wall.as_millis() as u64,
+        ),
+        &ledger,
     );
     std::fs::write(
         out.join("campaign.manifest.json"),
@@ -497,6 +666,20 @@ fn opts_value(opts: &ExpOptions, ledger: &runner::WorkLedger) -> Value {
     ])
 }
 
+/// Attach the trace sink's event/byte totals to a manifest when
+/// `--trace-events` is active; a no-op otherwise (the manifest keeps
+/// its `"none"` default).
+fn with_trace_stats(manifest: RunManifest, ledger: &runner::WorkLedger) -> RunManifest {
+    if !runner::tracing_enabled() {
+        return manifest;
+    }
+    manifest.with_trace_stats(
+        runner::trace_format().label(),
+        ledger.trace_events,
+        ledger.trace_bytes,
+    )
+}
+
 /// With `--profile` on a generic artefact: print where the artefact's
 /// simulation time went, from the process-global profile the runner
 /// accumulated. Stderr only — artefact bytes stay profiling-invariant.
@@ -529,6 +712,9 @@ fn main() {
     let cli = parse_args();
     if cli.artefact == "forensics" {
         run_forensics(&cli);
+    }
+    if cli.artefact == "trace" {
+        run_trace(&cli);
     }
     if cli.artefact == "perf" {
         run_perf(&cli);
@@ -620,15 +806,18 @@ fn main() {
         emit(&cli.out, name, &body);
 
         let ledger = runner::ledger_snapshot();
-        let manifest = RunManifest::new(
-            name,
-            ledger.protocols.clone(),
-            opts_value(&cli.opts, &ledger),
-            ledger.seeds.clone(),
-            cli.quick,
-            ledger.sims,
-            ledger.slots,
-            wall.as_millis() as u64,
+        let manifest = with_trace_stats(
+            RunManifest::new(
+                name,
+                ledger.protocols.clone(),
+                opts_value(&cli.opts, &ledger),
+                ledger.seeds.clone(),
+                cli.quick,
+                ledger.sims,
+                ledger.slots,
+                wall.as_millis() as u64,
+            ),
+            &ledger,
         );
         if let Some(dir) = &cli.out {
             std::fs::write(

@@ -14,9 +14,10 @@ pub mod options;
 pub mod perf;
 pub mod resilience;
 pub mod runner;
+pub mod trace_cmd;
 
 pub use campaign::{run_campaign, CampaignOutcome};
 pub use experiments::*;
 pub use heartbeat::Heartbeat;
 pub use options::ExpOptions;
-pub use runner::{run_flood, run_flood_faulted, run_flood_scenario, ProtocolKind};
+pub use runner::{run_flood, run_flood_faulted, run_flood_scenario, ProtocolKind, TraceFormat};

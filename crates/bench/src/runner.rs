@@ -5,7 +5,9 @@
 //!   simulated, and the protocols/seeds involved, reset per artefact and
 //!   folded into each artefact's `RunManifest`;
 //! * optional **event tracing** (`--trace-events DIR`) — every flood
-//!   writes its slot-level event stream as one JSONL file;
+//!   writes its slot-level event stream as one file, row-wise JSONL or
+//!   the columnar binary container (`--trace-format bin`), with the
+//!   sink's event/byte totals folded into the ledger;
 //! * optional **metrics capture** (`--metrics DIR`) — every flood
 //!   snapshots a `MetricsRegistry` (delay histogram, per-node load,
 //!   queue depth, coverage growth) as one JSON file;
@@ -21,8 +23,8 @@ use ldcf_net::{NeighborTable, Topology};
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
 use ldcf_sim::{
-    Engine, FaultConfig, FaultPlan, FloodingProtocol, Injection, JsonlSink, MetricsObserver,
-    PhaseProfiler, SimConfig, SimEvent, SimObserver, SimReport,
+    BinSink, Engine, FaultConfig, FaultPlan, FloodingProtocol, Injection, JsonlSink,
+    MetricsObserver, PhaseProfiler, SimConfig, SimEvent, SimObserver, SimReport,
 };
 use std::collections::BTreeSet;
 use std::fs::File;
@@ -140,12 +142,18 @@ pub struct WorkLedger {
     pub protocols: Vec<String>,
     /// Distinct RNG seeds used.
     pub seeds: Vec<u64>,
+    /// Events written across every trace sink (0 when tracing is off).
+    pub trace_events: u64,
+    /// Bytes written across every trace sink (0 when tracing is off).
+    pub trace_bytes: u64,
 }
 
 /// Reset the work ledger (call at the start of each artefact).
 pub fn ledger_reset() {
     SIMS_RUN.store(0, Ordering::Relaxed);
     SLOTS_SIMULATED.store(0, Ordering::Relaxed);
+    TRACE_EVENTS_WRITTEN.store(0, Ordering::Relaxed);
+    TRACE_BYTES_WRITTEN.store(0, Ordering::Relaxed);
     PROTOCOLS_RUN.lock().expect("ledger lock").clear();
     SEEDS_RUN.lock().expect("ledger lock").clear();
 }
@@ -167,6 +175,8 @@ pub fn ledger_snapshot() -> WorkLedger {
             .iter()
             .copied()
             .collect(),
+        trace_events: TRACE_EVENTS_WRITTEN.load(Ordering::Relaxed),
+        trace_bytes: TRACE_BYTES_WRITTEN.load(Ordering::Relaxed),
     }
 }
 
@@ -175,16 +185,70 @@ pub fn ledger_snapshot() -> WorkLedger {
 // ---------------------------------------------------------------------
 
 static TRACE_DIR: OnceLock<PathBuf> = OnceLock::new();
+static TRACE_FORMAT: OnceLock<TraceFormat> = OnceLock::new();
 static METRICS_DIR: OnceLock<PathBuf> = OnceLock::new();
+static TRACE_EVENTS_WRITTEN: AtomicU64 = AtomicU64::new(0);
+static TRACE_BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk encoding of `--trace-events` streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per event, one event per line (`.events.jsonl`).
+    #[default]
+    Jsonl,
+    /// Binary columnar frames with a slot index (`.events.bin`).
+    Bin,
+}
+
+impl TraceFormat {
+    /// CLI vocabulary (`--trace-format {jsonl,bin}`).
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "bin" => Some(TraceFormat::Bin),
+            _ => None,
+        }
+    }
+
+    /// Stable label (manifest `trace_format` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Bin => "bin",
+        }
+    }
+
+    /// Trace filename extension, without the leading dot.
+    fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "events.jsonl",
+            TraceFormat::Bin => "events.bin",
+        }
+    }
+}
 
 /// Route every subsequent flood's event stream to
-/// `dir/<protocol>-p<period>-a<active>-m<M>-s<seed>.events.jsonl`.
-/// Creates `dir`. May be called once per process.
-pub fn enable_event_tracing(dir: &Path) -> std::io::Result<()> {
+/// `dir/<protocol>-p<period>-a<active>-m<M>-s<seed>.events.{jsonl,bin}`
+/// in the given format. Creates `dir`. May be called once per process.
+pub fn enable_event_tracing(dir: &Path, format: TraceFormat) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    TRACE_FORMAT
+        .set(format)
+        .map_err(|_| std::io::Error::other("event tracing already enabled"))?;
     TRACE_DIR
         .set(dir.to_path_buf())
         .map_err(|_| std::io::Error::other("event tracing already enabled"))
+}
+
+/// The configured trace format (`Jsonl` unless tracing was enabled with
+/// something else).
+pub fn trace_format() -> TraceFormat {
+    TRACE_FORMAT.get().copied().unwrap_or_default()
+}
+
+/// Whether `--trace-events` is active for this process.
+pub fn tracing_enabled() -> bool {
+    TRACE_DIR.get().is_some()
 }
 
 /// Snapshot every subsequent flood's metrics registry to
@@ -223,11 +287,61 @@ fn run_stem(protocol: &str, cfg: &SimConfig, fault_tag: &str) -> String {
     stem
 }
 
+/// Format-dispatching event sink: one trace file per flood, row-wise
+/// JSONL or columnar binary depending on the process-wide
+/// [`TraceFormat`].
+enum EventSink {
+    Jsonl(JsonlSink<File>),
+    Bin(BinSink<File>),
+}
+
+impl EventSink {
+    fn create(path: &Path, format: TraceFormat) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(match format {
+            TraceFormat::Jsonl => EventSink::Jsonl(JsonlSink::new(file)),
+            TraceFormat::Bin => EventSink::Bin(BinSink::new(file)),
+        })
+    }
+
+    /// `(events, bytes)` written so far. For the binary sink, accurate
+    /// once `on_finish` has sealed the index and trailer.
+    fn stats(&self) -> (u64, u64) {
+        match self {
+            EventSink::Jsonl(s) => (s.lines(), s.bytes()),
+            EventSink::Bin(s) => (s.events(), s.bytes()),
+        }
+    }
+
+    fn into_result(self) -> std::io::Result<()> {
+        match self {
+            EventSink::Jsonl(s) => s.into_result().map(|_| ()),
+            EventSink::Bin(s) => s.into_result().map(|_| ()),
+        }
+    }
+}
+
+impl SimObserver for EventSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        match self {
+            EventSink::Jsonl(s) => s.on_event(event),
+            EventSink::Bin(s) => s.on_event(event),
+        }
+    }
+
+    fn on_finish(&mut self) {
+        match self {
+            EventSink::Jsonl(s) => s.on_finish(),
+            EventSink::Bin(s) => s.on_finish(),
+        }
+    }
+}
+
 /// Runtime-optional composite observer for traced floods. Only
 /// instantiated when tracing or metrics are enabled, so the `Option`
 /// checks never touch the default (un-traced) hot path.
 struct TraceObserver {
-    sink: Option<(JsonlSink<File>, PathBuf)>,
+    sink: Option<(EventSink, PathBuf)>,
     metrics: Option<(MetricsObserver, PathBuf)>,
 }
 
@@ -236,9 +350,10 @@ impl TraceObserver {
     fn for_run(protocol: &str, cfg: &SimConfig, n_nodes: usize, fault_tag: &str) -> Option<Self> {
         let stem = run_stem(protocol, cfg, fault_tag);
         let sink = TRACE_DIR.get().and_then(|dir| {
-            let path = dir.join(format!("{stem}.events.jsonl"));
-            match File::create(&path) {
-                Ok(f) => Some((JsonlSink::new(f), path)),
+            let format = trace_format();
+            let path = dir.join(format!("{stem}.{}", format.extension()));
+            match EventSink::create(&path, format) {
+                Ok(s) => Some((s, path)),
                 Err(e) => {
                     eprintln!("trace-events: cannot create {}: {e}", path.display());
                     None
@@ -267,14 +382,24 @@ impl SimObserver for TraceObserver {
     }
 
     fn on_finish(&mut self) {
+        let mut sink_stats = None;
         if let Some((mut sink, path)) = self.sink.take() {
             sink.on_finish();
+            let (events, bytes) = sink.stats();
+            TRACE_EVENTS_WRITTEN.fetch_add(events, Ordering::Relaxed);
+            TRACE_BYTES_WRITTEN.fetch_add(bytes, Ordering::Relaxed);
+            sink_stats = Some((events, bytes));
             if let Err(e) = sink.into_result() {
                 eprintln!("trace-events: write to {} failed: {e}", path.display());
             }
         }
         if let Some((metrics, path)) = self.metrics.take() {
-            let json = metrics.into_registry().to_json_pretty();
+            let mut registry = metrics.into_registry();
+            if let Some((events, bytes)) = sink_stats {
+                registry.push_counter("trace_events_written", events);
+                registry.push_counter("trace_bytes_written", bytes);
+            }
+            let json = registry.to_json_pretty();
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("metrics: write to {} failed: {e}", path.display());
             }

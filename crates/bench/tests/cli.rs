@@ -70,6 +70,63 @@ fn foreign_flags_are_rejected_per_subcommand() {
 }
 
 #[test]
+fn trace_format_is_validated_and_scoped() {
+    // --trace-format needs a recognised encoding...
+    let out = run(&["fig3", "--trace-events", "/tmp/t", "--trace-format", "csv"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace-format wants jsonl or bin"));
+
+    // ...is meaningless without --trace-events...
+    let out = run(&["fig3", "--trace-format", "bin"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace-format needs --trace-events"));
+
+    // ...and belongs to artefact runs, not forensics or trace tooling.
+    let out = run(&["forensics", "--trace-format", "bin"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--trace-format' is not valid for 'forensics'"));
+}
+
+#[test]
+fn trace_subcommand_validates_action_and_flags() {
+    // An action is required...
+    let out = run(&["trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("trace needs an action"));
+
+    // ...and must be one of info/export/query.
+    let out = run(&["trace", "compress", "--trace", "x.bin"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown trace action 'compress'"));
+
+    // info needs --trace FILE.
+    let out = run(&["trace", "info"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("trace needs --trace FILE"));
+
+    // query needs a slot range, well-formed.
+    let out = run(&["trace", "query", "--trace", "x.bin"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("trace query needs --slot"));
+    let out = run(&["trace", "query", "--trace", "x.bin", "--slot", "9..3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--slot range"));
+
+    // --min-ratio must be a positive number.
+    let out = run(&["trace", "info", "--trace", "x.bin", "--min-ratio", "-1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--min-ratio wants a positive number"));
+
+    // Query filters are trace-only flags.
+    let out = run(&["fig3", "--slot", "0..9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--slot' is not valid for 'fig3'"));
+    let out = run(&["forensics", "--node", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--node' is not valid for 'forensics'"));
+}
+
+#[test]
 fn reps_must_be_a_positive_integer() {
     for bad in ["0", "-1", "three"] {
         let out = run(&["perf", "--reps", bad]);

@@ -235,6 +235,71 @@ impl SimEvent {
             SimEvent::PacketInjected { .. } => "packet_injected",
         }
     }
+
+    /// The packet this event concerns, if it concerns one (per-slot
+    /// aggregates, schedules, and crash/recovery events carry none).
+    pub fn packet_id(&self) -> Option<PacketId> {
+        match *self {
+            SimEvent::TxAttempt { packet, .. }
+            | SimEvent::Delivered { packet, .. }
+            | SimEvent::Overheard { packet, .. }
+            | SimEvent::LinkLoss { packet, .. }
+            | SimEvent::Collision { packet, .. }
+            | SimEvent::ReceiverBusy { packet, .. }
+            | SimEvent::Mistimed { packet, .. }
+            | SimEvent::Deferred { packet, .. }
+            | SimEvent::CoverageReached { packet, .. }
+            | SimEvent::BurstLoss { packet, .. }
+            | SimEvent::SourceRetry { packet, .. }
+            | SimEvent::PacketInjected { packet, .. } => Some(packet),
+            SimEvent::SlotEnd { .. }
+            | SimEvent::NodeCrashed { .. }
+            | SimEvent::NodeRecovered { .. }
+            | SimEvent::ScheduleSlot { .. } => None,
+        }
+    }
+
+    /// Whether `node` participates in this event as sender, receiver,
+    /// or subject (coverage milestones and slot aggregates involve no
+    /// particular node and return `false`).
+    pub fn involves(&self, node: NodeId) -> bool {
+        match *self {
+            SimEvent::TxAttempt {
+                sender, receiver, ..
+            }
+            | SimEvent::Delivered {
+                sender, receiver, ..
+            }
+            | SimEvent::Overheard {
+                sender, receiver, ..
+            }
+            | SimEvent::LinkLoss {
+                sender, receiver, ..
+            }
+            | SimEvent::Collision {
+                sender, receiver, ..
+            }
+            | SimEvent::ReceiverBusy {
+                sender, receiver, ..
+            }
+            | SimEvent::Mistimed {
+                sender, receiver, ..
+            }
+            | SimEvent::Deferred {
+                sender, receiver, ..
+            }
+            | SimEvent::BurstLoss {
+                sender, receiver, ..
+            } => sender == node || receiver == node,
+            SimEvent::NodeCrashed { node: n, .. }
+            | SimEvent::NodeRecovered { node: n, .. }
+            | SimEvent::ScheduleSlot { node: n, .. }
+            | SimEvent::PacketInjected { node: n, .. } => n == node,
+            SimEvent::CoverageReached { .. }
+            | SimEvent::SlotEnd { .. }
+            | SimEvent::SourceRetry { .. } => false,
+        }
+    }
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {

@@ -19,6 +19,9 @@
 //!   histograms (flooding-delay distribution, per-node tx/rx load,
 //!   queue depth) and the coverage-growth curve X(t).
 //! * [`JsonlSink`] — one JSON object per event, one event per line.
+//! * [`binlog`] — the binary columnar trace format: [`BinSink`] writes
+//!   CRC-guarded varint+delta frames with a trailing slot index,
+//!   [`BinReader`] streams them back lazily or seeks by slot range.
 //! * [`RunManifest`] — provenance (protocols, config, seeds, wall clock,
 //!   slots/sec) written next to every generated artefact.
 //! * [`telemetry`] — the simulator profiling *itself*: zero-cost engine
@@ -28,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binlog;
 pub mod event;
 pub mod manifest;
 pub mod metrics;
@@ -35,11 +39,12 @@ pub mod observer;
 pub mod sink;
 pub mod telemetry;
 
+pub use binlog::{BinError, BinReader, BinSink};
 pub use event::SimEvent;
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsObserver, MetricsRegistry, Series};
 pub use observer::{NullObserver, SimObserver, VecObserver};
-pub use sink::{read_jsonl, JsonlSink};
+pub use sink::{read_jsonl, JsonlReader, JsonlSink};
 pub use telemetry::{
     CountingAlloc, NullProfiler, Phase, PhaseProfiler, SimProfiler, StreamingHistogram,
 };

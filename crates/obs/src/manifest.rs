@@ -28,6 +28,13 @@ pub struct RunManifest {
     /// Simulation throughput: slots per wall-clock second (0 when no
     /// slots were simulated).
     pub slots_per_sec: f64,
+    /// Event-trace format the artefact's runs emitted (`"none"` when
+    /// tracing was off, else `"jsonl"` or `"bin"`).
+    pub trace_format: String,
+    /// Events written across every trace sink of the artefact.
+    pub trace_events_written: u64,
+    /// Bytes written across every trace sink of the artefact.
+    pub trace_bytes_written: u64,
 }
 
 impl RunManifest {
@@ -58,7 +65,19 @@ impl RunManifest {
             slots,
             wall_ms,
             slots_per_sec,
+            trace_format: "none".to_string(),
+            trace_events_written: 0,
+            trace_bytes_written: 0,
         }
+    }
+
+    /// Attach event-trace sink statistics (builder style; the default
+    /// manifest records no tracing).
+    pub fn with_trace_stats(mut self, format: &str, events: u64, bytes: u64) -> Self {
+        self.trace_format = format.to_string();
+        self.trace_events_written = events;
+        self.trace_bytes_written = bytes;
+        self
     }
 
     /// Pretty JSON rendering (the on-disk format).
@@ -96,6 +115,17 @@ mod tests {
         assert_eq!(back.sims, 90);
         assert!(back.quick);
         assert!((back.slots_per_sec - m.slots_per_sec).abs() < 1e-9);
+        assert_eq!(back.trace_format, "none");
+    }
+
+    #[test]
+    fn trace_stats_attach_and_roundtrip() {
+        let m = RunManifest::new("fig9", vec![], Value::Null, vec![1], true, 3, 100, 10)
+            .with_trace_stats("bin", 12_345, 67_890);
+        let back = RunManifest::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(back.trace_format, "bin");
+        assert_eq!(back.trace_events_written, 12_345);
+        assert_eq!(back.trace_bytes_written, 67_890);
     }
 
     #[test]

@@ -139,6 +139,17 @@ impl MetricsRegistry {
         self.series.iter().find(|s| s.name == name)
     }
 
+    /// Append (or overwrite) a named counter — used by trace sinks to
+    /// record `trace_events_written` / `trace_bytes_written` after the
+    /// event stream closes.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
     /// Render as a JSON object (used by `--metrics`).
     pub fn to_json_pretty(&self) -> String {
         let v = Value::Object(vec![

@@ -2,7 +2,9 @@
 
 use crate::event::SimEvent;
 use crate::observer::SimObserver;
-use std::io::{self, BufWriter, Write};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 
 /// Streams every event as a line of JSON to any [`Write`] target.
 ///
@@ -14,6 +16,7 @@ pub struct JsonlSink<W: Write> {
     out: BufWriter<W>,
     error: Option<io::Error>,
     lines: u64,
+    bytes: u64,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -23,12 +26,18 @@ impl<W: Write> JsonlSink<W> {
             out: BufWriter::new(out),
             error: None,
             lines: 0,
+            bytes: 0,
         }
     }
 
     /// Lines successfully written so far.
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    /// Bytes successfully written so far (lines plus their newlines).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Flush and surface the first I/O error, if any, together with the
@@ -51,7 +60,10 @@ impl<W: Write> SimObserver for JsonlSink<W> {
         }
         let line = serde_json::to_string(event).expect("SimEvent serializes");
         match writeln!(self.out, "{line}") {
-            Ok(()) => self.lines += 1,
+            Ok(()) => {
+                self.lines += 1;
+                self.bytes += line.len() as u64 + 1;
+            }
             Err(e) => self.error = Some(e),
         }
     }
@@ -65,21 +77,83 @@ impl<W: Write> SimObserver for JsonlSink<W> {
     }
 }
 
+/// Streaming JSONL reader: iterates events line by line from any
+/// [`BufRead`] source, holding one line in memory at a time — the
+/// counterpart of [`crate::BinReader`] for row-wise traces.
+///
+/// Blank lines are skipped; the first malformed line stops the iterator
+/// with an error naming its 1-based line number.
+pub struct JsonlReader<R: BufRead> {
+    src: R,
+    line: String,
+    line_no: u64,
+    failed: bool,
+}
+
+impl JsonlReader<BufReader<File>> {
+    /// Open a JSONL trace file.
+    pub fn open_path(path: &Path) -> io::Result<Self> {
+        Ok(Self::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wrap a buffered reader positioned at the first line.
+    pub fn new(src: R) -> Self {
+        Self {
+            src,
+            line: String::new(),
+            line_no: 0,
+            failed: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = Result<SimEvent, serde::Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.src.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(serde::Error::custom(format!(
+                        "line {}: {e}",
+                        self.line_no + 1
+                    ))));
+                }
+            }
+            self.line_no += 1;
+            let line = self.line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            return match serde_json::from_str::<SimEvent>(line) {
+                Ok(ev) => Some(Ok(ev)),
+                Err(e) => {
+                    self.failed = true;
+                    Some(Err(serde::Error::custom(format!(
+                        "line {}: {e}",
+                        self.line_no
+                    ))))
+                }
+            };
+        }
+    }
+}
+
 /// Parse a JSONL event stream back into events, skipping blank lines.
 /// Stops with an error on the first malformed line (1-based index
-/// included in the message).
+/// included in the message). Thin collecting wrapper over
+/// [`JsonlReader`]; prefer the iterator for large traces.
 pub fn read_jsonl(text: &str) -> Result<Vec<SimEvent>, serde::Error> {
-    let mut events = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let ev: SimEvent = serde_json::from_str(line)
-            .map_err(|e| serde::Error::custom(format!("line {}: {e}", i + 1)))?;
-        events.push(ev);
-    }
-    Ok(events)
+    JsonlReader::new(text.as_bytes()).collect()
 }
 
 #[cfg(test)]
@@ -119,6 +193,13 @@ mod tests {
         let bytes = sink.into_result().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 3);
+        assert_eq!(text.len() as u64, {
+            let mut probe = JsonlSink::new(Vec::new());
+            for e in &events {
+                probe.on_event(e);
+            }
+            probe.bytes()
+        });
         let back = read_jsonl(&text).unwrap();
         assert_eq!(back, events);
     }
@@ -140,5 +221,13 @@ mod tests {
             "{\"t\":\"deferred\",\"slot\":3,\"sender\":2,\"receiver\":5,\"packet\":1}\nnot json\n";
         let err = read_jsonl(bad).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_first_error() {
+        let bad = "not json\n{\"t\":\"source_retry\",\"slot\":1,\"packet\":0}\n";
+        let mut reader = JsonlReader::new(bad.as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "iterator must fuse after error");
     }
 }

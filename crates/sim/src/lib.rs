@@ -40,7 +40,8 @@ pub use stats::{PacketStats, SimReport};
 // Observability is defined in `ldcf-obs`; re-exported here so callers
 // attaching observers to an [`Engine`] need only this crate.
 pub use ldcf_obs::{
-    JsonlSink, MetricsObserver, MetricsRegistry, NullObserver, SimEvent, SimObserver, VecObserver,
+    BinSink, JsonlSink, MetricsObserver, MetricsRegistry, NullObserver, SimEvent, SimObserver,
+    VecObserver,
 };
 
 // Self-profiling (engine phase timers) is likewise defined in
