@@ -121,6 +121,30 @@ diff -u "$ART_DIR/camp1/campaign.json" "$ART_DIR/camp2/campaign.json"
 diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
 echo "campaign deterministic + resumable (telemetry ignored by diffs)"
 
+step "campaign service smoke (serve → submit → fetch → dedupe → graceful shutdown)"
+# The job server must hand back exactly the bytes a direct CLI run
+# produces (camp2 above is the reference), dedupe a re-submitted spec,
+# and exit 0 on SIGTERM with nothing torn.
+SRV_DATA="$ART_DIR/service-data"
+./target/release/experiments serve --data "$SRV_DATA" --addr 127.0.0.1:0 \
+    --jobs 1 --no-progress 2> "$ART_DIR/serve.log" &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2> /dev/null; rm -rf "$ART_DIR"' EXIT
+for _ in $(seq 1 100); do [[ -s "$SRV_DATA/endpoint" ]] && break; sleep 0.1; done
+SRV_ADDR="$(cat "$SRV_DATA/endpoint")"
+JOB_ID="$(./target/release/experiments submit --server "$SRV_ADDR" \
+    --spec scenarios/demo-quick.toml --quick --wait 2> /dev/null)"
+./target/release/experiments fetch --server "$SRV_ADDR" --id "$JOB_ID" \
+    --out "$ART_DIR/fetched" 2> /dev/null
+diff -u "$ART_DIR/camp2/campaign.json" "$ART_DIR/fetched/campaign.json"
+./target/release/experiments submit --server "$SRV_ADDR" \
+    --spec scenarios/demo-quick.toml --quick 2>&1 > /dev/null \
+    | grep -q 'deduplicated' || { echo "dedupe FAILED"; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "server did not exit 0 on SIGTERM"; exit 1; }
+trap 'rm -rf "$ART_DIR"' EXIT
+echo "service smoke: byte-identical fetch + dedupe + graceful shutdown"
+
 step "criterion benches compile"
 cargo bench --workspace --no-run
 

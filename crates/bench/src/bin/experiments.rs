@@ -10,6 +10,12 @@
 //! experiments perf [--quick] [--label NAME] [--out DIR] [--profile] [--reps N]
 //! experiments perf --validate FILE | --validate-profile FILE
 //! experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]
+//! experiments serve --data DIR [--addr HOST:PORT] [--jobs N]
+//!             [--allow-remote-shutdown] [--no-progress]
+//! experiments submit --server ADDR --spec FILE [--quick] [--wait]
+//! experiments status --server ADDR [--id JOB]
+//! experiments fetch --server ADDR --id JOB [--artefact NAME] [--out DIR]
+//! experiments cancel --server ADDR --id JOB
 //!
 //! artefacts:
 //!   table1 | fig3 | fig5 | fig6 | fig7            (analytical, instant)
@@ -59,6 +65,14 @@
 //! JSONL byte-identical to a direct JSONL run; `query` streams the
 //! events in a slot range (binary traces seek via the trailing index),
 //! optionally filtered to one node or packet.
+//!
+//! `serve` turns the campaign runner into a long-lived HTTP job server
+//! over `--data DIR` (one job directory per spec digest; see
+//! EXPERIMENTS.md "Campaign service"), and `submit`/`status`/`fetch`/
+//! `cancel` are its thin clients. The server resumes interrupted
+//! campaigns on restart and dedupes re-submitted specs by digest, so
+//! the artefacts it serves are byte-identical to direct
+//! `experiments campaign` runs.
 
 use ldcf_bench::runner;
 use ldcf_bench::{experiments, ExpOptions};
@@ -87,6 +101,16 @@ struct Cli {
     slot: Option<String>,
     node: Option<u32>,
     packet: Option<u32>,
+    data: Option<PathBuf>,
+    addr: Option<String>,
+    jobs: Option<usize>,
+    server: Option<String>,
+    id: Option<String>,
+    /// `--artefact NAME` for `fetch` (the positional `artefact` field
+    /// above is the subcommand name).
+    artefact_name: Option<String>,
+    wait: bool,
+    allow_remote_shutdown: bool,
 }
 
 /// The flags each subcommand accepts. Everything not listed here is a
@@ -116,6 +140,17 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
             "--reps",
         ],
         "campaign" => &["--spec", "--quick", "--out", "--digest", "--no-progress"],
+        "serve" => &[
+            "--data",
+            "--addr",
+            "--jobs",
+            "--allow-remote-shutdown",
+            "--no-progress",
+        ],
+        "submit" => &["--server", "--spec", "--quick", "--wait"],
+        "status" => &["--server", "--id"],
+        "fetch" => &["--server", "--id", "--artefact", "--out"],
+        "cancel" => &["--server", "--id"],
         _ => &[
             "--quick",
             "--out",
@@ -149,6 +184,14 @@ fn parse_args() -> Cli {
     let mut slot = None;
     let mut node = None;
     let mut packet = None;
+    let mut data = None;
+    let mut addr = None;
+    let mut jobs = None;
+    let mut server = None;
+    let mut id = None;
+    let mut artefact_name = None;
+    let mut wait = false;
+    let mut allow_remote_shutdown = false;
     let mut seen: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -199,6 +242,24 @@ fn parse_args() -> Cli {
                 );
             }
             "--slot" => slot = Some(value("a range A..B")),
+            "--data" => data = Some(PathBuf::from(value("a directory"))),
+            "--addr" => addr = Some(value("host:port")),
+            "--jobs" => {
+                let n = value("a count");
+                jobs = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            usage(&format!("--jobs wants a positive integer, got {n:?}"))
+                        }),
+                );
+            }
+            "--server" => server = Some(value("host:port")),
+            "--id" => id = Some(value("a job id")),
+            "--artefact" => artefact_name = Some(value("an artefact name")),
+            "--wait" => wait = true,
+            "--allow-remote-shutdown" => allow_remote_shutdown = true,
             "--node" => {
                 let n = value("a node id");
                 node = Some(
@@ -269,6 +330,14 @@ fn parse_args() -> Cli {
         slot,
         node,
         packet,
+        data,
+        addr,
+        jobs,
+        server,
+        id,
+        artefact_name,
+        wait,
+        allow_remote_shutdown,
     }
 }
 
@@ -286,10 +355,16 @@ fn usage(err: &str) -> ! {
          \u{20}      experiments perf --validate FILE | --validate-profile FILE\n\
          \u{20}      experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]\n\
          \u{20}      experiments campaign --spec FILE --digest\n\
+         \u{20}      experiments serve --data DIR [--addr HOST:PORT] [--jobs N] [--allow-remote-shutdown] [--no-progress]\n\
+         \u{20}      experiments submit --server ADDR --spec FILE [--quick] [--wait]\n\
+         \u{20}      experiments status --server ADDR [--id JOB]\n\
+         \u{20}      experiments fetch --server ADDR --id JOB [--artefact NAME] [--out DIR]\n\
+         \u{20}      experiments cancel --server ADDR --id JOB\n\
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
-         \u{20}          forensics trace perf campaign analytical all"
+         \u{20}          forensics trace perf campaign analytical all\n\
+         \u{20}          serve submit status fetch cancel"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -631,6 +706,64 @@ fn run_campaign_cmd(cli: &Cli) -> ! {
     std::process::exit(0);
 }
 
+/// The campaign-service subcommands (`serve` and its thin clients).
+/// Flag validation happens here — missing required flags exit 2 like
+/// every other usage error; server-side failures exit 1.
+fn run_service_cmd(cli: &Cli) -> ! {
+    use ldcf_bench::service_cli;
+
+    let server = || -> &str {
+        cli.server
+            .as_deref()
+            .unwrap_or_else(|| usage(&format!("{} needs --server ADDR", cli.artefact)))
+    };
+    let job_id = || -> &str {
+        cli.id
+            .as_deref()
+            .unwrap_or_else(|| usage(&format!("{} needs --id JOB", cli.artefact)))
+    };
+    let result = match cli.artefact.as_str() {
+        "serve" => {
+            let data = cli
+                .data
+                .as_ref()
+                .unwrap_or_else(|| usage("serve needs --data DIR"));
+            std::fs::create_dir_all(data)
+                .unwrap_or_else(|e| usage(&format!("--data {}: {e}", data.display())));
+            service_cli::serve(
+                data,
+                cli.addr.as_deref().unwrap_or("127.0.0.1:0"),
+                cli.jobs.unwrap_or(2),
+                cli.allow_remote_shutdown,
+                !cli.no_progress,
+            )
+        }
+        "submit" => {
+            let spec = cli
+                .spec
+                .as_ref()
+                .unwrap_or_else(|| usage("submit needs --spec FILE"));
+            service_cli::submit(server(), spec, cli.quick, cli.wait)
+        }
+        "status" => service_cli::status(server(), cli.id.as_deref()),
+        "fetch" => service_cli::fetch(
+            server(),
+            job_id(),
+            cli.artefact_name.as_deref(),
+            cli.out.as_deref(),
+        ),
+        "cancel" => service_cli::cancel(server(), job_id()),
+        other => usage(&format!("unknown service subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Markdown table followed by its ASCII chart (fenced for markdown).
 fn with_chart(table: &ldcf_analysis::Table) -> String {
     format!(
@@ -721,6 +854,12 @@ fn main() {
     }
     if cli.artefact == "campaign" {
         run_campaign_cmd(&cli);
+    }
+    if matches!(
+        cli.artefact.as_str(),
+        "serve" | "submit" | "status" | "fetch" | "cancel"
+    ) {
+        run_service_cmd(&cli);
     }
     if cli.profile {
         runner::enable_profiling();

@@ -25,18 +25,23 @@
 use crate::heartbeat::Heartbeat;
 use crate::runner::{self, ProtocolKind};
 use ldcf_analysis::campaign::{campaign_table, CellSummary};
+use ldcf_obs::{write_atomic, ProgressSink};
 use ldcf_scenarios::{BuiltScenario, ScenarioSpec, ScheduleModel};
 use ldcf_sim::SimConfig;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Schema version stamped into cell checkpoints and `campaign.json`.
 pub const CELL_SCHEMA_VERSION: u64 = 1;
 
-/// `--quick` truncation: duties and seeds kept from the spec's matrix.
-const QUICK_DUTIES: usize = 2;
-const QUICK_SEEDS: usize = 1;
+/// The error string [`run_campaign_with`] returns when its cancel token
+/// fires. Checkpoints of every finished cell are on disk; a later run
+/// resumes from them. Callers (the campaign service) match on this to
+/// distinguish cancellation from failure.
+pub const CANCELLED: &str = "campaign cancelled";
 
 /// One expanded matrix cell.
 #[derive(Clone, Debug)]
@@ -63,17 +68,18 @@ pub struct CampaignOutcome {
     pub cells_run: usize,
     /// Cells reloaded from valid checkpoints.
     pub cells_resumed: usize,
+    /// Slots stepped by the cells this invocation simulated (resumed
+    /// cells contribute nothing — their slots were spent in an earlier
+    /// run).
+    pub slots_run: u64,
 }
 
-/// Shrink a spec's matrix for `--quick`: the first [`QUICK_DUTIES`]
-/// duties and the first [`QUICK_SEEDS`] seeds, protocols untouched.
-/// Truncation (rather than resampling) keeps quick cells a strict
-/// subset of the full campaign, so a quick run can seed a later full
-/// run's checkpoint directory.
-pub fn quicken(mut spec: ScenarioSpec) -> ScenarioSpec {
-    spec.matrix.duties.truncate(QUICK_DUTIES);
-    spec.matrix.seeds.truncate(QUICK_SEEDS);
-    spec
+/// Shrink a spec's matrix for `--quick`. Delegates to
+/// [`ScenarioSpec::quicken`] so that the campaign service — which
+/// derives job ids at submit time without this crate — computes exactly
+/// the digest this runner will run under.
+pub fn quicken(spec: ScenarioSpec) -> ScenarioSpec {
+    spec.quicken()
 }
 
 /// Expand the matrix in canonical order; errors on unknown protocols.
@@ -205,24 +211,59 @@ pub fn validate_campaign_json(text: &str) -> Result<usize, String> {
     Ok(cells.len())
 }
 
-/// Run (or resume) a campaign into `out`, writing per-cell checkpoints
-/// under `out/cells/`, the aggregated `campaign.md`, and the
-/// machine-readable `campaign.json`. All three are byte-reproducible:
-/// same spec → same bytes, whatever the worker count and whether or not
-/// checkpoints were reloaded.
-///
-/// A [`Heartbeat`] additionally streams per-cell progress (completed
-/// count, cell wall clock, aggregate slots/sec, ETA) to
-/// `out/campaign-telemetry.jsonl`, and — when `progress` is true — to
-/// stderr. The telemetry file carries wall-clock data and is excluded
-/// from the byte-reproducibility contract.
+/// How to run a campaign beyond the spec itself.
+#[derive(Clone, Default)]
+pub struct CampaignOptions {
+    /// Truncate the matrix via [`quicken`] first.
+    pub quick: bool,
+    /// Stream human progress lines to stderr.
+    pub progress: bool,
+    /// Optional in-memory progress observer (the campaign service
+    /// installs one per job).
+    pub sink: Option<Arc<dyn ProgressSink>>,
+    /// Optional cooperative cancel token. When it flips to `true`,
+    /// cells already simulating finish and checkpoint; cells not yet
+    /// started are skipped; the run returns `Err(`[`CANCELLED`]`)`.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// [`run_campaign_with`] under the original one-shot CLI signature.
 pub fn run_campaign(
     spec: ScenarioSpec,
     quick: bool,
     out: &Path,
     progress: bool,
 ) -> Result<CampaignOutcome, String> {
-    let spec = if quick { quicken(spec) } else { spec };
+    run_campaign_with(
+        spec,
+        out,
+        CampaignOptions {
+            quick,
+            progress,
+            ..CampaignOptions::default()
+        },
+    )
+}
+
+/// Run (or resume) a campaign into `out`, writing per-cell checkpoints
+/// under `out/cells/`, the aggregated `campaign.md`, and the
+/// machine-readable `campaign.json`. All three are byte-reproducible:
+/// same spec → same bytes, whatever the worker count and whether or not
+/// checkpoints were reloaded. The final artefacts are written atomically
+/// (write + rename), so a kill mid-campaign never leaves a torn
+/// `campaign.json` — only absent-or-valid.
+///
+/// A [`Heartbeat`] additionally streams per-cell progress (completed
+/// count, cell wall clock, aggregate slots/sec, ETA) to
+/// `out/campaign-telemetry.jsonl`, to stderr when `opts.progress`, and
+/// into `opts.sink` when set. The telemetry carries wall-clock data and
+/// is excluded from the byte-reproducibility contract.
+pub fn run_campaign_with(
+    spec: ScenarioSpec,
+    out: &Path,
+    opts: CampaignOptions,
+) -> Result<CampaignOutcome, String> {
+    let spec = if opts.quick { quicken(spec) } else { spec };
     let cells = expand_cells(&spec)?;
     let built = BuiltScenario::build(spec)?;
     let digest = built.digest();
@@ -242,24 +283,52 @@ pub fn run_campaign(
     let cells_resumed = jobs.iter().filter(|(_, cached)| cached.is_some()).count();
     let cells_total = jobs.len();
 
-    let heartbeat = Heartbeat::new(cells_total, cells_resumed, Some(out), progress);
+    let mut heartbeat = Heartbeat::new(cells_total, cells_resumed, Some(out), opts.progress);
+    if let Some(sink) = &opts.sink {
+        heartbeat = heartbeat.with_sink(Arc::clone(sink));
+    }
+    let cancelled = || {
+        opts.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::SeqCst))
+    };
     let summaries: Vec<Result<CellSummary, String>> = jobs
         .par_iter()
         .map(|(cell, cached)| {
             if let Some(s) = cached {
                 return Ok(s.clone());
             }
+            if cancelled() {
+                return Err(CANCELLED.to_string());
+            }
             let t0 = std::time::Instant::now();
             let summary = run_cell(&built, cell);
             heartbeat.cell_done(&cell_stem(cell), t0.elapsed(), summary.slots_elapsed);
             let path = cells_dir.join(format!("{}.json", cell_stem(cell)));
-            std::fs::write(&path, cell_json(&name, &digest, &summary))
+            write_atomic(&path, cell_json(&name, &digest, &summary).as_bytes())
                 .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
             Ok(summary)
         })
         .collect();
+    // Real failures outrank cancellation; a cancelled run reports
+    // CANCELLED without emitting the (misleading) "done" telemetry.
+    if let Some(err) = summaries
+        .iter()
+        .find_map(|r| r.as_ref().err().filter(|e| *e != CANCELLED))
+    {
+        return Err(err.clone());
+    }
+    if summaries.iter().any(|r| r.is_err()) {
+        return Err(CANCELLED.to_string());
+    }
     heartbeat.finish();
     let summaries: Vec<CellSummary> = summaries.into_iter().collect::<Result<_, _>>()?;
+    let slots_run: u64 = jobs
+        .iter()
+        .zip(&summaries)
+        .filter(|((_, cached), _)| cached.is_none())
+        .map(|(_, s)| s.slots_elapsed)
+        .sum();
 
     let table = campaign_table(&summaries);
     let mut md = String::new();
@@ -281,20 +350,21 @@ pub fn run_campaign(
     ));
     md.push_str(&table);
 
-    std::fs::write(out.join("campaign.md"), &md).map_err(|e| format!("write campaign.md: {e}"))?;
+    write_atomic(&out.join("campaign.md"), md.as_bytes())
+        .map_err(|e| format!("write campaign.md: {e}"))?;
     let json = Value::Object(vec![
         ("schema_version".into(), Value::UInt(CELL_SCHEMA_VERSION)),
         ("scenario".into(), Value::Str(name.clone())),
         ("spec_digest".into(), Value::Str(digest.clone())),
-        ("quick".into(), Value::Bool(quick)),
+        ("quick".into(), Value::Bool(opts.quick)),
         (
             "cells".into(),
             Value::Array(summaries.iter().map(Serialize::to_value).collect()),
         ),
     ]);
-    std::fs::write(
-        out.join("campaign.json"),
-        serde_json::to_string_pretty(&json).expect("serialize campaign") + "\n",
+    write_atomic(
+        &out.join("campaign.json"),
+        (serde_json::to_string_pretty(&json).expect("serialize campaign") + "\n").as_bytes(),
     )
     .map_err(|e| format!("write campaign.json: {e}"))?;
 
@@ -305,6 +375,7 @@ pub fn run_campaign(
         cells_total,
         cells_run: cells_total - cells_resumed,
         cells_resumed,
+        slots_run,
     })
 }
 
@@ -343,8 +414,14 @@ mod tests {
         let spec = ScenarioSpec::from_toml_str(tiny_spec()).unwrap();
         let q = quicken(spec.clone());
         assert_eq!(q.matrix.protocols, spec.matrix.protocols);
-        assert_eq!(q.matrix.duties, spec.matrix.duties[..QUICK_DUTIES]);
-        assert_eq!(q.matrix.seeds, spec.matrix.seeds[..QUICK_SEEDS]);
+        assert_eq!(
+            q.matrix.duties,
+            spec.matrix.duties[..ldcf_scenarios::QUICK_DUTIES]
+        );
+        assert_eq!(
+            q.matrix.seeds,
+            spec.matrix.seeds[..ldcf_scenarios::QUICK_SEEDS]
+        );
     }
 
     #[test]

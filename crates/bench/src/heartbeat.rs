@@ -15,12 +15,13 @@
 //! `campaign.json`, per-cell checkpoints) never embed anything from it,
 //! and CI's byte-identity diffs must ignore `*-telemetry.jsonl`.
 
+use ldcf_obs::{CampaignProgress, ProgressSink};
 use serde::Value;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Thread-safe progress reporter for a cell-parallel campaign. Cheap
@@ -38,6 +39,9 @@ pub struct Heartbeat {
     t0: Instant,
     sink: Option<Mutex<File>>,
     stderr: bool,
+    /// Optional in-memory observer (the campaign service uses this to
+    /// serve live progress over `GET /campaigns/{id}`).
+    observer: Option<Arc<dyn ProgressSink>>,
 }
 
 impl Heartbeat {
@@ -61,6 +65,7 @@ impl Heartbeat {
             t0: Instant::now(),
             sink,
             stderr,
+            observer: None,
         };
         hb.emit(
             "start",
@@ -73,6 +78,22 @@ impl Heartbeat {
         hb
     }
 
+    /// Attach an in-memory progress observer and push it an initial
+    /// snapshot (checkpoint-resumed cells count as completed from the
+    /// start).
+    pub fn with_sink(mut self, observer: Arc<dyn ProgressSink>) -> Self {
+        observer.update(&CampaignProgress {
+            completed: self.resumed as u64,
+            total: self.total as u64,
+            resumed: self.resumed as u64,
+            slots_per_sec: 0.0,
+            eta_s: 0.0,
+            done: false,
+        });
+        self.observer = Some(observer);
+        self
+    }
+
     /// Record one freshly simulated cell: its stem (e.g.
     /// `of-d0.0500-s1`), wall clock, and slots stepped.
     pub fn cell_done(&self, stem: &str, wall: Duration, cell_slots: u64) {
@@ -83,6 +104,16 @@ impl Heartbeat {
         let to_run = self.total - self.resumed;
         let slots_per_sec = slots as f64 / elapsed;
         let eta_s = elapsed / done as f64 * (to_run - done.min(to_run)) as f64;
+        if let Some(observer) = &self.observer {
+            observer.update(&CampaignProgress {
+                completed: completed as u64,
+                total: self.total as u64,
+                resumed: self.resumed as u64,
+                slots_per_sec,
+                eta_s,
+                done: false,
+            });
+        }
         self.emit(
             "cell",
             vec![
@@ -110,6 +141,16 @@ impl Heartbeat {
         let done = self.done.load(Ordering::Relaxed);
         let slots = self.slots.load(Ordering::Relaxed);
         let elapsed = self.t0.elapsed().as_secs_f64().max(1e-9);
+        if let Some(observer) = &self.observer {
+            observer.update(&CampaignProgress {
+                completed: (self.resumed + done) as u64,
+                total: self.total as u64,
+                resumed: self.resumed as u64,
+                slots_per_sec: slots as f64 / elapsed,
+                eta_s: 0.0,
+                done: true,
+            });
+        }
         self.emit(
             "done",
             vec![
@@ -183,5 +224,26 @@ mod tests {
         let hb = Heartbeat::new(2, 0, None, false);
         hb.cell_done("x", Duration::from_millis(1), 10);
         hb.finish();
+    }
+
+    #[test]
+    fn heartbeat_pushes_snapshots_to_an_observer() {
+        let latest = Arc::new(ldcf_obs::LatestProgress::new());
+        let hb = Heartbeat::new(3, 1, None, false).with_sink(latest.clone());
+        let start = latest.snapshot();
+        assert_eq!((start.completed, start.total, start.resumed), (1, 3, 1));
+        assert!(!start.done);
+
+        hb.cell_done("of-d0.0500-s1", Duration::from_millis(5), 500);
+        let mid = latest.snapshot();
+        assert_eq!(mid.completed, 2);
+        assert!(mid.slots_per_sec > 0.0);
+        assert!(!mid.done);
+
+        hb.cell_done("opt-d0.0500-s1", Duration::from_millis(5), 500);
+        hb.finish();
+        let end = latest.snapshot();
+        assert_eq!(end.completed, 3);
+        assert!(end.done);
     }
 }

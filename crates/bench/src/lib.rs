@@ -14,10 +14,12 @@ pub mod options;
 pub mod perf;
 pub mod resilience;
 pub mod runner;
+pub mod service_cli;
 pub mod trace_cmd;
 
-pub use campaign::{run_campaign, CampaignOutcome};
+pub use campaign::{run_campaign, run_campaign_with, CampaignOptions, CampaignOutcome};
 pub use experiments::*;
 pub use heartbeat::Heartbeat;
 pub use options::ExpOptions;
 pub use runner::{run_flood, run_flood_faulted, run_flood_scenario, ProtocolKind, TraceFormat};
+pub use service_cli::BenchExec;

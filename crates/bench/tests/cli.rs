@@ -165,6 +165,58 @@ fn second_positional_argument_is_rejected() {
 }
 
 #[test]
+fn service_subcommands_validate_their_flags() {
+    // serve requires a data directory.
+    let out = run(&["serve"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("serve needs --data"));
+
+    // --jobs must be a positive integer.
+    let out = run(&["serve", "--data", "/tmp/x", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--jobs wants a positive integer"));
+
+    // The thin clients require a server (and fetch/cancel a job id).
+    let out = run(&["submit", "--spec", "x.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("submit needs --server"));
+    let out = run(&["submit", "--server", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("submit needs --spec"));
+    let out = run(&["fetch", "--server", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("fetch needs --id"));
+    let out = run(&["cancel", "--server", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cancel needs --id"));
+
+    // Service flags stay scoped to service subcommands...
+    let out = run(&["fig3", "--server", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--server' is not valid for 'fig3'"));
+    let out = run(&["campaign", "--spec", "x.toml", "--wait"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--wait' is not valid for 'campaign'"));
+    let out = run(&["serve", "--data", "/tmp/x", "--spec", "x.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--spec' is not valid for 'serve'"));
+
+    // ...and artefact flags don't leak into the clients.
+    let out = run(&["status", "--server", "127.0.0.1:1", "--profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--profile' is not valid for 'status'"));
+}
+
+#[test]
+fn client_subcommands_fail_cleanly_without_a_server() {
+    // Nothing listens on this port: transport errors exit 1 (not 2 —
+    // the flags were fine) with a connect diagnostic.
+    let out = run(&["status", "--server", "127.0.0.1:9"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("connect"), "stderr: {}", stderr(&out));
+}
+
+#[test]
 fn campaign_digest_prints_sha256_and_name() {
     let spec = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -1,0 +1,31 @@
+//! Small filesystem helpers shared by artefact writers.
+
+use std::path::Path;
+
+/// Write `bytes` to `path` atomically: write a sibling `.tmp` file,
+/// then rename over the destination. Readers — and the next process to
+/// scan the directory after a crash or a mid-write kill — observe
+/// either the old content or the new, never a torn file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("ldcf-fsutil-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artefact.json");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,7 +23,12 @@
 //!   CRC-guarded varint+delta frames with a trailing slot index,
 //!   [`BinReader`] streams them back lazily or seeks by slot range.
 //! * [`RunManifest`] — provenance (protocols, config, seeds, wall clock,
-//!   slots/sec) written next to every generated artefact.
+//!   slots/sec) written next to every generated artefact; runs submitted
+//!   through the campaign service additionally record their job id and
+//!   queue wait.
+//! * [`progress`] — transport-agnostic campaign progress: the heartbeat
+//!   pushes per-cell [`CampaignProgress`] snapshots into an optional
+//!   [`ProgressSink`] so a job server can poll them in memory.
 //! * [`telemetry`] — the simulator profiling *itself*: zero-cost engine
 //!   phase timers ([`SimProfiler`]), fixed-memory mergeable
 //!   [`StreamingHistogram`]s, and the [`CountingAlloc`] allocation
@@ -33,17 +38,21 @@
 
 pub mod binlog;
 pub mod event;
+pub mod fsutil;
 pub mod manifest;
 pub mod metrics;
 pub mod observer;
+pub mod progress;
 pub mod sink;
 pub mod telemetry;
 
 pub use binlog::{BinError, BinReader, BinSink};
 pub use event::SimEvent;
+pub use fsutil::write_atomic;
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsObserver, MetricsRegistry, Series};
 pub use observer::{NullObserver, SimObserver, VecObserver};
+pub use progress::{CampaignProgress, LatestProgress, ProgressSink};
 pub use sink::{read_jsonl, JsonlReader, JsonlSink};
 pub use telemetry::{
     CountingAlloc, NullProfiler, Phase, PhaseProfiler, SimProfiler, StreamingHistogram,

@@ -35,6 +35,20 @@ pub struct RunManifest {
     pub trace_events_written: u64,
     /// Bytes written across every trace sink of the artefact.
     pub trace_bytes_written: u64,
+    /// How the run was initiated: `"cli"` for direct invocations,
+    /// `"service"` for campaigns submitted over the job server's HTTP
+    /// API — so forensics on service-produced artefacts stays
+    /// self-describing.
+    #[serde(default)]
+    pub submitted_via: String,
+    /// Service job id (the campaign's spec digest) for
+    /// service-submitted runs; empty for CLI runs.
+    #[serde(default)]
+    pub service_job_id: String,
+    /// Milliseconds the job waited in the service queue before a
+    /// scheduler worker picked it up; 0 for CLI runs.
+    #[serde(default)]
+    pub queue_wait_ms: u64,
 }
 
 impl RunManifest {
@@ -68,6 +82,9 @@ impl RunManifest {
             trace_format: "none".to_string(),
             trace_events_written: 0,
             trace_bytes_written: 0,
+            submitted_via: "cli".to_string(),
+            service_job_id: String::new(),
+            queue_wait_ms: 0,
         }
     }
 
@@ -77,6 +94,15 @@ impl RunManifest {
         self.trace_format = format.to_string();
         self.trace_events_written = events;
         self.trace_bytes_written = bytes;
+        self
+    }
+
+    /// Mark the run as submitted through the campaign service (builder
+    /// style; the default manifest records a CLI run).
+    pub fn with_service_job(mut self, job_id: &str, queue_wait_ms: u64) -> Self {
+        self.submitted_via = "service".to_string();
+        self.service_job_id = job_id.to_string();
+        self.queue_wait_ms = queue_wait_ms;
         self
     }
 
@@ -116,6 +142,28 @@ mod tests {
         assert!(back.quick);
         assert!((back.slots_per_sec - m.slots_per_sec).abs() < 1e-9);
         assert_eq!(back.trace_format, "none");
+        assert_eq!(back.submitted_via, "cli");
+        assert_eq!(back.service_job_id, "");
+        assert_eq!(back.queue_wait_ms, 0);
+    }
+
+    #[test]
+    fn service_provenance_attaches_and_roundtrips() {
+        let m = RunManifest::new(
+            "campaign-demo",
+            vec![],
+            Value::Null,
+            vec![1],
+            true,
+            6,
+            100,
+            10,
+        )
+        .with_service_job(&"ab".repeat(32), 123);
+        let back = RunManifest::from_json(&m.to_json_pretty()).unwrap();
+        assert_eq!(back.submitted_via, "service");
+        assert_eq!(back.service_job_id, "ab".repeat(32));
+        assert_eq!(back.queue_wait_ms, 123);
     }
 
     #[test]

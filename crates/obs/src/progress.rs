@@ -1,0 +1,93 @@
+//! Campaign progress reporting decoupled from any transport.
+//!
+//! The campaign heartbeat (PR 6) streams per-cell telemetry to stderr
+//! and `campaign-telemetry.jsonl`. A long-lived campaign *service*
+//! additionally needs the same progress in memory — per job, queryable
+//! over HTTP while the campaign runs. [`ProgressSink`] is the seam: the
+//! heartbeat pushes every update into an optional sink, and the service
+//! installs one per job that mirrors the latest snapshot into its job
+//! table. The sink sees exactly what the telemetry file records, so a
+//! `GET /campaigns/{id}` progress block and the heartbeat lines can
+//! never disagree.
+
+/// One progress snapshot of a running campaign. Monotone in
+/// `completed`; the final update has `done == true`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignProgress {
+    /// Cells satisfied so far (resumed from checkpoints + freshly run).
+    pub completed: u64,
+    /// Cells in the whole matrix.
+    pub total: u64,
+    /// Cells reloaded from checkpoints before the run started.
+    pub resumed: u64,
+    /// Aggregate simulation throughput of this invocation (slots/sec).
+    pub slots_per_sec: f64,
+    /// Extrapolated seconds until the last cell finishes (0 when done).
+    pub eta_s: f64,
+    /// True exactly once, on the final update after the last cell.
+    pub done: bool,
+}
+
+/// Receiver of campaign progress updates. Implementations must be
+/// cheap and non-blocking: updates are delivered from inside rayon
+/// workers, once per finished cell.
+pub trait ProgressSink: Send + Sync {
+    /// Deliver one progress snapshot. Updates arrive in completion
+    /// order (the heartbeat serializes them), ending with `done`.
+    fn update(&self, progress: &CampaignProgress);
+}
+
+/// A [`ProgressSink`] that keeps only the latest snapshot behind a
+/// mutex — what a job server wants for polling endpoints.
+#[derive(Default)]
+pub struct LatestProgress {
+    latest: std::sync::Mutex<CampaignProgress>,
+}
+
+impl LatestProgress {
+    /// New sink holding a default (all-zero) snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent snapshot delivered so far.
+    pub fn snapshot(&self) -> CampaignProgress {
+        self.latest.lock().expect("progress lock").clone()
+    }
+}
+
+impl ProgressSink for LatestProgress {
+    fn update(&self, progress: &CampaignProgress) {
+        *self.latest.lock().expect("progress lock") = progress.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_progress_keeps_the_newest_snapshot() {
+        let sink = LatestProgress::new();
+        assert_eq!(sink.snapshot(), CampaignProgress::default());
+        sink.update(&CampaignProgress {
+            completed: 2,
+            total: 6,
+            resumed: 1,
+            slots_per_sec: 1000.0,
+            eta_s: 12.0,
+            done: false,
+        });
+        sink.update(&CampaignProgress {
+            completed: 6,
+            total: 6,
+            resumed: 1,
+            slots_per_sec: 1200.0,
+            eta_s: 0.0,
+            done: true,
+        });
+        let last = sink.snapshot();
+        assert_eq!(last.completed, 6);
+        assert!(last.done);
+    }
+}

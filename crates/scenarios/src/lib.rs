@@ -31,4 +31,6 @@ pub use build::BuiltScenario;
 pub use sha256::{hex_digest, Sha256};
 pub use spec::{
     LinkModel, MatrixSpec, ScenarioSpec, ScheduleModel, TopologySpec, Workload, WorkloadKind,
+    QUICK_DUTIES, QUICK_SEEDS,
 };
+pub use toml::error_location;

@@ -246,7 +246,26 @@ impl ScenarioSpec {
     pub fn n_cells(&self) -> usize {
         self.matrix.protocols.len() * self.matrix.duties.len() * self.matrix.seeds.len()
     }
+
+    /// Shrink the matrix for `--quick`: the first [`QUICK_DUTIES`]
+    /// duties and the first [`QUICK_SEEDS`] seeds, protocols untouched.
+    /// Truncation (rather than resampling) keeps quick cells a strict
+    /// subset of the full campaign, so a quick run can seed a later
+    /// full run's checkpoint directory. Lives here (not in the runner)
+    /// so every consumer — CLI campaign, job service, digest gates —
+    /// derives the identical quickened spec and therefore the identical
+    /// digest.
+    pub fn quicken(mut self) -> Self {
+        self.matrix.duties.truncate(QUICK_DUTIES);
+        self.matrix.seeds.truncate(QUICK_SEEDS);
+        self
+    }
 }
+
+/// `--quick` truncation: duties kept from the spec's matrix.
+pub const QUICK_DUTIES: usize = 2;
+/// `--quick` truncation: seeds kept from the spec's matrix.
+pub const QUICK_SEEDS: usize = 1;
 
 fn parse_topology(t: &Value) -> Result<(TopologySpec, u64), String> {
     let kind = req_str(t, "topology", "kind")?;

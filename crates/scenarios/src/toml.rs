@@ -10,10 +10,12 @@
 //!   floats, booleans, and single-line arrays `[v, v, ...]`,
 //! * `#` comments and blank lines.
 //!
-//! Anything outside the subset is a hard error with a line number —
-//! a scenario that silently parses differently than its author intended
-//! would corrupt campaign digests, so the parser refuses rather than
-//! guesses.
+//! Anything outside the subset is a hard error with a `line N, col C`
+//! location — a scenario that silently parses differently than its
+//! author intended would corrupt campaign digests, so the parser
+//! refuses rather than guesses. The locations are machine-recoverable
+//! via [`error_location`], which the campaign service uses to attach
+//! structured `line`/`col` fields to its HTTP 400 bodies.
 
 use serde::Value;
 
@@ -31,6 +33,8 @@ pub fn parse(text: &str) -> Result<Value, String> {
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = strip_comment(raw, lineno)?;
+        // 1-based column of the first non-whitespace character.
+        let base_col = line.chars().take_while(|c| c.is_whitespace()).count() + 1;
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -38,26 +42,35 @@ pub fn parse(text: &str) -> Result<Value, String> {
         if let Some(rest) = line.strip_prefix('[') {
             let name = rest
                 .strip_suffix(']')
-                .ok_or_else(|| format!("line {lineno}: unterminated table header"))?
+                .ok_or_else(|| at(lineno, base_col, "unterminated table header"))?
                 .trim();
             if name.is_empty() || !name.chars().all(is_bare_key_char) {
-                return Err(format!("line {lineno}: invalid table name {name:?}"));
+                return Err(at(
+                    lineno,
+                    base_col,
+                    &format!("invalid table name {name:?}"),
+                ));
             }
             if root.iter().any(|(k, _)| k == name) {
-                return Err(format!("line {lineno}: duplicate table [{name}]"));
+                return Err(at(lineno, base_col, &format!("duplicate table [{name}]")));
             }
             root.push((name.to_string(), Value::Object(Vec::new())));
             current = Some(root.len() - 1);
             continue;
         }
-        let (key, value) = line
+        let (key_raw, value_raw) = line
             .split_once('=')
-            .ok_or_else(|| format!("line {lineno}: expected `key = value` or `[table]`"))?;
-        let key = key.trim();
+            .ok_or_else(|| at(lineno, base_col, "expected `key = value` or `[table]`"))?;
+        let key = key_raw.trim();
         if key.is_empty() || !key.chars().all(is_bare_key_char) {
-            return Err(format!("line {lineno}: invalid key {key:?}"));
+            return Err(at(lineno, base_col, &format!("invalid key {key:?}")));
         }
-        let value = parse_value(value.trim(), lineno)?;
+        // Column of the value: everything before it (key, `=`, spaces).
+        let value_col = base_col
+            + key_raw.chars().count()
+            + 1
+            + value_raw.chars().take_while(|c| c.is_whitespace()).count();
+        let value = parse_value(value_raw.trim(), lineno, value_col)?;
         let target = match current {
             Some(i) => match &mut root[i].1 {
                 Value::Object(entries) => entries,
@@ -66,11 +79,30 @@ pub fn parse(text: &str) -> Result<Value, String> {
             None => &mut root,
         };
         if target.iter().any(|(k, _)| k == key) {
-            return Err(format!("line {lineno}: duplicate key {key:?}"));
+            return Err(at(lineno, base_col, &format!("duplicate key {key:?}")));
         }
         target.push((key.to_string(), value));
     }
     Ok(Value::Object(root))
+}
+
+/// Format one diagnostic: `line N, col C: message`. [`error_location`]
+/// is the inverse; keep the two in sync.
+fn at(lineno: usize, col: usize, msg: &str) -> String {
+    format!("line {lineno}, col {col}: {msg}")
+}
+
+/// Recover the `(line, col)` of a parser diagnostic produced by this
+/// module (and by [`ScenarioSpec::from_toml_str`], which passes them
+/// through verbatim). Returns `None` for errors without a location,
+/// e.g. semantic validation failures.
+///
+/// [`ScenarioSpec::from_toml_str`]: crate::ScenarioSpec::from_toml_str
+pub fn error_location(err: &str) -> Option<(u32, u32)> {
+    let rest = err.strip_prefix("line ")?;
+    let (line, rest) = rest.split_once(", col ")?;
+    let (col, _) = rest.split_once(':')?;
+    Some((line.parse().ok()?, col.parse().ok()?))
 }
 
 fn is_bare_key_char(c: char) -> bool {
@@ -83,7 +115,8 @@ fn strip_comment(line: &str, lineno: usize) -> Result<String, String> {
     let mut out = String::new();
     let mut in_str = false;
     let mut escaped = false;
-    for c in line.chars() {
+    let mut str_col = 0;
+    for (i, c) in line.chars().enumerate() {
         if in_str {
             out.push(c);
             if escaped {
@@ -98,35 +131,38 @@ fn strip_comment(line: &str, lineno: usize) -> Result<String, String> {
         } else {
             if c == '"' {
                 in_str = true;
+                str_col = i + 1;
             }
             out.push(c);
         }
     }
     if in_str {
-        return Err(format!("line {lineno}: unterminated string"));
+        return Err(at(lineno, str_col, "unterminated string"));
     }
     Ok(out)
 }
 
-fn parse_value(s: &str, lineno: usize) -> Result<Value, String> {
+fn parse_value(s: &str, lineno: usize, col: usize) -> Result<Value, String> {
     let s = s.trim();
     if s.is_empty() {
-        return Err(format!("line {lineno}: missing value"));
+        return Err(at(lineno, col, "missing value"));
     }
     if let Some(rest) = s.strip_prefix('"') {
-        return parse_string(rest, lineno);
+        return parse_string(rest, lineno, col);
     }
     if let Some(body) = s.strip_prefix('[') {
         let body = body
             .strip_suffix(']')
-            .ok_or_else(|| format!("line {lineno}: unterminated array"))?;
+            .ok_or_else(|| at(lineno, col, "unterminated array"))?;
         let mut items = Vec::new();
-        for part in split_top_level(body, lineno)? {
+        for (offset, part) in split_top_level(body, lineno, col)? {
+            let lead = part.chars().take_while(|c| c.is_whitespace()).count();
             let part = part.trim();
             if part.is_empty() {
                 continue; // trailing comma
             }
-            items.push(parse_value(part, lineno)?);
+            // `col` points at `[`, so body offset k sits at col + k.
+            items.push(parse_value(part, lineno, col + offset + lead)?);
         }
         return Ok(Value::Array(items));
     }
@@ -150,11 +186,12 @@ fn parse_value(s: &str, lineno: usize) -> Result<Value, String> {
             }
         }
     }
-    Err(format!("line {lineno}: unrecognised value {s:?}"))
+    Err(at(lineno, col, &format!("unrecognised value {s:?}")))
 }
 
-/// Parse a basic string body (opening quote already consumed).
-fn parse_string(body: &str, lineno: usize) -> Result<Value, String> {
+/// Parse a basic string body (opening quote already consumed; `col`
+/// points at the opening quote).
+fn parse_string(body: &str, lineno: usize, col: usize) -> Result<Value, String> {
     let mut out = String::new();
     let mut chars = body.chars();
     while let Some(c) = chars.next() {
@@ -162,7 +199,7 @@ fn parse_string(body: &str, lineno: usize) -> Result<Value, String> {
             '"' => {
                 let rest: String = chars.collect();
                 if !rest.trim().is_empty() {
-                    return Err(format!("line {lineno}: trailing garbage after string"));
+                    return Err(at(lineno, col, "trailing garbage after string"));
                 }
                 return Ok(Value::Str(out));
             }
@@ -171,22 +208,25 @@ fn parse_string(body: &str, lineno: usize) -> Result<Value, String> {
                 Some('\\') => out.push('\\'),
                 Some('n') => out.push('\n'),
                 Some('t') => out.push('\t'),
-                other => return Err(format!("line {lineno}: bad escape {other:?}")),
+                other => return Err(at(lineno, col, &format!("bad escape {other:?}"))),
             },
             _ => out.push(c),
         }
     }
-    Err(format!("line {lineno}: unterminated string"))
+    Err(at(lineno, col, "unterminated string"))
 }
 
-/// Split on commas outside strings and nested brackets.
-fn split_top_level(body: &str, lineno: usize) -> Result<Vec<String>, String> {
+/// Split on commas outside strings and nested brackets. Each part is
+/// returned with its 1-based char offset inside `body`, so callers can
+/// derive item columns.
+fn split_top_level(body: &str, lineno: usize, col: usize) -> Result<Vec<(usize, String)>, String> {
     let mut parts = Vec::new();
     let mut cur = String::new();
+    let mut start = 1;
     let mut depth = 0usize;
     let mut in_str = false;
     let mut escaped = false;
-    for c in body.chars() {
+    for (i, c) in body.chars().enumerate() {
         if in_str {
             cur.push(c);
             if escaped {
@@ -210,19 +250,20 @@ fn split_top_level(body: &str, lineno: usize) -> Result<Vec<String>, String> {
             ']' => {
                 depth = depth
                     .checked_sub(1)
-                    .ok_or_else(|| format!("line {lineno}: unbalanced brackets"))?;
+                    .ok_or_else(|| at(lineno, col, "unbalanced brackets"))?;
                 cur.push(c);
             }
             ',' if depth == 0 => {
-                parts.push(std::mem::take(&mut cur));
+                parts.push((start, std::mem::take(&mut cur)));
+                start = i + 2;
             }
             _ => cur.push(c),
         }
     }
     if depth != 0 || in_str {
-        return Err(format!("line {lineno}: unbalanced array"));
+        return Err(at(lineno, col, "unbalanced array"));
     }
-    parts.push(cur);
+    parts.push((start, cur));
     Ok(parts)
 }
 
@@ -312,5 +353,29 @@ mod tests {
     fn error_carries_line_number() {
         let err = parse("ok = 1\nbroken ~ 2").unwrap_err();
         assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn error_carries_column_of_the_offending_token() {
+        // The bad value starts at col 5 of line 2.
+        let err = parse("ok = 1\nk = nope").unwrap_err();
+        assert_eq!(error_location(&err), Some((2, 5)), "got: {err}");
+
+        // Array items locate individually: `bad` is the second item,
+        // after `[1, ` — the value opens at col 9, the item at col 13.
+        let err = parse("seeds = [1, bad]").unwrap_err();
+        assert_eq!(error_location(&err), Some((1, 13)), "got: {err}");
+
+        // Indented keys shift the base column.
+        let err = parse("    broken ~ 2").unwrap_err();
+        assert_eq!(error_location(&err), Some((1, 5)), "got: {err}");
+    }
+
+    #[test]
+    fn error_location_roundtrips_and_rejects_plain_messages() {
+        assert_eq!(error_location("line 3, col 14: nope"), Some((3, 14)));
+        assert_eq!(error_location("scenario.name must be set"), None);
+        assert_eq!(error_location("line 3: old style"), None);
+        assert_eq!(error_location(""), None);
     }
 }

@@ -1,0 +1,164 @@
+//! A thin blocking client for the campaign service, used by the
+//! `experiments submit`/`status`/`fetch` subcommands and the tests.
+//! One request per connection, mirroring the server's
+//! `Connection: close` policy.
+
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Client bound to one server address.
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// `server` is `host:port`, with an optional `http://` prefix and
+    /// trailing slash (both stripped).
+    pub fn new(server: &str) -> Self {
+        let addr = server
+            .trim()
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_string();
+        Self { addr }
+    }
+
+    /// The normalized `host:port` this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One raw exchange. Returns the status code and body bytes; `Err`
+    /// only for transport problems (HTTP-level errors come back as
+    /// their status code plus JSON body).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("send request: {e}"))?;
+
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("read response: {e}"))?;
+        parse_response(&raw)
+    }
+
+    /// JSON exchange: decode the body, surface non-2xx statuses (and
+    /// their `error` field) as `Err`.
+    fn request_json(&self, method: &str, path: &str, body: Option<&[u8]>) -> Result<Value, String> {
+        let (status, body) = self.request(method, path, body)?;
+        let text = String::from_utf8_lossy(&body);
+        if !(200..300).contains(&status) {
+            return Err(format!("HTTP {status}: {}", text.trim()));
+        }
+        serde_json::from_str(&text).map_err(|e| format!("bad JSON from server: {e}"))
+    }
+
+    /// Raw-bytes exchange for artefacts; non-2xx becomes `Err`.
+    fn request_bytes(&self, path: &str) -> Result<Vec<u8>, String> {
+        let (status, body) = self.request("GET", path, None)?;
+        if !(200..300).contains(&status) {
+            return Err(format!(
+                "HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim()
+            ));
+        }
+        Ok(body)
+    }
+
+    /// `POST /campaigns[?quick=1]` with the spec TOML as the body.
+    pub fn submit(&self, spec_toml: &str, quick: bool) -> Result<Value, String> {
+        let path = if quick {
+            "/campaigns?quick=1"
+        } else {
+            "/campaigns"
+        };
+        self.request_json("POST", path, Some(spec_toml.as_bytes()))
+    }
+
+    /// `GET /campaigns`.
+    pub fn list(&self) -> Result<Value, String> {
+        self.request_json("GET", "/campaigns", None)
+    }
+
+    /// `GET /campaigns/{id}`.
+    pub fn status(&self, id: &str) -> Result<Value, String> {
+        self.request_json("GET", &format!("/campaigns/{id}"), None)
+    }
+
+    /// `GET /campaigns/{id}/results` — the finished `campaign.json`.
+    pub fn results(&self, id: &str) -> Result<Vec<u8>, String> {
+        self.request_bytes(&format!("/campaigns/{id}/results"))
+    }
+
+    /// `GET /campaigns/{id}/artefacts/{name}`.
+    pub fn artefact(&self, id: &str, name: &str) -> Result<Vec<u8>, String> {
+        self.request_bytes(&format!("/campaigns/{id}/artefacts/{name}"))
+    }
+
+    /// `POST /campaigns/{id}/cancel`.
+    pub fn cancel(&self, id: &str) -> Result<Value, String> {
+        self.request_json("POST", &format!("/campaigns/{id}/cancel"), None)
+    }
+
+    /// `POST /shutdown` (only honoured when the server enables it).
+    pub fn shutdown(&self) -> Result<Value, String> {
+        self.request_json("POST", "/shutdown", None)
+    }
+}
+
+/// Parse a full `Connection: close` response capture.
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response without header terminator")?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| "non-UTF-8 response head".to_string())?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_normalization() {
+        assert_eq!(
+            Client::new("http://127.0.0.1:8080/").addr(),
+            "127.0.0.1:8080"
+        );
+        assert_eq!(Client::new("localhost:9000").addr(), "localhost:9000");
+    }
+
+    #[test]
+    fn response_parsing() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 201 Created\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(body, b"ok");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! The seam between the service and the campaign runner.
+//!
+//! The service crate owns jobs, HTTP, and scheduling; the *running* of
+//! a campaign belongs to `ldcf-bench`, which sits above this crate in
+//! the dependency graph (its `experiments` binary embeds the server).
+//! [`CampaignExec`] inverts that dependency: the binary injects the
+//! runner as a trait object, and the service never links the simulator.
+
+use ldcf_obs::ProgressSink;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Everything an executor needs to run (or resume) one job.
+pub struct ExecRequest<'a> {
+    /// Job id — the digest of the (possibly quickened) spec.
+    pub job_id: &'a str,
+    /// The submitted scenario spec, verbatim TOML text.
+    pub spec_text: &'a str,
+    /// Quick (truncated-matrix) run?
+    pub quick: bool,
+    /// Job output directory (checkpoints under `cells/`, artefacts at
+    /// the top level).
+    pub out: &'a Path,
+    /// Milliseconds the job waited queued before this run.
+    pub queue_wait_ms: u64,
+    /// Cooperative cancellation: when set, the runner must stop
+    /// starting new cells, flush the checkpoints of cells in flight,
+    /// and return [`ExecError::Cancelled`].
+    pub cancel: Arc<AtomicBool>,
+    /// Per-cell progress, surfaced by `GET /campaigns/{id}`.
+    pub progress: Arc<dyn ProgressSink>,
+}
+
+/// What a finished job reports back into the job table.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOutcome {
+    /// Cells in the matrix.
+    pub cells_total: usize,
+    /// Cells simulated by this run.
+    pub cells_run: usize,
+    /// Cells reloaded from checkpoints.
+    pub cells_resumed: usize,
+}
+
+/// Why a job did not finish.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The cancel token fired; checkpoints are flushed and the job can
+    /// resume later.
+    Cancelled,
+    /// The campaign failed (bad spec matrix, I/O error, ...).
+    Failed(String),
+}
+
+/// A campaign runner the service can drive. Implementations must be
+/// safe to call from several scheduler threads at once (the scheduler
+/// bounds the concurrency).
+pub trait CampaignExec: Send + Sync + 'static {
+    /// Run job `req` to completion, cancellation, or failure. On `Ok`
+    /// the job's `campaign.json` exists and validates.
+    fn run(&self, req: ExecRequest<'_>) -> Result<ExecOutcome, ExecError>;
+}
