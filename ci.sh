@@ -42,6 +42,20 @@ diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/resilience.md"
     && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
 echo "byte-identical (with profiling enabled)"
 
+step "event engine on the same pinned workloads (--engine event, gate byte-identity)"
+# The event-driven engine skips provably-dead slots; its artefacts must
+# still match every pinned byte the slot-stepped reference produced —
+# tables AND event traces — or the skip logic changed behaviour.
+./target/release/experiments fig9 --quick --engine event --out "$ART_DIR/event" \
+    --trace-events "$ART_DIR/event/traces" > /dev/null
+./target/release/experiments resilience --quick --engine event --out "$ART_DIR/event" \
+    --trace-events "$ART_DIR/event/traces" > /dev/null
+diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/event/fig9.md"
+diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/event/resilience.md"
+(cd "$ART_DIR/event/traces" \
+    && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
+echo "event engine byte-identical to the slot-stepped reference"
+
 step "allocation gate (hot path must not touch the heap)"
 cargo test -q -p ldcf-bench --test alloc_gate
 
@@ -82,6 +96,9 @@ step "perf campaign (--quick, --profile) + schema validation + noise-aware regre
 # Gate: each case's tolerated slowdown adapts to the measured rep noise
 # (MAD-based, clamped to 25–40%; policy in EXPERIMENTS.md; regenerate
 # the baseline with: experiments perf --quick --label baseline).
+# The gated set includes the rgg-100k scale case under both engines, so
+# a regression in either the slot dispatch loop or the event engine's
+# skip machinery fails here.
 # --profile additionally emits PROFILE_ci.json from a separate
 # instrumented pass — the timing reps themselves stay unprofiled.
 ./target/release/experiments perf --quick --profile --label ci --out "$ART_DIR" \

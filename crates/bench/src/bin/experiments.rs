@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <artefact> [--quick] [--out DIR] [--trace-events DIR]
 //!             [--trace-format jsonl|bin] [--metrics DIR] [--profile]
+//!             [--engine slot|event]
 //! experiments forensics --trace FILE [--out DIR]
 //! experiments trace info --trace FILE [--min-ratio R]
 //! experiments trace export --trace FILE [--out FILE]
@@ -46,6 +47,10 @@
 //! to every simulation and prints a per-phase cost summary to stderr —
 //! the artefact bytes themselves must not change (CI diffs them against
 //! the pinned baselines with profiling on).
+//! `--engine event` selects the event-driven engine path, which jumps
+//! over dead slots instead of stepping them; artefact bytes must not
+//! change either (CI re-runs the pinned baselines under it and diffs
+//! byte-for-byte — see EXPERIMENTS.md "Engines").
 //!
 //! `forensics` replays one `--trace-events` file (either format,
 //! sniffed from its leading bytes) through
@@ -138,8 +143,16 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
             "--baseline",
             "--profile",
             "--reps",
+            "--engine",
         ],
-        "campaign" => &["--spec", "--quick", "--out", "--digest", "--no-progress"],
+        "campaign" => &[
+            "--spec",
+            "--quick",
+            "--out",
+            "--digest",
+            "--no-progress",
+            "--engine",
+        ],
         "serve" => &[
             "--data",
             "--addr",
@@ -158,6 +171,7 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
             "--trace-format",
             "--metrics",
             "--profile",
+            "--engine",
         ],
     }
 }
@@ -180,6 +194,7 @@ fn parse_args() -> Cli {
     let mut trace_events = None;
     let mut trace_format: Option<runner::TraceFormat> = None;
     let mut metrics = None;
+    let mut engine: Option<ldcf_sim::EngineKind> = None;
     let mut min_ratio = None;
     let mut slot = None;
     let mut node = None;
@@ -230,6 +245,14 @@ fn parse_args() -> Cli {
                 ));
             }
             "--metrics" => metrics = Some(PathBuf::from(value("a directory"))),
+            "--engine" => {
+                let name = value("slot or event");
+                engine = Some(match name.to_ascii_lowercase().as_str() {
+                    "slot" => ldcf_sim::EngineKind::Slot,
+                    "event" => ldcf_sim::EngineKind::Event,
+                    _ => usage(&format!("--engine wants slot or event, got {name:?}")),
+                });
+            }
             "--min-ratio" => {
                 let r = value("a ratio");
                 min_ratio = Some(
@@ -306,6 +329,9 @@ fn parse_args() -> Cli {
     if let Some(dir) = &metrics {
         runner::enable_metrics(dir).unwrap_or_else(|e| usage(&format!("--metrics: {e}")));
     }
+    if let Some(kind) = engine {
+        runner::set_engine_kind(kind);
+    }
     Cli {
         artefact,
         action,
@@ -346,12 +372,12 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--trace-format jsonl|bin] [--metrics DIR] [--profile]\n\
+        "usage: experiments <artefact> [--quick] [--out DIR] [--trace-events DIR] [--trace-format jsonl|bin] [--metrics DIR] [--profile] [--engine slot|event]\n\
          \u{20}      experiments forensics --trace FILE [--out DIR]\n\
          \u{20}      experiments trace info --trace FILE [--min-ratio R]\n\
          \u{20}      experiments trace export --trace FILE [--out FILE]\n\
          \u{20}      experiments trace query --trace FILE --slot A..B [--node N] [--packet P]\n\
-         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE] [--profile] [--reps N]\n\
+         \u{20}      experiments perf [--quick] [--label NAME] [--out DIR] [--baseline FILE] [--profile] [--reps N] [--engine slot|event]\n\
          \u{20}      experiments perf --validate FILE | --validate-profile FILE\n\
          \u{20}      experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]\n\
          \u{20}      experiments campaign --spec FILE --digest\n\
@@ -541,7 +567,11 @@ fn run_perf(cli: &Cli) -> ! {
         .label
         .clone()
         .unwrap_or_else(|| if cli.quick { "quick" } else { "full" }.to_string());
-    let report = perf::perf(&cli.opts, cli.quick, &label, cli.reps);
+    let mut report = perf::perf(&cli.opts, cli.quick, &label, cli.reps);
+    // The scale cases (rgg-100k, and rgg-1m outside --quick) time the
+    // slot-stepped and event-driven engines side by side over the same
+    // deterministic workload.
+    report.cases.extend(perf::scale_perf(cli.quick, cli.reps));
     println!("\n## perf\n\n{}", report.to_markdown());
 
     let dir = cli.out.clone().unwrap_or_else(|| PathBuf::from("."));

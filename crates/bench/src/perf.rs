@@ -49,7 +49,11 @@ use crate::runner::{
     ProtocolKind,
 };
 use ldcf_analysis::{mad, median};
-use ldcf_sim::{FaultConfig, Phase, PhaseProfiler, SimConfig};
+use ldcf_net::{NeighborTable, NodeId, Topology};
+use ldcf_protocols::Opt;
+use ldcf_sim::{Engine, EngineKind, FaultConfig, Injection, Phase, PhaseProfiler, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Value;
 use std::time::Instant;
 
@@ -65,8 +69,10 @@ const FAULT_INTENSITY: f64 = 0.5;
 /// the median over repetitions.
 pub const SCHEMA_VERSION: u64 = 2;
 
-/// PROFILE file schema version.
-pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+/// PROFILE file schema version. v2 added the `idle_skip` phase (the
+/// event engine's batched settlement of jumped spans) to the per-case
+/// phase vector.
+pub const PROFILE_SCHEMA_VERSION: u64 = 2;
 
 /// Timing repetitions per case unless `--reps` overrides.
 pub const DEFAULT_REPS: usize = 5;
@@ -141,12 +147,31 @@ fn fnv1a64(s: &str) -> u64 {
     h
 }
 
-/// Workload fingerprint: every knob that changes what is measured.
-pub fn config_digest(opts: &ExpOptions) -> String {
-    let desc = format!(
-        "trace_seed={};m={};seeds={:?};coverage={};max_slots={};duty={};fault_intensity={}",
-        opts.trace_seed, opts.m, opts.seeds, opts.coverage, opts.max_slots, DUTY, FAULT_INTENSITY
+/// Workload fingerprint: every knob that changes what is measured —
+/// the fig9 knobs plus the scale workloads (the scale cases are
+/// compiled in and differ between `--quick` and full mode, so any
+/// change to them must break baseline comparability).
+pub fn config_digest(opts: &ExpOptions, quick: bool) -> String {
+    let mut desc = format!(
+        "trace_seed={};m={};seeds={:?};coverage={};max_slots={};duty={};fault_intensity={};\
+         scale_seed={};scale_period={};scale_radius={}",
+        opts.trace_seed,
+        opts.m,
+        opts.seeds,
+        opts.coverage,
+        opts.max_slots,
+        DUTY,
+        FAULT_INTENSITY,
+        SCALE_SEED,
+        SCALE_PERIOD,
+        SCALE_RADIUS,
     );
+    for c in scale_cases(quick) {
+        desc.push_str(&format!(
+            ";{}:n={},packets={},gap={},max_slots={}",
+            c.name, c.n, c.packets, c.gap, c.max_slots
+        ));
+    }
     format!("{:016x}", fnv1a64(&desc))
 }
 
@@ -232,9 +257,211 @@ pub fn perf(opts: &ExpOptions, quick: bool, label: &str, reps: usize) -> PerfRep
         label: label.to_string(),
         git_rev: git_rev(),
         quick,
-        config_digest: config_digest(opts),
+        config_digest: config_digest(opts, quick),
         cases,
     }
+}
+
+// ---------------------------------------------------------------------
+// Scale cases (rgg-100k / rgg-1m): slot vs event engine side by side
+// ---------------------------------------------------------------------
+
+/// Wake period of the scale cases — duty 1/100, the regime the
+/// event-driven engine exists for.
+pub const SCALE_PERIOD: u32 = 100;
+/// RGG connection radius at unit node density (side = √n), giving a
+/// mean degree of π·r² ≈ 15 — safely above the ~ln n connectivity
+/// threshold at both sizes (connectivity of the pinned seeds is
+/// asserted by the flood completing under the full-coverage target).
+pub const SCALE_RADIUS: f64 = 2.2;
+/// Seed of the scale topology / schedule / simulation draws.
+pub const SCALE_SEED: u64 = 9001;
+
+/// One scale workload: an RGG size plus its injection cadence. The
+/// protocol is OPT (the paper's collision-free oracle): its propose is
+/// driven by the awake set, so per-slot cost measures the *engine's*
+/// dispatch strategy rather than a baseline protocol's contention
+/// pathology, and its floods complete — after each one the forwarding
+/// work set drains and the inter-injection span is provably dead, the
+/// exact shape a mostly-quiescent monitoring deployment (rare reports,
+/// duty 1/100) presents.
+pub struct ScaleCase {
+    /// BENCH case stem (`<name>-slot` / `<name>-event`).
+    pub name: &'static str,
+    /// Node count of the unit-density RGG.
+    pub n: usize,
+    /// Packets injected at the source, `gap` slots apart.
+    pub packets: u32,
+    /// Slots between consecutive injections — the dead span the event
+    /// engine exists to skip.
+    pub gap: u64,
+    /// Slot cap: last injection + a generous flood allowance.
+    pub max_slots: u64,
+    /// Per-size repetition cap (the CLI's `--reps` is clamped to it):
+    /// these runs step six-to-eight-figure slot counts, and the median
+    /// is stable well before 5 reps.
+    pub reps_cap: usize,
+}
+
+/// The scale workloads. Quick keeps the 100k case with a CI-budget gap
+/// (the regression gate needs only a stable ratio, not a spectacular
+/// one); full sizes the 100k gap for a daily-report cadence — ~20M
+/// slots of quiescence against two ~5k-slot floods, the regime where
+/// the event engine's skip pays for itself many times over — and adds
+/// the 1M-node case.
+pub fn scale_cases(quick: bool) -> &'static [ScaleCase] {
+    if quick {
+        &[ScaleCase {
+            name: "rgg-100k",
+            n: 100_000,
+            packets: 2,
+            gap: 1_000_000,
+            max_slots: 1_100_000,
+            reps_cap: 2,
+        }]
+    } else {
+        &[
+            ScaleCase {
+                name: "rgg-100k",
+                n: 100_000,
+                packets: 2,
+                gap: 20_000_000,
+                max_slots: 20_100_000,
+                reps_cap: 2,
+            },
+            ScaleCase {
+                name: "rgg-1m",
+                n: 1_000_000,
+                packets: 2,
+                gap: 2_000_000,
+                max_slots: 2_200_000,
+                reps_cap: 1,
+            },
+        ]
+    }
+}
+
+/// The scale-case simulation config (the topology seed is folded in so
+/// engine-side draws never alias the topology draws). Coverage is 1.0:
+/// the flood must saturate every neighborhood so the work set drains
+/// and the injection gap becomes a provably-dead span.
+fn scale_config(case: &ScaleCase) -> SimConfig {
+    SimConfig {
+        period: SCALE_PERIOD,
+        active_per_period: 1,
+        n_packets: case.packets,
+        coverage: 1.0,
+        max_slots: case.max_slots,
+        seed: SCALE_SEED ^ 0x5ca1e,
+        mistiming_prob: 0.0,
+    }
+}
+
+/// One scale case: `reps` timed runs of the given engine kind over a
+/// pre-built topology/schedule pair. Only the run loop is timed —
+/// topology generation and engine construction (schedule tables, queue
+/// and scratch allocation) are identical across kinds and excluded, so
+/// the slot-vs-event ratio measures the dispatch strategy alone.
+fn run_scale_case(
+    name: &str,
+    topo: &Topology,
+    schedules: &NeighborTable,
+    plan: &[Injection],
+    cfg: &SimConfig,
+    kind: EngineKind,
+    reps: usize,
+) -> PerfCase {
+    let mut wall_ms_reps = Vec::with_capacity(reps);
+    let mut sps_reps = Vec::with_capacity(reps);
+    let mut slots = 0;
+    for _ in 0..reps {
+        let engine = Engine::with_injections(
+            topo.clone(),
+            cfg.clone(),
+            schedules.clone(),
+            plan,
+            Opt::new(),
+        )
+        .with_engine_kind(kind);
+        let t0 = Instant::now();
+        let (report, _energy) = engine.run();
+        let wall = t0.elapsed();
+        slots = report.slots_elapsed;
+        wall_ms_reps.push(wall.as_millis() as u64);
+        sps_reps.push(report.slots_elapsed as f64 / wall.as_secs_f64().max(1e-9));
+    }
+    let wall_med = median(&wall_ms_reps.iter().map(|&w| w as f64).collect::<Vec<_>>())
+        .expect("reps >= 1")
+        .round() as u64;
+    let engine_tag = match kind {
+        EngineKind::Slot => "slot",
+        EngineKind::Event => "event",
+    };
+    PerfCase {
+        name: format!("{name}-{engine_tag}"),
+        protocol: "OPT".to_string(),
+        faulted: false,
+        sims: 1,
+        slots,
+        reps: reps as u64,
+        wall_ms: wall_med,
+        wall_ms_reps,
+        slots_per_sec: median(&sps_reps).expect("reps >= 1"),
+        slots_per_sec_mad: mad(&sps_reps).expect("reps >= 1"),
+        slots_per_sec_reps: sps_reps,
+    }
+}
+
+/// The scale campaign: for each size, the same deterministic workload
+/// under the slot-stepped and the event-driven engine — `rgg-100k-slot`
+/// vs `rgg-100k-event` side by side in the BENCH file (and `rgg-1m-*`
+/// outside `--quick`). The two engines are byte-identity twins, so
+/// their `slots` totals are asserted equal here: a mismatch means the
+/// skip logic dispatched a run differently, which must never reach a
+/// BENCH artefact.
+pub fn scale_perf(quick: bool, reps: usize) -> Vec<PerfCase> {
+    assert!(reps >= 1, "perf needs at least one repetition");
+    let mut cases = Vec::new();
+    for case in scale_cases(quick) {
+        let reps = reps.min(case.reps_cap);
+        let side = (case.n as f64).sqrt();
+        let mut rng = StdRng::seed_from_u64(SCALE_SEED);
+        let topo = Topology::random_geometric(case.n, side, SCALE_RADIUS, 0.95, 0.6, &mut rng);
+        let schedules = NeighborTable::random_single_slot(case.n, SCALE_PERIOD, &mut rng);
+        let plan: Vec<Injection> = (0..case.packets as u64)
+            .map(|k| Injection {
+                origin: NodeId(0),
+                slot: k * case.gap,
+            })
+            .collect();
+        let cfg = scale_config(case);
+        let slot = run_scale_case(
+            case.name,
+            &topo,
+            &schedules,
+            &plan,
+            &cfg,
+            EngineKind::Slot,
+            reps,
+        );
+        let event = run_scale_case(
+            case.name,
+            &topo,
+            &schedules,
+            &plan,
+            &cfg,
+            EngineKind::Event,
+            reps,
+        );
+        assert_eq!(
+            slot.slots, event.slots,
+            "{}: slot and event engines disagree on slots elapsed",
+            case.name
+        );
+        cases.push(slot);
+        cases.push(event);
+    }
+    cases
 }
 
 impl PerfReport {
@@ -617,7 +844,7 @@ pub fn profile(opts: &ExpOptions, quick: bool, label: &str) -> ProfileReport {
         label: label.to_string(),
         git_rev: git_rev(),
         quick,
-        config_digest: config_digest(opts),
+        config_digest: config_digest(opts, quick),
         cases,
     }
 }
@@ -817,7 +1044,7 @@ mod tests {
             label: "test".into(),
             git_rev: "deadbee".into(),
             quick: true,
-            config_digest: config_digest(&ExpOptions::quick()),
+            config_digest: config_digest(&ExpOptions::quick(), true),
             cases: vec![tiny_case("fig9-dbao", 100_000.0, 500.0)],
         }
     }
@@ -859,11 +1086,17 @@ mod tests {
 
     #[test]
     fn digest_tracks_workload_knobs() {
-        let quick = config_digest(&ExpOptions::quick());
-        let full = config_digest(&ExpOptions::full());
+        let quick = config_digest(&ExpOptions::quick(), true);
+        let full = config_digest(&ExpOptions::full(), false);
         assert_ne!(quick, full);
-        assert_eq!(quick, config_digest(&ExpOptions::quick()));
+        assert_eq!(quick, config_digest(&ExpOptions::quick(), true));
         assert_eq!(quick.len(), 16);
+        // The quick and full scale workloads differ (gap sizing), so the
+        // digest must split even over identical fig9 options.
+        assert_ne!(
+            config_digest(&ExpOptions::quick(), true),
+            config_digest(&ExpOptions::quick(), false)
+        );
     }
 
     #[test]
@@ -939,6 +1172,50 @@ mod tests {
         assert!(report.case("fig9-dbao-faulted").is_some());
         let json = report.to_json_pretty();
         validate_bench_json(&json).expect("self-produced report validates");
+    }
+
+    #[test]
+    fn scale_case_times_both_engines_identically() {
+        // A miniature RGG stands in for the 100k one so the test stays
+        // debug-fast; the machinery (topology/schedule reuse across
+        // kinds, engine-loop-only timing, equal-slots assertion) is the
+        // same as the real scale campaign's.
+        let n = 400;
+        let side = (n as f64).sqrt();
+        let mut rng = StdRng::seed_from_u64(SCALE_SEED);
+        let topo = Topology::random_geometric(n, side, SCALE_RADIUS, 0.95, 0.6, &mut rng);
+        let schedules = NeighborTable::random_single_slot(n, 25, &mut rng);
+        let plan = [
+            Injection {
+                origin: NodeId(0),
+                slot: 0,
+            },
+            Injection {
+                origin: NodeId(0),
+                slot: 1_500,
+            },
+        ];
+        let cfg = SimConfig {
+            period: 25,
+            active_per_period: 1,
+            n_packets: 2,
+            coverage: 0.95,
+            max_slots: 4_000,
+            seed: SCALE_SEED ^ 0x5ca1e,
+            mistiming_prob: 0.0,
+        };
+        let slot = run_scale_case("mini", &topo, &schedules, &plan, &cfg, EngineKind::Slot, 2);
+        let event = run_scale_case("mini", &topo, &schedules, &plan, &cfg, EngineKind::Event, 2);
+        assert_eq!(slot.name, "mini-slot");
+        assert_eq!(event.name, "mini-event");
+        assert_eq!(slot.slots, event.slots, "byte-identity twins");
+        assert!(slot.slots > 1_500, "the second injection must be reached");
+        assert_eq!(slot.reps, 2);
+        // Scale cases slot into the BENCH schema unchanged.
+        let mut report = tiny_report();
+        report.cases.push(slot);
+        report.cases.push(event);
+        validate_bench_json(&report.to_json_pretty()).expect("scale cases validate");
     }
 
     #[test]

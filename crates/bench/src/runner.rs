@@ -23,7 +23,7 @@ use ldcf_net::{NeighborTable, Topology};
 use ldcf_protocols::{Dbao, DbaoConfig, NaiveFlood, OfConfig, OpportunisticFlooding, Opt};
 use ldcf_sim::energy::EnergyLedger;
 use ldcf_sim::{
-    BinSink, Engine, FaultConfig, FaultPlan, FloodingProtocol, Injection, JsonlSink,
+    BinSink, Engine, EngineKind, FaultConfig, FaultPlan, FloodingProtocol, Injection, JsonlSink,
     MetricsObserver, PhaseProfiler, SimConfig, SimEvent, SimObserver, SimReport,
 };
 use std::collections::BTreeSet;
@@ -408,6 +408,33 @@ impl SimObserver for TraceObserver {
 }
 
 // ---------------------------------------------------------------------
+// Engine-kind configuration
+// ---------------------------------------------------------------------
+
+static EVENT_ENGINE: AtomicBool = AtomicBool::new(false);
+
+/// Select the engine path (`--engine {slot,event}`) for every
+/// subsequent flood run through this module. The event engine is
+/// contractually byte-identical to the slot-stepped path on every
+/// artefact (CI re-runs the pinned baselines under `--engine event` and
+/// diffs byte-for-byte), so flipping this changes wall-clock only.
+/// Unlike the once-only tracing switches this is re-settable: perf
+/// cases time both paths inside one process.
+pub fn set_engine_kind(kind: EngineKind) {
+    EVENT_ENGINE.store(kind == EngineKind::Event, Ordering::Relaxed);
+}
+
+/// The engine path selected via [`set_engine_kind`] (slot-stepped by
+/// default).
+pub fn engine_kind() -> EngineKind {
+    if EVENT_ENGINE.load(Ordering::Relaxed) {
+        EngineKind::Event
+    } else {
+        EngineKind::Slot
+    }
+}
+
+// ---------------------------------------------------------------------
 // Self-profiling configuration
 // ---------------------------------------------------------------------
 
@@ -460,6 +487,7 @@ fn profile_absorb(p: &PhaseProfiler) {
 fn run_engine<P: FloodingProtocol, O: SimObserver, F: FaultPlan>(
     engine: Engine<P, O, F>,
 ) -> (SimReport, EnergyLedger) {
+    let engine = engine.with_engine_kind(engine_kind());
     if profiling_enabled() {
         let mut prof = PhaseProfiler::new();
         let (report, energy, _) = engine.with_profiler(&mut prof).run_traced();
@@ -586,7 +614,9 @@ pub fn run_flood_profiled(
 ) -> (SimReport, EnergyLedger, PhaseProfiler, u64) {
     dispatch_protocol!(kind, |p| {
         let mut prof = PhaseProfiler::new();
-        let engine = Engine::new(topo.clone(), cfg.clone(), p).with_profiler(&mut prof);
+        let engine = Engine::new(topo.clone(), cfg.clone(), p)
+            .with_engine_kind(engine_kind())
+            .with_profiler(&mut prof);
         let t0 = std::time::Instant::now();
         let (report, energy, _) = engine.run_traced();
         let wall_ns = t0.elapsed().as_nanos() as u64;
@@ -605,6 +635,7 @@ pub fn run_flood_faulted_profiled(
     dispatch_protocol!(kind, |p| {
         let mut prof = PhaseProfiler::new();
         let engine = Engine::new(topo.clone(), cfg.clone(), p)
+            .with_engine_kind(engine_kind())
             .with_faults(faults.build())
             .with_profiler(&mut prof);
         let t0 = std::time::Instant::now();
@@ -738,6 +769,34 @@ mod tests {
         assert!(r1.all_covered());
         assert_eq!(r1.slots_elapsed, r2.slots_elapsed, "same inputs, same run");
         assert_eq!(r1.transmissions, r2.transmissions);
+    }
+
+    #[test]
+    fn event_engine_switch_changes_no_outcome() {
+        let topo = Topology::grid(4, 4, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 20,
+            active_per_period: 1,
+            n_packets: 2,
+            coverage: 1.0,
+            max_slots: 200_000,
+            seed: 5,
+            mistiming_prob: 0.0,
+        };
+        let (slot, slot_energy) = run_flood(&topo, &cfg, ProtocolKind::Dbao);
+        set_engine_kind(EngineKind::Event);
+        let (event, event_energy) = run_flood(&topo, &cfg, ProtocolKind::Dbao);
+        set_engine_kind(EngineKind::Slot);
+        // Byte-identical artefacts: the switch changes wall-clock only.
+        // (Safe against parallel tests precisely because of this — any
+        // test racing the flip sees identical outcomes either way.)
+        assert!(slot.all_covered());
+        assert_eq!(slot.slots_elapsed, event.slots_elapsed);
+        assert_eq!(slot.transmissions, event.transmissions);
+        assert_eq!(slot.mean_flooding_delay(), event.mean_flooding_delay());
+        assert_eq!(slot_energy.active_slots, event_energy.active_slots);
+        assert_eq!(slot_energy.tx_slots, event_energy.tx_slots);
+        assert_eq!(slot_energy.sleep_slots, event_energy.sleep_slots);
     }
 
     #[test]

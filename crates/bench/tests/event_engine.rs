@@ -1,0 +1,182 @@
+//! The event-driven engine's correctness contract, end to end: over
+//! randomized workloads (topology shape, duty, faults, staggered
+//! injections, mistiming) the event engine must produce artefacts
+//! byte-identical to the slot-stepped reference — same `SimReport`
+//! JSON, same `EnergyLedger` JSON, same event stream — and on
+//! heterogeneous-period schedules (no wake calendar) it must degrade to
+//! plain slot stepping instead of erroring.
+
+use ldcf_net::{LinkQuality, NeighborTable, NodeId, Topology};
+use ldcf_protocols::{Dbao, NaiveFlood, OpportunisticFlooding};
+use ldcf_scenarios::{BuiltScenario, ScenarioSpec};
+use ldcf_sim::energy::EnergyLedger;
+use ldcf_sim::{
+    Engine, EngineKind, FaultConfig, FloodingProtocol, Injection, SimConfig, SimReport, VecObserver,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run the same workload under both engine kinds and require artefact
+/// byte-identity. `fault_intensity` switches the composed fault stack
+/// (loss bursts, degradation, drift, churn) on at the given intensity.
+fn assert_engines_agree<P: FloodingProtocol>(
+    mk: impl Fn() -> P,
+    topo: &Topology,
+    cfg: &SimConfig,
+    schedules: &NeighborTable,
+    plan: &[Injection],
+    fault_intensity: Option<f64>,
+) {
+    let run = |kind: EngineKind| -> (SimReport, EnergyLedger, VecObserver) {
+        let engine =
+            Engine::with_injections(topo.clone(), cfg.clone(), schedules.clone(), plan, mk())
+                .with_observer(VecObserver::default())
+                .with_engine_kind(kind);
+        match fault_intensity {
+            Some(i) => engine
+                .with_faults(FaultConfig::at_intensity(cfg.seed, i).build())
+                .run_traced(),
+            None => engine.run_traced(),
+        }
+    };
+    let (r_slot, e_slot, o_slot) = run(EngineKind::Slot);
+    let (r_event, e_event, o_event) = run(EngineKind::Event);
+    assert_eq!(
+        serde_json::to_string(&r_slot).unwrap(),
+        serde_json::to_string(&r_event).unwrap(),
+        "SimReport must be byte-identical across engine kinds"
+    );
+    assert_eq!(
+        serde_json::to_string(&e_slot).unwrap(),
+        serde_json::to_string(&e_event).unwrap(),
+        "EnergyLedger must be byte-identical across engine kinds"
+    );
+    assert_eq!(
+        o_slot.events.len(),
+        o_event.events.len(),
+        "event streams must have identical length"
+    );
+    assert_eq!(
+        o_slot.events, o_event.events,
+        "event streams must be identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential contract over a randomized workload space. Each
+    /// case draws a topology shape, a duty cycle, a protocol, an
+    /// injection cadence, and optionally the full fault stack; the two
+    /// engines must agree byte for byte.
+    #[test]
+    fn event_engine_is_byte_identical_to_slot_engine(
+        rows in 2usize..5,
+        cols in 2usize..6,
+        period in 4u32..48,
+        seed in 0u64..1_000,
+        m in 1u32..4,
+        gap_i in 0usize..4,
+        mist_i in 0usize..2,
+        proto in 0usize..3,
+        fault_i in 0usize..3,
+    ) {
+        let gap = [0u64, 7, 300, 1_500][gap_i];
+        let mistiming = [0.0f64, 0.05][mist_i];
+        let fault_intensity = [None, Some(0.4), Some(1.0)][fault_i];
+        let topo = Topology::grid(rows, cols, LinkQuality::new(0.85));
+        let cfg = SimConfig {
+            period,
+            active_per_period: 1,
+            n_packets: m,
+            coverage: 1.0,
+            max_slots: 60_000,
+            seed,
+            mistiming_prob: mistiming,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        let schedules = NeighborTable::random_single_slot(topo.n_nodes(), period, &mut rng);
+        let plan: Vec<Injection> = (0..m as u64)
+            .map(|k| Injection { origin: NodeId(0), slot: k * gap })
+            .collect();
+        match proto {
+            0 => assert_engines_agree(NaiveFlood::new, &topo, &cfg, &schedules, &plan, fault_intensity),
+            1 => assert_engines_agree(OpportunisticFlooding::new, &topo, &cfg, &schedules, &plan, fault_intensity),
+            _ => assert_engines_agree(Dbao::new, &topo, &cfg, &schedules, &plan, fault_intensity),
+        }
+    }
+}
+
+/// Heterogeneous-period schedules have no wake calendar
+/// (`active_words` is `None` for every slot), so the event engine
+/// cannot compute a skip target. The contract is graceful degradation:
+/// it silently runs slot-stepped and still matches the reference byte
+/// for byte. The schedules come from a seeded ldcf-scenarios spec with
+/// the `heterogeneous` schedule model, as a campaign would draw them.
+#[test]
+fn event_engine_degrades_to_slot_stepping_on_heterogeneous_schedules() {
+    let spec = ScenarioSpec::from_toml_str(
+        r#"
+        [scenario]
+        name = "hetero-fallback"
+        description = "mixed periods disable the wake calendar"
+
+        [topology]
+        kind = "grid"
+        rows = 4
+        cols = 4
+        prr = 0.9
+
+        [schedule]
+        model = "heterogeneous"
+        periods = [8, 16, 32]
+
+        [workload]
+        kind = "single-flood"
+        packets = 2
+        coverage = 1.0
+        max_slots = 60000
+
+        [matrix]
+        protocols = ["naive"]
+        duties = [0.1]
+        seeds = [3]
+        "#,
+    )
+    .expect("spec parses");
+    let built = BuiltScenario::build(spec).expect("scenario builds");
+    let schedules = built.schedules(0.1, 3);
+    assert!(
+        !schedules.has_calendar(),
+        "mixed periods must disable the calendar"
+    );
+    assert!(schedules.active_words(0).is_none());
+    let cfg = SimConfig {
+        period: 16,
+        active_per_period: 1,
+        n_packets: 2,
+        coverage: 1.0,
+        max_slots: 60_000,
+        seed: 3,
+        mistiming_prob: 0.02,
+    };
+    assert_engines_agree(
+        NaiveFlood::new,
+        &built.topology,
+        &cfg,
+        &schedules,
+        &built.injections,
+        None,
+    );
+    // Under the full fault stack too — churn recoveries re-randomize
+    // single schedules, which must not conjure a calendar into being.
+    assert_engines_agree(
+        NaiveFlood::new,
+        &built.topology,
+        &cfg,
+        &schedules,
+        &built.injections,
+        Some(0.6),
+    );
+}

@@ -136,6 +136,14 @@ impl NodeChurn {
     pub fn retry_backoff(&self) -> Option<u64> {
         (self.cfg.retry_backoff > 0).then_some(self.cfg.retry_backoff)
     }
+
+    /// The slot of the earliest pending transition (`None` before
+    /// [`NodeChurn::on_start`] or once every node is permanently
+    /// settled). The event-driven engine may skip every slot strictly
+    /// before it.
+    pub fn next_action_at(&self) -> Option<u64> {
+        self.pending.peek().map(|&Reverse((at, _, _))| at)
+    }
 }
 
 #[cfg(test)]

@@ -199,6 +199,16 @@ impl FaultPlan for FaultInjector {
     fn source_retry_backoff(&self) -> Option<u64> {
         self.churn.as_ref().and_then(|c| c.retry_backoff())
     }
+
+    /// Burst, degradation and drift are slot-indexed (fast-forwarded on
+    /// demand), so only churn constrains how far the event engine may
+    /// skip: up to — but not past — the next pending transition.
+    fn churn_horizon(&self) -> u64 {
+        match &self.churn {
+            Some(c) => c.next_action_at().unwrap_or(u64::MAX),
+            None => u64::MAX,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +279,22 @@ mod tests {
         assert!(cfg.churn.is_some());
         assert!(cfg.burst.is_none() && cfg.degradation.is_none() && cfg.drift.is_none());
         assert!(cfg.build().source_retry_backoff().is_some());
+    }
+
+    #[test]
+    fn churn_horizon_tracks_the_next_pending_transition() {
+        let mut inj = FaultConfig::none(7).build();
+        inj.on_start(10, 20, 1);
+        assert_eq!(inj.churn_horizon(), u64::MAX, "no churn model: skip freely");
+
+        let mut inj = FaultConfig::at_intensity(1, 1.0).churn_only().build();
+        inj.on_start(10, 20, 1);
+        let h = inj.churn_horizon();
+        assert!(h > 0 && h < u64::MAX, "pending transitions bound the skip");
+        let mut out = Vec::new();
+        inj.churn_actions(h, &mut out);
+        assert!(!out.is_empty(), "the horizon slot itself carries an action");
+        assert!(inj.churn_horizon() > h, "popping advances the horizon");
     }
 
     #[test]

@@ -68,6 +68,19 @@ pub trait FaultPlan {
     fn source_retry_backoff(&self) -> Option<u64> {
         None
     }
+
+    /// The earliest future slot at which [`churn_actions`] may yield an
+    /// action, given the plan's current pending transitions. The
+    /// event-driven engine must dispatch (not skip over) that slot, or
+    /// a crash/recovery would land later than the slot-stepped engine
+    /// applies it. `u64::MAX` promises the plan will never churn;
+    /// the conservative default `0` means "may act at any slot" and
+    /// disables slot skipping entirely.
+    ///
+    /// [`churn_actions`]: FaultPlan::churn_actions
+    fn churn_horizon(&self) -> u64 {
+        0
+    }
 }
 
 /// The default do-nothing fault plan; `ENABLED = false` compiles every
@@ -105,5 +118,6 @@ mod tests {
         plan.churn_actions(42, &mut out);
         assert!(out.is_empty());
         assert_eq!(plan.source_retry_backoff(), None);
+        assert_eq!(plan.churn_horizon(), 0, "default horizon forbids skipping");
     }
 }

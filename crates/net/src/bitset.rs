@@ -59,6 +59,22 @@ pub fn intersects(a: &[u64], b: &[u64]) -> bool {
     a.iter().zip(b).any(|(x, y)| x & y != 0)
 }
 
+/// Word-occupancy summary of `words` into `out`: bit `w` of `out` is
+/// set iff `words[w] != 0`. `out` must hold `words_for(words.len())`
+/// words. Summaries let a scan over many candidate rows reject
+/// non-intersecting ones 64 words at a time before touching the rows
+/// themselves (the wake calendar's next-rendezvous query).
+#[inline]
+pub fn summarize_into(words: &[u64], out: &mut [u64]) {
+    debug_assert!(out.len() >= words_for(words.len()));
+    out.fill(0);
+    for (w, &word) in words.iter().enumerate() {
+        if word != 0 {
+            out[w / 64] |= 1u64 << (w % 64);
+        }
+    }
+}
+
 /// Iterate the indices of set bits in ascending order.
 #[inline]
 pub fn iter_ones(words: &[u64]) -> OnesIter<'_> {
@@ -189,5 +205,21 @@ mod tests {
         assert!(!intersects(&a, &[0, 0]));
         // Length-mismatched `intersects` treats the tail as zeros.
         assert_eq!(intersects(&a, &b[..1]), (a[0] & b[0]) != 0);
+    }
+
+    #[test]
+    fn summary_marks_exactly_the_nonzero_words() {
+        let mut w = vec![0u64; 130];
+        set_bit(&mut w, 0); // word 0
+        set_bit(&mut w, 64 * 65 + 3); // word 65
+        set_bit(&mut w, 64 * 129); // word 129
+        let mut s = vec![u64::MAX; words_for(w.len())];
+        summarize_into(&w, &mut s);
+        let got: Vec<usize> = iter_ones(&s).collect();
+        assert_eq!(got, vec![0, 65, 129]);
+        clear_bit(&mut w, 64 * 65 + 3);
+        summarize_into(&w, &mut s);
+        let got: Vec<usize> = iter_ones(&s).collect();
+        assert_eq!(got, vec![0, 129]);
     }
 }

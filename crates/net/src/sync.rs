@@ -24,9 +24,19 @@ struct WakeCalendar {
     period: u32,
     /// Words per offset row of `bits`.
     words_per_offset: usize,
+    /// Words per offset row of `summary`
+    /// (`words_for(words_per_offset)`).
+    summary_words: usize,
     /// Offset-major bitset: node `i` active at offset `o` ⇔ bit `i` of
     /// row `o`.
     bits: Vec<u64>,
+    /// Offset-major word-occupancy summary of `bits`: bit `w` of the
+    /// offset-`o` summary row ⇔ word `w` of the offset-`o` active row
+    /// is non-zero. The next-rendezvous scan rejects a whole offset
+    /// with `summary_words` probes (64 active-row words per summary
+    /// bit) before ever touching the row itself, which is what keeps
+    /// the skip query O(period words) instead of O(period × N).
+    summary: Vec<u64>,
     /// Sorted active-node list per offset.
     lists: Vec<Vec<NodeId>>,
 }
@@ -39,10 +49,13 @@ impl WakeCalendar {
             return None;
         }
         let words_per_offset = bitset::words_for(schedules.len());
+        let summary_words = bitset::words_for(words_per_offset);
         let mut cal = Self {
             period,
             words_per_offset,
+            summary_words,
             bits: vec![0; period as usize * words_per_offset],
+            summary: vec![0; period as usize * summary_words],
             lists: vec![Vec::new(); period as usize],
         };
         for (i, s) in schedules.iter().enumerate() {
@@ -63,6 +76,11 @@ impl WakeCalendar {
     }
 
     #[inline]
+    fn summary_row(&self, offset: usize) -> &[u64] {
+        &self.summary[offset * self.summary_words..(offset + 1) * self.summary_words]
+    }
+
+    #[inline]
     fn is_active(&self, node: NodeId, t: u64) -> bool {
         bitset::test_bit(self.words(self.offset_of(t)), node.index())
     }
@@ -73,6 +91,9 @@ impl WakeCalendar {
             let o = o as usize;
             let row = &mut self.bits[o * self.words_per_offset..(o + 1) * self.words_per_offset];
             if bitset::set_bit(row, node.index()) {
+                // The node's word is now non-zero; mark it occupied.
+                let srow = &mut self.summary[o * self.summary_words..(o + 1) * self.summary_words];
+                bitset::set_bit(srow, node.index() / 64);
                 let list = &mut self.lists[o];
                 let at = list.partition_point(|&v| v < node);
                 list.insert(at, node);
@@ -86,10 +107,28 @@ impl WakeCalendar {
             let o = o as usize;
             let row = &mut self.bits[o * self.words_per_offset..(o + 1) * self.words_per_offset];
             bitset::clear_bit(row, node.index());
+            if row[node.index() / 64] == 0 {
+                let srow = &mut self.summary[o * self.summary_words..(o + 1) * self.summary_words];
+                bitset::clear_bit(srow, node.index() / 64);
+            }
             if let Ok(at) = self.lists[o].binary_search(&node) {
                 self.lists[o].remove(at);
             }
         }
+    }
+
+    /// Whether any node of `targets` is active at `offset`.
+    /// `targets_summary` is the word-occupancy summary of `targets`;
+    /// only words whose summaries collide are probed.
+    #[inline]
+    fn rendezvous_at(&self, offset: usize, targets: &[u64], targets_summary: &[u64]) -> bool {
+        let row = self.words(offset);
+        for w in bitset::iter_ones_and(self.summary_row(offset), targets_summary) {
+            if row[w] & targets[w] != 0 {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -252,6 +291,57 @@ impl NeighborTable {
             .map(|cal| cal.words(cal.offset_of(t)))
     }
 
+    /// Whether the table carries a wake calendar (homogeneous periods).
+    /// Without one there is no packed active row per slot and no
+    /// [`NeighborTable::next_rendezvous`] query; callers wanting to
+    /// skip dead slots must fall back to stepping.
+    #[inline]
+    pub fn has_calendar(&self) -> bool {
+        self.calendar.is_some()
+    }
+
+    /// The calendar's common schedule period (`None` without a
+    /// calendar). The wake pattern — and so every per-slot active
+    /// count — repeats with exactly this period.
+    #[inline]
+    pub fn calendar_period(&self) -> Option<u32> {
+        self.calendar.as_ref().map(|cal| cal.period)
+    }
+
+    /// Number of `u64` words in each summary row the calendar keeps per
+    /// offset (`words_for(words_for(n_nodes))`), i.e. the length
+    /// `targets_summary` must have in [`NeighborTable::next_rendezvous`].
+    /// `None` without a calendar.
+    #[inline]
+    pub fn summary_words(&self) -> Option<usize> {
+        self.calendar.as_ref().map(|cal| cal.summary_words)
+    }
+
+    /// Smallest slot `t >= from` at which any node of `targets` (a
+    /// packed bitset over node ids, `words_for(n_nodes)` words) is
+    /// active, or `None` when no offset of the whole period wakes one
+    /// (or when the table has no calendar — gate on
+    /// [`NeighborTable::has_calendar`] to tell the cases apart).
+    ///
+    /// `targets_summary` must be the word-occupancy summary of
+    /// `targets` — bit `w` set ⇔ `targets[w] != 0`, as produced by
+    /// [`bitset::summarize_into`] — sized per
+    /// [`NeighborTable::summary_words`]. The scan visits at most
+    /// `period` offsets, each rejected via its occupancy summary
+    /// (1/64th of the row words) with full words probed only on
+    /// summary collisions, so a miss costs O(period × n/4096) words
+    /// rather than O(period × n/64).
+    pub fn next_rendezvous(
+        &self,
+        from: u64,
+        targets: &[u64],
+        targets_summary: &[u64],
+    ) -> Option<u64> {
+        let cal = self.calendar.as_ref()?;
+        (from..from + cal.period as u64)
+            .find(|&t| cal.rendezvous_at(cal.offset_of(t), targets, targets_summary))
+    }
+
     /// Mean duty ratio across nodes.
     pub fn mean_duty_ratio(&self) -> f64 {
         self.schedules.iter().map(|s| s.duty_ratio()).sum::<f64>() / self.schedules.len() as f64
@@ -385,6 +475,80 @@ mod tests {
         ]);
         assert!(t.active_words(0).is_none(), "mixed periods ⇒ no calendar");
         assert_queries_match_scan(&t, 20);
+    }
+
+    /// Brute-force reference for `next_rendezvous`: scan slot by slot.
+    fn brute_next_rendezvous(t: &NeighborTable, from: u64, targets: &[NodeId]) -> Option<u64> {
+        let period = t.schedule(NodeId(0)).period() as u64;
+        (from..from + period).find(|&slot| targets.iter().any(|&v| t.is_active(v, slot)))
+    }
+
+    /// Query `next_rendezvous` for an explicit target set, exercising
+    /// the packed-row + summary path.
+    fn query_rendezvous(t: &NeighborTable, from: u64, targets: &[NodeId]) -> Option<u64> {
+        let mut words = vec![0u64; bitset::words_for(t.n_nodes())];
+        for &v in targets {
+            bitset::set_bit(&mut words, v.index());
+        }
+        let mut summary = vec![0u64; t.summary_words().expect("calendar exists")];
+        bitset::summarize_into(&words, &mut summary);
+        t.next_rendezvous(from, &words, &summary)
+    }
+
+    #[test]
+    fn next_rendezvous_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(77);
+        // 200 nodes ⇒ several row words, so the summary actually prunes.
+        let t = NeighborTable::random_single_slot(200, 25, &mut rng);
+        let mut pick = StdRng::seed_from_u64(5);
+        for from in 0..60u64 {
+            use rand::Rng;
+            let k = pick.random_range(0..5usize);
+            let targets: Vec<NodeId> = (0..k)
+                .map(|_| NodeId(pick.random_range(0..200u32)))
+                .collect();
+            assert_eq!(
+                query_rendezvous(&t, from, &targets),
+                brute_next_rendezvous(&t, from, &targets),
+                "from={from} targets={targets:?}"
+            );
+        }
+        // An empty target set never has a rendezvous.
+        assert_eq!(query_rendezvous(&t, 3, &[]), None);
+    }
+
+    #[test]
+    fn next_rendezvous_tracks_schedule_churn() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut t = NeighborTable::random_single_slot(130, 16, &mut rng);
+        let targets = [NodeId(65), NodeId(129)];
+        assert_eq!(
+            query_rendezvous(&t, 0, &targets),
+            brute_next_rendezvous(&t, 0, &targets)
+        );
+        // Move both targets; the summary must follow the rows exactly,
+        // including clearing bits when a word empties.
+        t.set_schedule(NodeId(65), WorkingSchedule::new(16, vec![13]));
+        t.set_schedule(NodeId(129), WorkingSchedule::new(16, vec![13]));
+        for from in 0..40u64 {
+            assert_eq!(
+                query_rendezvous(&t, from, &targets),
+                brute_next_rendezvous(&t, from, &targets),
+                "after churn, from={from}"
+            );
+        }
+        assert_eq!(query_rendezvous(&t, 0, &targets), Some(13));
+    }
+
+    #[test]
+    fn next_rendezvous_is_none_without_calendar() {
+        let t = NeighborTable::new(vec![
+            WorkingSchedule::new(5, vec![0]),
+            WorkingSchedule::new(3, vec![1]),
+        ]);
+        assert!(!t.has_calendar());
+        assert_eq!(t.summary_words(), None);
+        assert_eq!(t.next_rendezvous(0, &[u64::MAX], &[u64::MAX]), None);
     }
 
     #[test]

@@ -26,6 +26,12 @@ use std::collections::BinaryHeap;
 /// instead of a binary search. The rows are maintained by every
 /// mutation path (all of which funnel through [`Topology::set_quality`])
 /// and rebuilt on deserialization; they are never serialized.
+///
+/// The mirror is dense — `n² / 8` bytes — so it exists only up to
+/// [`Topology::DENSE_MIRROR_MAX`] nodes (16 GiB at 1M nodes would dwarf
+/// the graph itself). Above that, [`Topology::neighbor_words`] returns
+/// `None` and every caller falls back to the sorted adjacency lists;
+/// [`Topology::are_neighbors`] becomes a binary search.
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// `adj[i]` = outgoing links of node `i`, sorted by target id.
@@ -33,23 +39,44 @@ pub struct Topology {
     /// Optional node positions (used by geometric generators / traces).
     positions: Option<Vec<Position>>,
     /// `words[i]` = bitset over target ids of node `i`'s outgoing links
-    /// (`words_per_row` words per node, flattened).
+    /// (`words_per_row` words per node, flattened). Empty when the
+    /// dense mirror is disabled (large `n`).
     words: Vec<u64>,
     /// Row stride of `words`.
     words_per_row: usize,
 }
 
 impl Topology {
+    /// Largest node count for which the dense adjacency mirror is kept
+    /// (32 MiB of rows at this size; the mirror grows as `n²/8` bytes,
+    /// which at 100k–1M nodes would cost gigabytes to terabytes for a
+    /// graph whose lists fit in megabytes).
+    pub const DENSE_MIRROR_MAX: usize = 16_384;
+
     /// An edgeless topology over `n_nodes` nodes (source + sensors).
     pub fn empty(n_nodes: usize) -> Self {
         assert!(n_nodes >= 1, "topology needs at least the source node");
         let words_per_row = bitset::words_for(n_nodes);
+        let words = if n_nodes <= Self::DENSE_MIRROR_MAX {
+            vec![0; n_nodes * words_per_row]
+        } else {
+            Vec::new()
+        };
         Self {
             adj: vec![Vec::new(); n_nodes],
             positions: None,
-            words: vec![0; n_nodes * words_per_row],
+            words,
             words_per_row,
         }
+    }
+
+    /// Drop the dense adjacency mirror, forcing every word-row query
+    /// down the sparse fallback path. Differential tests use this to
+    /// prove the fallbacks byte-identical to the mirrored paths on
+    /// small graphs; at scale the mirror is absent to begin with.
+    pub fn without_dense_mirror(mut self) -> Self {
+        self.words = Vec::new();
+        self
     }
 
     /// Build from a list of directed links; missing reverse directions are
@@ -94,7 +121,9 @@ impl Topology {
             Ok(i) => list[i].1 = q,
             Err(i) => list.insert(i, (to, q)),
         }
-        bitset::set_bit(self.neighbor_words_mut(from), to.index());
+        if !self.words.is_empty() {
+            bitset::set_bit(self.neighbor_words_mut(from), to.index());
+        }
     }
 
     /// Add an edge in both directions with the given per-direction
@@ -124,7 +153,12 @@ impl Topology {
     /// Whether `a` and `b` are neighbors (audible to each other).
     #[inline]
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        bitset::test_bit(self.neighbor_words(a), b.index())
+        match self.neighbor_words(a) {
+            Some(row) => bitset::test_bit(row, b.index()),
+            None => self.adj[a.index()]
+                .binary_search_by_key(&b, |&(n, _)| n)
+                .is_ok(),
+        }
     }
 
     /// Outgoing neighbors of `node` with link qualities, sorted by id.
@@ -135,11 +169,17 @@ impl Topology {
     /// Packed bitset row over the target ids of `node`'s outgoing links
     /// ([`crate::bitset::words_for`]`(n_nodes)` words). Hot paths
     /// intersect this with awake/possession sets instead of scanning
-    /// [`Topology::neighbors`].
+    /// [`Topology::neighbors`]. `None` when the dense mirror is absent
+    /// (more than [`Topology::DENSE_MIRROR_MAX`] nodes, or explicitly
+    /// dropped) — callers must then walk the sorted adjacency list,
+    /// which visits the same ids in the same ascending order.
     #[inline]
-    pub fn neighbor_words(&self, node: NodeId) -> &[u64] {
+    pub fn neighbor_words(&self, node: NodeId) -> Option<&[u64]> {
+        if self.words.is_empty() {
+            return None;
+        }
         let start = node.index() * self.words_per_row;
-        &self.words[start..start + self.words_per_row]
+        Some(&self.words[start..start + self.words_per_row])
     }
 
     /// Words per [`Topology::neighbor_words`] row.
@@ -348,6 +388,15 @@ impl Topology {
     /// Random geometric graph: `n_nodes` uniform positions in a
     /// `side × side` square, edges within `radius`, quality decaying with
     /// distance from `q_near` (touching) to `q_far` (at radius).
+    ///
+    /// Candidate pairs come from a cell grid of side `radius` (each node
+    /// only checked against its 3×3 cell neighborhood), so generation is
+    /// O(n + edges) instead of O(n²) — the difference between minutes
+    /// and never at 1M nodes. The RNG draw sequence is *identical* to
+    /// the old all-pairs sweep: positions first, then exactly one jitter
+    /// draw per in-radius pair in ascending `(a, b)` lexicographic
+    /// order, so every seeded topology (and every scenario digest pinned
+    /// in CI) reproduces byte-for-byte.
     pub fn random_geometric<R: rand::Rng + ?Sized>(
         n_nodes: usize,
         side: f64,
@@ -357,13 +406,43 @@ impl Topology {
         rng: &mut R,
     ) -> Self {
         assert!(q_near >= q_far && q_far > 0.0 && q_near <= 1.0);
+        assert!(radius > 0.0 && side > 0.0);
         let positions: Vec<Position> = (0..n_nodes)
             .map(|_| Position::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
             .collect();
+        // Bucket nodes into cells of side `radius`: any in-radius pair
+        // lives in the same or an adjacent cell.
+        let ncells = (side / radius).ceil().max(1.0) as usize;
+        let cell_of = |p: &Position| {
+            let cx = ((p.x / radius) as usize).min(ncells - 1);
+            let cy = ((p.y / radius) as usize).min(ncells - 1);
+            cy * ncells + cx
+        };
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); ncells * ncells];
+        for (i, p) in positions.iter().enumerate() {
+            cells[cell_of(p)].push(i as u32);
+        }
         let mut topo = Self::empty(n_nodes);
+        let mut cands: Vec<u32> = Vec::new();
         for a in 0..n_nodes {
-            for b in (a + 1)..n_nodes {
-                let d = positions[a].distance(&positions[b]);
+            let pa = &positions[a];
+            let cx = ((pa.x / radius) as usize).min(ncells - 1);
+            let cy = ((pa.y / radius) as usize).min(ncells - 1);
+            cands.clear();
+            for dy in cy.saturating_sub(1)..(cy + 2).min(ncells) {
+                for dx in cx.saturating_sub(1)..(cx + 2).min(ncells) {
+                    for &b in &cells[dy * ncells + dx] {
+                        if b as usize > a {
+                            cands.push(b);
+                        }
+                    }
+                }
+            }
+            // Ascending b restores the all-pairs sweep's draw order.
+            cands.sort_unstable();
+            for &b in &cands {
+                let b = b as usize;
+                let d = pa.distance(&positions[b]);
                 if d <= radius {
                     let frac = d / radius;
                     let q = q_near + (q_far - q_near) * frac;
@@ -405,15 +484,22 @@ impl Deserialize for Topology {
         if n == 0 {
             return Err(serde::Error::custom("Topology: empty adjacency"));
         }
-        let words_per_row = bitset::words_for(n);
-        let mut words = vec![0u64; n * words_per_row];
-        for (i, list) in adj.iter().enumerate() {
-            let row = &mut words[i * words_per_row..(i + 1) * words_per_row];
+        for list in &adj {
             for &(to, _) in list {
                 if to.index() >= n {
                     return Err(serde::Error::custom("Topology: neighbor id out of range"));
                 }
-                bitset::set_bit(row, to.index());
+            }
+        }
+        let words_per_row = bitset::words_for(n);
+        let mut words = Vec::new();
+        if n <= Self::DENSE_MIRROR_MAX {
+            words = vec![0u64; n * words_per_row];
+            for (i, list) in adj.iter().enumerate() {
+                let row = &mut words[i * words_per_row..(i + 1) * words_per_row];
+                for &(to, _) in list {
+                    bitset::set_bit(row, to.index());
+                }
             }
         }
         Ok(Self {
@@ -625,7 +711,8 @@ mod tests {
             for a in 0..t.n_nodes() {
                 let a = NodeId::from(a);
                 let from_words: Vec<usize> =
-                    crate::bitset::iter_ones(t.neighbor_words(a)).collect();
+                    crate::bitset::iter_ones(t.neighbor_words(a).expect("small graph is mirrored"))
+                        .collect();
                 let from_lists: Vec<usize> =
                     t.neighbors(a).iter().map(|&(v, _)| v.index()).collect();
                 assert_eq!(from_words, from_lists);
@@ -634,6 +721,77 @@ mod tests {
                     assert_eq!(t.are_neighbors(a, b), t.quality(a, b).is_some());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sparse_fallback_matches_dense_mirror() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dense = Topology::random_geometric(90, 100.0, 25.0, 0.9, 0.3, &mut rng);
+        let sparse = dense.clone().without_dense_mirror();
+        assert!(sparse.neighbor_words(NodeId(0)).is_none());
+        assert_eq!(sparse.words_per_row(), dense.words_per_row());
+        for a in 0..dense.n_nodes() {
+            let a = NodeId::from(a);
+            assert_eq!(sparse.neighbors(a), dense.neighbors(a));
+            for b in 0..dense.n_nodes() {
+                let b = NodeId::from(b);
+                assert_eq!(sparse.are_neighbors(a, b), dense.are_neighbors(a, b));
+            }
+        }
+        // Mutation keeps working without the mirror.
+        let mut sparse = sparse;
+        sparse.add_edge(NodeId(0), NodeId(89), Q, Q);
+        assert!(sparse.are_neighbors(NodeId(0), NodeId(89)));
+        assert!(sparse.are_neighbors(NodeId(89), NodeId(0)));
+    }
+
+    /// The old all-pairs generator, kept verbatim as the reference the
+    /// cell-bucketed one must reproduce draw for draw.
+    fn random_geometric_reference<R: rand::Rng + ?Sized>(
+        n_nodes: usize,
+        side: f64,
+        radius: f64,
+        q_near: f64,
+        q_far: f64,
+        rng: &mut R,
+    ) -> Topology {
+        let positions: Vec<Position> = (0..n_nodes)
+            .map(|_| Position::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        let mut topo = Topology::empty(n_nodes);
+        for a in 0..n_nodes {
+            for b in (a + 1)..n_nodes {
+                let d = positions[a].distance(&positions[b]);
+                if d <= radius {
+                    let frac = d / radius;
+                    let q = q_near + (q_far - q_near) * frac;
+                    let jitter = 0.05 * (rng.random::<f64>() - 0.5);
+                    let q_ab = LinkQuality::clamped(q + jitter, 0.05);
+                    let q_ba = LinkQuality::clamped(q - jitter, 0.05);
+                    topo.add_edge(NodeId::from(a), NodeId::from(b), q_ab, q_ba);
+                }
+            }
+        }
+        topo.with_positions(positions)
+    }
+
+    #[test]
+    fn bucketed_random_geometric_reproduces_the_all_pairs_sweep() {
+        for seed in [3u64, 11, 42, 77] {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let got = Topology::random_geometric(120, 100.0, 22.0, 0.9, 0.3, &mut r1);
+            let want = random_geometric_reference(120, 100.0, 22.0, 0.9, 0.3, &mut r2);
+            assert_eq!(got.n_edges(), want.n_edges(), "seed {seed}");
+            for a in 0..got.n_nodes() {
+                let a = NodeId::from(a);
+                assert_eq!(got.neighbors(a), want.neighbors(a), "seed {seed} node {a}");
+            }
+            assert_eq!(got.positions(), want.positions());
+            // Both consumed the same number of draws.
+            use rand::Rng;
+            assert_eq!(r1.random::<u64>(), r2.random::<u64>(), "seed {seed}");
         }
     }
 
@@ -651,7 +809,10 @@ mod tests {
         assert_eq!(back.n_edges(), t.n_edges());
         for a in 0..t.n_nodes() {
             let a = NodeId::from(a);
-            assert_eq!(back.neighbor_words(a), t.neighbor_words(a));
+            assert_eq!(
+                back.neighbor_words(a).expect("small graph is mirrored"),
+                t.neighbor_words(a).expect("small graph is mirrored")
+            );
             assert_eq!(back.neighbors(a), t.neighbors(a));
         }
         assert!(back.positions().is_some());

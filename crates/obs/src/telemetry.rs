@@ -61,10 +61,17 @@ pub enum Phase {
     Prune = 6,
     /// Duty-cycle energy accounting and slot-end bookkeeping.
     Energy = 7,
+    /// Event-engine idle-span settlement: the next-rendezvous query plus
+    /// the batched energy/metrics booking of every skipped slot. Records
+    /// one segment per skip (never on the slot-stepped path), outside
+    /// any slot, so the telescoping invariant — per-slot phase segments
+    /// sum to the slot total — is preserved: skips add to phase totals
+    /// and to the run's wall clock alike.
+    IdleSkip = 8,
 }
 
 /// Number of phases in the taxonomy.
-pub const N_PHASES: usize = 8;
+pub const N_PHASES: usize = 9;
 
 impl Phase {
     /// All phases, in execution order.
@@ -77,6 +84,7 @@ impl Phase {
         Phase::Deliver,
         Phase::Prune,
         Phase::Energy,
+        Phase::IdleSkip,
     ];
 
     /// Stable snake_case name (JSON artefact vocabulary).
@@ -90,6 +98,7 @@ impl Phase {
             Phase::Deliver => "deliver",
             Phase::Prune => "prune",
             Phase::Energy => "energy",
+            Phase::IdleSkip => "idle_skip",
         }
     }
 }

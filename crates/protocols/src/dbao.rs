@@ -199,12 +199,24 @@ impl FloodingProtocol for Dbao {
         for u in state.nodes_with_work() {
             // avail = neighbors(u) ∩ active ∩ ¬down: the only receivers
             // this slot can serve. Empty ⇒ no candidate, next node.
-            let nbrs = state.topo.neighbor_words(u);
             let mut any = 0u64;
-            for k in 0..nw {
-                let w = nbrs[k] & active[k] & !down[k];
-                avail[k] = w;
-                any |= w;
+            match state.topo.neighbor_words(u) {
+                Some(nbrs) => {
+                    for k in 0..nw {
+                        let w = nbrs[k] & active[k] & !down[k];
+                        avail[k] = w;
+                        any |= w;
+                    }
+                }
+                None => {
+                    avail.fill(0);
+                    for &(v, _) in state.topo.neighbors(u) {
+                        let vi = v.index();
+                        let w = (1u64 << (vi % 64)) & active[vi / 64] & !down[vi / 64];
+                        avail[vi / 64] |= w;
+                        any |= w;
+                    }
+                }
             }
             if any == 0 {
                 continue;

@@ -153,12 +153,26 @@ impl FloodingProtocol for OpportunisticFlooding {
         for u in state.nodes_with_work() {
             // avail = neighbors(u) ∩ active ∩ ¬down: no awake receiver ⇒
             // no candidates ⇒ nothing to decide.
-            let nbrs = state.topo.neighbor_words(u);
             let mut any = 0u64;
-            for k in 0..nw {
-                let w = nbrs[k] & active[k] & !down[k];
-                self.avail_buf[k] = w;
-                any |= w;
+            match state.topo.neighbor_words(u) {
+                Some(nbrs) => {
+                    for k in 0..nw {
+                        let w = nbrs[k] & active[k] & !down[k];
+                        self.avail_buf[k] = w;
+                        any |= w;
+                    }
+                }
+                None => {
+                    // No dense mirror: rebuild the row from the sorted
+                    // adjacency list (same bits, same order).
+                    self.avail_buf.fill(0);
+                    for &(v, _) in state.topo.neighbors(u) {
+                        let vi = v.index();
+                        let w = (1u64 << (vi % 64)) & active[vi / 64] & !down[vi / 64];
+                        self.avail_buf[vi / 64] |= w;
+                        any |= w;
+                    }
+                }
             }
             if any == 0 {
                 continue;

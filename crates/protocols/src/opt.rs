@@ -80,15 +80,33 @@ impl FloodingProtocol for Opt {
                 // nodes never appear (their possession is revoked).
                 let holders = state.holder_words(p);
                 let mut best: Option<(f64, NodeId)> = None;
-                for si in bitset::iter_ones_and(&nbrs[..nw], &holders[..nw]) {
-                    let s = NodeId::from(si);
-                    // Quality of the *incoming* direction s -> r; `>=`
-                    // keeps the last maximum, exactly as `max_by` did
-                    // over the same ascending-id scan.
-                    if let Some(q) = state.topo.quality(s, r) {
-                        let prr = q.prr();
-                        if best.is_none_or(|(bq, _)| prr >= bq) {
-                            best = Some((prr, s));
+                // Quality of the *incoming* direction s -> r; `>=` keeps
+                // the last maximum, exactly as `max_by` did over the
+                // same ascending-id scan. Without a dense mirror the
+                // sorted adjacency list walks the identical id order.
+                match nbrs {
+                    Some(nbrs) => {
+                        for si in bitset::iter_ones_and(&nbrs[..nw], &holders[..nw]) {
+                            let s = NodeId::from(si);
+                            if let Some(q) = state.topo.quality(s, r) {
+                                let prr = q.prr();
+                                if best.is_none_or(|(bq, _)| prr >= bq) {
+                                    best = Some((prr, s));
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for &(s, _) in state.topo.neighbors(r) {
+                            if !bitset::test_bit(holders, s.index()) {
+                                continue;
+                            }
+                            if let Some(q) = state.topo.quality(s, r) {
+                                let prr = q.prr();
+                                if best.is_none_or(|(bq, _)| prr >= bq) {
+                                    best = Some((prr, s));
+                                }
+                            }
                         }
                     }
                 }

@@ -39,6 +39,28 @@ impl Injection {
     }
 }
 
+/// How [`Engine::run`] advances simulated time.
+///
+/// Both kinds produce byte-identical artefacts — report, energy
+/// ledger, trace stream, RNG consumption; the event engine merely
+/// refuses to *execute* slots it can prove dead. Low-duty-cycle runs
+/// (the paper's regime: duty `1/T` with large `T`) are mostly dead
+/// slots, so the event engine's throughput advantage grows with the
+/// period.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Execute every slot in order (the reference oracle).
+    #[default]
+    Slot,
+    /// After each quiet slot, jump straight to the next slot where any
+    /// node with forwarding work has an awake, live neighbor (or where
+    /// an injection, churn transition or source retry is due), booking
+    /// the skipped span's energy, metrics and trace events in batch.
+    /// Requires a wake calendar (homogeneous periods); without one the
+    /// engine degrades to slot stepping.
+    Event,
+}
+
 /// Read-only world + dynamic state exposed to protocols.
 pub struct SimState {
     /// Run configuration.
@@ -238,8 +260,12 @@ impl SimState {
                 if queues[ui].contains(p) {
                     continue;
                 }
-                let adj = topo.neighbor_words(NodeId::from(ui));
-                let needy = (0..nw).any(|k| adj[k] & !down[k] & !holders[k] != 0);
+                let needy = match topo.neighbor_words(NodeId::from(ui)) {
+                    Some(adj) => (0..nw).any(|k| adj[k] & !down[k] & !holders[k] != 0),
+                    None => topo.neighbors(NodeId::from(ui)).iter().any(|&(v, _)| {
+                        !bitset::test_bit(down, v.index()) && !bitset::test_bit(holders, v.index())
+                    }),
+                };
                 if needy {
                     queues[ui].push(p, now);
                     bitset::set_bit(work, ui);
@@ -314,6 +340,20 @@ pub struct Engine<
     /// Non-default slot-0 injections `(packet, origin)`, kept so the
     /// observer (attached after construction) can be told at slot 0.
     start_injections: Vec<(PacketId, NodeId)>,
+    /// How `run` advances time (slot stepping vs event skipping).
+    kind: EngineKind,
+    /// Scratch: packed union of the neighbors of every node with work,
+    /// masked by live nodes — the receivers whose wake-up could make
+    /// the next slot matter (event engine only).
+    reach_buf: Vec<u64>,
+    /// Scratch: word-occupancy summary of `reach_buf` (see
+    /// [`bitset::summarize_into`]), sized for the calendar's
+    /// next-rendezvous query.
+    reach_summary_buf: Vec<u64>,
+    /// Nanoseconds of idle-skip settlement awaiting attribution to the
+    /// next dispatched slot's total (profiled event runs only), so
+    /// phase times keep telescoping to the slot total exactly.
+    skip_carry_ns: u64,
 }
 
 impl<P: FloodingProtocol> Engine<P> {
@@ -474,6 +514,12 @@ impl<P: FloodingProtocol> Engine<P> {
             pending_injections,
             next_injection: 0,
             start_injections,
+            kind: EngineKind::Slot,
+            // Event-engine scratch, pre-sized like the rest: skipping
+            // must stay allocation-free too.
+            reach_buf: vec![0; node_words],
+            reach_summary_buf: vec![0; bitset::words_for(node_words)],
+            skip_carry_ns: 0,
         }
     }
 }
@@ -505,6 +551,10 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
             pending_injections: self.pending_injections,
             next_injection: self.next_injection,
             start_injections: self.start_injections,
+            kind: self.kind,
+            reach_buf: self.reach_buf,
+            reach_summary_buf: self.reach_summary_buf,
+            skip_carry_ns: self.skip_carry_ns,
         }
     }
 
@@ -533,6 +583,10 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
             pending_injections: self.pending_injections,
             next_injection: self.next_injection,
             start_injections: self.start_injections,
+            kind: self.kind,
+            reach_buf: self.reach_buf,
+            reach_summary_buf: self.reach_summary_buf,
+            skip_carry_ns: self.skip_carry_ns,
         }
     }
 
@@ -563,7 +617,24 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
             pending_injections: self.pending_injections,
             next_injection: self.next_injection,
             start_injections: self.start_injections,
+            kind: self.kind,
+            reach_buf: self.reach_buf,
+            reach_summary_buf: self.reach_summary_buf,
+            skip_carry_ns: self.skip_carry_ns,
         }
+    }
+
+    /// Select how [`Engine::run`] advances time. The default
+    /// [`EngineKind::Slot`] executes every slot; [`EngineKind::Event`]
+    /// skips provably dead spans with byte-identical artefacts.
+    pub fn with_engine_kind(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The selected engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
     }
 
     /// The attached observer.
@@ -1096,15 +1167,19 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
                 .chain(std::iter::once(r))
             {
                 let ui = u.index();
-                if self.state.queues[ui].contains(p)
-                    && self
+                if !self.state.queues[ui].contains(p) {
+                    continue;
+                }
+                let exhausted = match self.state.topo.neighbor_words(u) {
+                    Some(adj) => adj.iter().zip(holders).all(|(adj, have)| adj & !have == 0),
+                    None => self
                         .state
                         .topo
-                        .neighbor_words(u)
+                        .neighbors(u)
                         .iter()
-                        .zip(holders)
-                        .all(|(adj, have)| adj & !have == 0)
-                {
+                        .all(|&(v, _)| bitset::test_bit(holders, v.index())),
+                };
+                if exhausted {
                     self.state.queues[ui].remove(p);
                     if self.state.queues[ui].is_empty() {
                         bitset::clear_bit(&mut self.state.work, ui);
@@ -1158,6 +1233,9 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
         if Pr::ENABLED {
             // One final clock read closes both the Energy phase and the
             // whole slot, so phase times sum to the slot total exactly.
+            // Any pending idle-skip nanoseconds (event engine) join this
+            // slot's total — their segment was already recorded under
+            // `Phase::IdleSkip`, keeping the telescoping exact.
             let t = Instant::now();
             if let Some(prev) = t_chain {
                 self.profiler
@@ -1165,11 +1243,191 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
             }
             if let Some(start) = t_slot {
                 self.profiler
-                    .slot_end(t.duration_since(start).as_nanos() as u64);
+                    .slot_end(t.duration_since(start).as_nanos() as u64 + self.skip_carry_ns);
+                self.skip_carry_ns = 0;
             }
             self.slot_anchor = Some(t);
         }
         true
+    }
+
+    /// Event-engine core: after a quiet slot, jump the clock straight
+    /// to the next slot that could possibly change anything.
+    ///
+    /// A slot is *provably dead* — safe to settle without dispatching —
+    /// when all of these hold:
+    ///
+    /// * no deferred injection, churn transition or source retry is due
+    ///   at it (those mutate state outside the protocol), and
+    /// * either no node has forwarding work at all, or no node with
+    ///   work has an awake, live neighbor at it (every in-tree protocol
+    ///   proposes only toward awake live neighbors of nodes with work,
+    ///   so `propose` provably yields nothing; no intents means no MAC
+    ///   events, no RNG draws, no possession change — only the energy
+    ///   and slot-end bookkeeping [`Self::settle_idle_span`] performs).
+    ///
+    /// Dispatching a dead slot is always byte-identical to settling it,
+    /// so the skip target only ever errs toward dispatching: the first
+    /// rendezvous slot found may turn out idle (the awake neighbor
+    /// already holds everything), but never the other way around.
+    fn maybe_skip(&mut self) {
+        if self.report.all_covered() {
+            return;
+        }
+        // Quiet gate: only skip out of a dead configuration. A slot
+        // that proposed or delivered anything may have re-armed
+        // protocol state (backoffs) or coverage; the next slot must be
+        // dispatched normally.
+        if !self.intents_buf.is_empty() || !self.res_buf.events.is_empty() {
+            return;
+        }
+        // Heterogeneous periods: no wake calendar, no rendezvous query
+        // — degrade to plain slot stepping.
+        if !self.state.schedules.has_calendar() {
+            return;
+        }
+        let now = self.state.now;
+        // Externally scheduled state changes bound the skip: their slot
+        // must be dispatched, never jumped past.
+        let mut bound = self.state.cfg.max_slots;
+        if let Some(&(slot, _, _)) = self.pending_injections.get(self.next_injection) {
+            bound = bound.min(slot);
+        }
+        if F::ENABLED {
+            bound = bound.min(self.faults.churn_horizon());
+            if let Some(&Reverse((at, _))) = self.retry_heap.peek() {
+                bound = bound.min(at);
+            }
+        }
+        if bound <= now {
+            return;
+        }
+        let target = if self.state.work.iter().all(|&w| w == 0) {
+            // No forwarding work anywhere: nothing can happen before
+            // the next external event.
+            bound
+        } else {
+            // Rendezvous targets: every awake one of these could give
+            // some node with work a receiver. Crashed nodes are masked
+            // (never active); the mask is stable across the span
+            // because churn bounds it.
+            let nw = self.state.node_words;
+            let mut targets = std::mem::take(&mut self.reach_buf);
+            let mut summary = std::mem::take(&mut self.reach_summary_buf);
+            targets.clear();
+            targets.resize(nw, 0);
+            for u in self.state.nodes_with_work() {
+                match self.state.topo.neighbor_words(u) {
+                    Some(row) => {
+                        for k in 0..nw {
+                            targets[k] |= row[k];
+                        }
+                    }
+                    None => {
+                        for &(v, _) in self.state.topo.neighbors(u) {
+                            bitset::set_bit(&mut targets, v.index());
+                        }
+                    }
+                }
+            }
+            for (t, d) in targets.iter_mut().zip(&self.state.down) {
+                *t &= !d;
+            }
+            summary.clear();
+            summary.resize(bitset::words_for(nw), 0);
+            bitset::summarize_into(&targets, &mut summary);
+            let rendezvous = self
+                .state
+                .schedules
+                .next_rendezvous(now, &targets, &summary);
+            self.reach_buf = targets;
+            self.reach_summary_buf = summary;
+            match rendezvous {
+                Some(t) => t.min(bound),
+                // No offset of the whole period wakes a target: the
+                // flood is wedged until the next external event.
+                None => bound,
+            }
+        };
+        if target <= now {
+            return;
+        }
+        self.settle_idle_span(target);
+        if Pr::ENABLED {
+            // One IdleSkip segment per settlement, on the same anchor
+            // chain as the slot phases. Its nanoseconds are carried
+            // into the *next* dispatched slot's total (see
+            // [`Self::skip_carry_ns`]), so phase times still telescope
+            // to the slot total exactly. The run-final settlement (no
+            // dispatch follows) stays unattributed, like the tail past
+            // any run's last `slot_end`.
+            let t = Instant::now();
+            if let Some(prev) = self.slot_anchor.replace(t) {
+                if target < self.state.cfg.max_slots {
+                    let dt = t.duration_since(prev).as_nanos() as u64;
+                    self.profiler.record(Phase::IdleSkip, dt);
+                    self.skip_carry_ns += dt;
+                }
+            }
+        }
+    }
+
+    /// Book every slot in `[self.state.now, to)` exactly as dispatching
+    /// it dead would have: duty-cycle energy (crashed nodes asleep),
+    /// one `SlotEnd` per slot when observed, and the slot counters.
+    /// Without an observer the span aggregates per calendar offset —
+    /// O(period × words) however long the jump.
+    fn settle_idle_span(&mut self, to: u64) {
+        let from = self.state.now;
+        debug_assert!(to > from);
+        let n = self.state.n_nodes() as u64;
+        let down = &self.state.down;
+        let active_at = |t: u64| -> u64 {
+            let row = self
+                .state
+                .schedules
+                .active_words(t)
+                .expect("skipping is gated on a wake calendar");
+            row.iter()
+                .zip(down)
+                .map(|(a, d)| (a & !d).count_ones() as u64)
+                .sum()
+        };
+        if O::ENABLED {
+            // Queue contents are frozen across a dead span.
+            let queued: u64 = self.state.queues.iter().map(|q| q.len() as u64).sum();
+            for t in from..to {
+                let active_now = active_at(t);
+                self.energy.active_slots += active_now;
+                self.energy.sleep_slots += n - active_now;
+                self.obs.on_event(&SimEvent::SlotEnd {
+                    slot: t,
+                    queued,
+                    active_nodes: active_now as u32,
+                });
+            }
+        } else {
+            // The wake pattern repeats with the calendar period and the
+            // down set is frozen, so one pass over the offsets covers
+            // any span length.
+            let span = to - from;
+            let period = self
+                .state
+                .schedules
+                .calendar_period()
+                .expect("skipping is gated on a wake calendar") as u64;
+            let full = span / period;
+            let rem = span % period;
+            let mut active_total = 0u64;
+            for i in 0..period.min(span) {
+                let occ = full + u64::from(i < rem);
+                active_total += active_at(from + i) * occ;
+            }
+            self.energy.active_slots += active_total;
+            self.energy.sleep_slots += n * span - active_total;
+        }
+        self.state.now = to;
+        self.report.slots_elapsed = to;
     }
 
     /// Run to termination and return the report.
@@ -1182,7 +1440,18 @@ impl<P: FloodingProtocol, O: SimObserver, F: FaultPlan, Pr: SimProfiler> Engine<
     /// (a [`ldcf_obs::JsonlSink`] to flush, a
     /// [`ldcf_obs::MetricsObserver`] to snapshot, ...).
     pub fn run_traced(mut self) -> (SimReport, EnergyLedger, O) {
-        while self.step() {}
+        match self.kind {
+            EngineKind::Slot => while self.step() {},
+            EngineKind::Event => {
+                // Slot 0 is always dispatched (protocol/fault/observer
+                // start-up); skipping is attempted only out of a quiet
+                // dispatched slot, so the two kinds interleave the same
+                // events in the same order.
+                while self.step() {
+                    self.maybe_skip();
+                }
+            }
+        }
         // Final holder counts.
         for p in 0..self.state.cfg.n_packets {
             self.report.packets[p as usize].final_holders = self.state.holders[p as usize];
@@ -1674,6 +1943,108 @@ mod tests {
                         && *packet == p as u32
             )));
         }
+    }
+
+    /// Byte-level artefact equality of a slot-stepped and an
+    /// event-skipping run of the same engine configuration.
+    fn assert_engines_agree<P: FloodingProtocol, F: ldcf_faults::FaultPlan>(
+        mk: impl Fn() -> Engine<P, NullObserver, F>,
+    ) {
+        let (ra, ea, oa) = mk()
+            .with_observer(crate::VecObserver::default())
+            .run_traced();
+        let (rb, eb, ob) = mk()
+            .with_observer(crate::VecObserver::default())
+            .with_engine_kind(EngineKind::Event)
+            .run_traced();
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap(),
+            "SimReport must be byte-identical across engine kinds"
+        );
+        assert_eq!(
+            serde_json::to_string(&ea).unwrap(),
+            serde_json::to_string(&eb).unwrap(),
+            "EnergyLedger must be byte-identical across engine kinds"
+        );
+        assert_eq!(oa.events.len(), ob.events.len(), "trace length");
+        for (i, (a, b)) in oa.events.iter().zip(&ob.events).enumerate() {
+            assert_eq!(a, b, "trace event {i} diverges");
+        }
+    }
+
+    #[test]
+    fn event_engine_is_byte_identical_on_a_low_duty_grid() {
+        let topo = Topology::grid(5, 5, LinkQuality::new(0.8));
+        let cfg = SimConfig {
+            period: 25,
+            mistiming_prob: 0.02,
+            ..line_cfg(3)
+        };
+        assert_engines_agree(|| Engine::new(topo.clone(), cfg.clone(), GreedyFlood));
+    }
+
+    #[test]
+    fn event_engine_is_byte_identical_with_staggered_injections() {
+        // Large injection gaps produce long work-empty spans — the
+        // skip-to-bound path — plus rendezvous skips in between.
+        let topo = Topology::line(6, LinkQuality::new(0.9));
+        let cfg = SimConfig {
+            period: 40,
+            ..line_cfg(3)
+        };
+        let schedules = drawn_schedules(&topo, &cfg);
+        let plan: Vec<Injection> = (0..cfg.n_packets as u64)
+            .map(|p| Injection {
+                origin: SOURCE,
+                slot: p * 1_000,
+            })
+            .collect();
+        assert_engines_agree(|| {
+            Engine::with_injections(
+                topo.clone(),
+                cfg.clone(),
+                schedules.clone(),
+                &plan,
+                GreedyFlood,
+            )
+        });
+    }
+
+    #[test]
+    fn event_engine_is_byte_identical_under_full_fault_campaign() {
+        let topo = Topology::grid(5, 5, LinkQuality::new(0.8));
+        let cfg = SimConfig {
+            period: 20,
+            coverage: 0.9,
+            max_slots: 60_000,
+            ..line_cfg(2)
+        };
+        let faults = ldcf_faults::FaultConfig::at_intensity(9, 1.0);
+        assert_engines_agree(|| {
+            Engine::new(topo.clone(), cfg.clone(), GreedyFlood).with_faults(faults.build())
+        });
+    }
+
+    #[test]
+    fn event_engine_terminates_wedged_runs_at_max_slots() {
+        // Disconnected topology at low duty: the flood can never cover,
+        // and after the reachable side saturates there is no rendezvous
+        // at all — the event engine must settle straight to max_slots
+        // with the same report and ledger as stepping there.
+        let mut topo = Topology::empty(3);
+        topo.add_edge(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::PERFECT,
+            LinkQuality::PERFECT,
+        );
+        let cfg = SimConfig {
+            period: 10,
+            max_slots: 5_000,
+            ..line_cfg(1)
+        };
+        assert_engines_agree(|| Engine::new(topo.clone(), cfg.clone(), GreedyFlood));
     }
 
     #[test]

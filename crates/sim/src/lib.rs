@@ -32,7 +32,7 @@ pub mod queue;
 pub mod stats;
 
 pub use config::SimConfig;
-pub use engine::{Engine, Injection, SimState};
+pub use engine::{Engine, EngineKind, Injection, SimState};
 pub use mac::{DeliveryEvent, TxIntent};
 pub use protocol::FloodingProtocol;
 pub use stats::{PacketStats, SimReport};

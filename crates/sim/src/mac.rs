@@ -323,7 +323,14 @@ pub fn resolve_slot_into<R: Rng + ?Sized>(
             continue;
         }
         // Carrier sense: defer if an audible sender already committed.
-        if bitset::intersects(topo.neighbor_words(it.sender), &scratch.carrier) {
+        let audible_busy = match topo.neighbor_words(it.sender) {
+            Some(row) => bitset::intersects(row, &scratch.carrier),
+            None => topo
+                .neighbors(it.sender)
+                .iter()
+                .any(|&(v, _)| bitset::test_bit(&scratch.carrier, v.index())),
+        };
+        if audible_busy {
             res.deferred.push(i);
             bitset::set_bit(&mut scratch.deferred, si);
         } else {

@@ -74,10 +74,17 @@ fn phase_times_sum_to_slot_total_exactly() {
         prof.slot_total_ns(),
         "phase times must partition the slot total"
     );
-    // Every phase recorded one segment per slot, and the per-phase
-    // histograms carry the same mass as the exact totals.
+    // Every phase recorded one segment per slot — except IdleSkip,
+    // which belongs to the event engine and must stay silent on the
+    // slot-stepped path — and the per-phase histograms carry the same
+    // mass as the exact totals.
     for p in Phase::ALL {
-        assert_eq!(prof.phase_hist(p).count, report.slots_elapsed, "{p:?}");
+        let expect = if p == Phase::IdleSkip {
+            0
+        } else {
+            report.slots_elapsed
+        };
+        assert_eq!(prof.phase_hist(p).count, expect, "{p:?}");
         assert_eq!(prof.phase_hist(p).sum, prof.phase_total_ns(p), "{p:?}");
     }
     assert_eq!(prof.slot_hist().sum, prof.slot_total_ns());
@@ -85,6 +92,57 @@ fn phase_times_sum_to_slot_total_exactly() {
     assert!(prof.slot_total_ns() > 0);
     assert!(prof.phase_total_ns(Phase::Propose) > 0);
     assert!(prof.phase_total_ns(Phase::Mac) > 0);
+}
+
+#[test]
+fn event_engine_phase_times_still_telescope() {
+    // At duty 1/25 on a line the event engine jumps most slots; each
+    // jump records one IdleSkip segment whose nanoseconds are carried
+    // into the next dispatched slot's total, so the partition invariant
+    // survives the jumps unchanged.
+    let topo = Topology::line(8, LinkQuality::new(0.9));
+    let c = SimConfig {
+        period: 25,
+        mistiming_prob: 0.0,
+        ..cfg(2)
+    };
+    let mut prof = PhaseProfiler::new();
+    let (report, _) = Engine::new(topo.clone(), c.clone(), GreedyFlood)
+        .with_engine_kind(ldcf_sim::EngineKind::Event)
+        .with_profiler(&mut prof)
+        .run();
+    assert!(report.all_covered());
+    assert!(
+        prof.slots() < report.slots_elapsed,
+        "skipping must dispatch fewer slots ({}) than elapse ({})",
+        prof.slots(),
+        report.slots_elapsed
+    );
+    let skips = prof.phase_hist(Phase::IdleSkip).count;
+    assert!(skips > 0, "a duty-1/25 run must actually skip");
+    assert_eq!(
+        prof.phases_total_ns(),
+        prof.slot_total_ns(),
+        "phase times must partition the slot total across jumps"
+    );
+    for p in Phase::ALL {
+        let expect = if p == Phase::IdleSkip {
+            skips
+        } else {
+            prof.slots()
+        };
+        assert_eq!(prof.phase_hist(p).count, expect, "{p:?}");
+        assert_eq!(prof.phase_hist(p).sum, prof.phase_total_ns(p), "{p:?}");
+    }
+    // Profiling the event engine changes no outcome either: same
+    // report as the unprofiled slot-stepped reference.
+    let (reference, _) = Engine::new(topo, c, GreedyFlood).run();
+    assert_eq!(report.slots_elapsed, reference.slots_elapsed);
+    assert_eq!(report.transmissions, reference.transmissions);
+    assert_eq!(
+        report.mean_flooding_delay(),
+        reference.mean_flooding_delay()
+    );
 }
 
 #[test]
