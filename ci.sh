@@ -1,168 +1,353 @@
 #!/usr/bin/env bash
-# Local CI: the exact checks .github/workflows/ci.yml runs.
+# Local CI: the exact checks .github/workflows/ci.yml runs, split into
+# named stages so the workflow's parallel jobs and a developer's shell
+# invoke the same code.
 #
-#   ./ci.sh        # fmt + clippy + build + test
-#   ./ci.sh quick  # skip clippy (fast pre-push check)
+#   ./ci.sh                 # every stage, in order
+#   ./ci.sh list            # print the stage names, one per line
+#   ./ci.sh fmt clippy      # just those stages, in the given order
+#   ./ci.sh quick           # every stage except clippy (fast pre-push)
+#
+# Stages (./ci.sh list is authoritative):
+#
+#   fmt            cargo fmt --check
+#   clippy         cargo clippy -D warnings
+#   shellcheck     shellcheck ci.sh (skips when the tool is absent)
+#   build          cargo build --workspace --release
+#   test           cargo test --workspace
+#   alloc-gate     hot-path allocation gate
+#   artefacts      fig9 + resilience byte-identity vs pinned baselines
+#   event-engine   same workloads under --engine event, same bytes
+#   forensics      theory checks over every fig9 trace (+ faulted)
+#   bintrace       binary trace container: export identity + ratio
+#   perf           perf campaign + schema validation + regression gate
+#   digests        scenario generator digests vs scenarios.sha256
+#   campaign       demo campaign: run twice, byte-identity + resume
+#   stats          stats-quick campaign: rerun + checkpoint-recompute
+#                  byte-identity of campaign-stats.md / campaign.json
+#   service        campaign job server smoke (submit/fetch/dedupe)
+#   bench-compile  criterion benches compile
+#
+# Per-stage wall-clock durations are printed to stderr at the end, and
+# appended as a markdown table to $GITHUB_STEP_SUMMARY when that is set
+# (i.e. under GitHub Actions).
+#
+# Stages that need ./target/release/experiments build it on demand, so
+# `./ci.sh stats` works from a clean checkout; CI jobs run `build`
+# first to front-load the compile into its own timed stage.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
+STAGES=(fmt clippy shellcheck build test alloc-gate artefacts event-engine
+    forensics bintrace perf digests campaign stats service bench-compile)
+
+ART_DIR="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2> /dev/null; then
+        kill "$SRV_PID" 2> /dev/null || true
+        wait "$SRV_PID" 2> /dev/null || true
+    fi
+    rm -rf "$ART_DIR"
+}
+trap cleanup EXIT
+
 step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
 
-step "cargo fmt --check"
-cargo fmt --all -- --check
+# Build the experiments binary if a stage runs without `build` first.
+ensure_built() {
+    [[ -x target/release/experiments ]] \
+        || cargo build --release -p ldcf-bench --bins
+}
 
-if [[ "${1:-}" != "quick" ]]; then
+stage_fmt() {
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
+}
+
+stage_clippy() {
     step "cargo clippy (workspace, all targets, -D warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_shellcheck() {
+    step "shellcheck ci.sh"
+    if command -v shellcheck > /dev/null 2>&1; then
+        shellcheck ci.sh
+        echo "ci.sh shellcheck-clean"
+    else
+        echo "shellcheck not installed — skipping (CI installs it)"
+    fi
+}
+
+stage_build() {
+    step "cargo build --release"
+    cargo build --workspace --release
+}
+
+stage_test() {
+    step "cargo test"
+    cargo test -q --workspace
+}
+
+stage_alloc_gate() {
+    step "allocation gate (hot path must not touch the heap)"
+    cargo test -q -p ldcf-bench --test alloc_gate
+}
+
+stage_artefacts() {
+    step "regenerate fig9 + resilience (--quick, --profile) and gate byte-identity vs pinned baselines"
+    ensure_built
+    # Run with the phase profiler ON: telemetry must be observational
+    # only, so even instrumented runs reproduce every pinned byte.
+    ./target/release/experiments fig9 --quick --profile --out "$ART_DIR" \
+        --trace-events "$ART_DIR/traces" > /dev/null
+    ./target/release/experiments resilience --quick --profile --out "$ART_DIR" \
+        --trace-events "$ART_DIR/traces" > /dev/null
+    # Performance work must not move a single byte of any artefact:
+    # tables and event traces are diffed against
+    # crates/bench/baselines/quick/. (Wall-clock telemetry — heartbeat
+    # *-telemetry.jsonl, profile reports — is deliberately outside this
+    # contract and never diffed.)
+    diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/fig9.md"
+    diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/resilience.md"
+    (cd "$ART_DIR/traces" \
+        && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
+    echo "byte-identical (with profiling enabled)"
+}
+
+stage_event_engine() {
+    step "event engine on the same pinned workloads (--engine event, gate byte-identity)"
+    ensure_built
+    # The event-driven engine skips provably-dead slots; its artefacts
+    # must still match every pinned byte the slot-stepped reference
+    # produced — tables AND event traces — or the skip logic changed
+    # behaviour.
+    ./target/release/experiments fig9 --quick --engine event --out "$ART_DIR/event" \
+        --trace-events "$ART_DIR/event/traces" > /dev/null
+    ./target/release/experiments resilience --quick --engine event --out "$ART_DIR/event" \
+        --trace-events "$ART_DIR/event/traces" > /dev/null
+    diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/event/fig9.md"
+    diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/event/resilience.md"
+    (cd "$ART_DIR/event/traces" \
+        && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
+    echo "event engine byte-identical to the slot-stepped reference"
+}
+
+stage_forensics() {
+    step "flood forensics (fig9 --quick traces, fail on theory violations)"
+    ensure_built
+    if ! ls "$ART_DIR"/traces/*-s[0-9].events.jsonl > /dev/null 2>&1; then
+        ./target/release/experiments fig9 --quick --out "$ART_DIR" \
+            --trace-events "$ART_DIR/traces" > /dev/null
+        ./target/release/experiments resilience --quick --out "$ART_DIR" \
+            --trace-events "$ART_DIR/traces" > /dev/null
+    fi
+    for trace in "$ART_DIR"/traces/*-s[0-9].events.jsonl; do
+        echo "forensics: $(basename "$trace")"
+        ./target/release/experiments forensics --trace "$trace" | grep -v '^  note:'
+    done
+
+    step "forensics over a burst+drift faulted trace"
+    # The isolation table's burst+drift row keeps schedules static, so
+    # its trace must replay cleanly through the forensics hard checks.
+    FAULTED="$ART_DIR/traces/dbao-p100-a5-m30-s1-fbd.events.jsonl"
+    echo "forensics: $(basename "$FAULTED")"
+    ./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
+}
+
+stage_bintrace() {
+    step "binary trace pipeline (fig9 --quick --trace-format bin: export identity, ratio, forensics)"
+    ensure_built
+    # The same fig9 cases traced to the columnar binary container must
+    # (a) export back to JSONL byte-identical to the pinned baselines,
+    # (b) compress at least 4x over JSONL, and (c) feed forensics
+    # directly.
+    ./target/release/experiments fig9 --quick --out "$ART_DIR/bin-run" \
+        --trace-events "$ART_DIR/bin-run/traces" --trace-format bin > /dev/null
+    for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
+        ./target/release/experiments trace info --trace "$bin" --min-ratio 4 > /dev/null
+        ./target/release/experiments trace export --trace "$bin" 2> /dev/null
+    done
+    (cd "$ART_DIR/bin-run/traces" \
+        && grep -E -- '-s[0-9]\.events\.jsonl$' \
+            "$OLDPWD/crates/bench/baselines/quick/traces.sha256" \
+        | sha256sum --check --quiet)
+    for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
+        echo "forensics (bin): $(basename "$bin")"
+        ./target/release/experiments forensics --trace "$bin" > /dev/null
+    done
+    echo "binary traces export byte-identical, compress >= 4x, replay forensics"
+}
+
+stage_perf() {
+    step "perf campaign (--quick, --profile) + schema validation + noise-aware regression gate"
+    ensure_built
+    # Gate: each case's tolerated slowdown adapts to the measured rep
+    # noise (MAD-based via ldcf_analysis::stats, clamped to 25–40%;
+    # policy in EXPERIMENTS.md; regenerate the baseline with:
+    # experiments perf --quick --label baseline).
+    # The gated set includes the rgg-100k scale case under both engines,
+    # so a regression in either the slot dispatch loop or the event
+    # engine's skip machinery fails here.
+    # --profile additionally emits PROFILE_ci.json from a separate
+    # instrumented pass — the timing reps themselves stay unprofiled.
+    ./target/release/experiments perf --quick --profile --label ci --out "$ART_DIR" \
+        --baseline BENCH_baseline.json \
+        | grep -E 'speedup|no case regressed' || { echo "perf gate FAILED"; exit 1; }
+    ./target/release/experiments perf --validate "$ART_DIR/BENCH_ci.json"
+    ./target/release/experiments perf --validate-profile "$ART_DIR/PROFILE_ci.json"
+}
+
+stage_digests() {
+    step "scenario golden gates (generator digests vs scenarios.sha256)"
+    ensure_built
+    # Any drift in a topology/link/schedule generator or its RNG stream
+    # changes a spec's digest and fails this diff.
+    for spec in scenarios/*.toml; do
+        ./target/release/experiments campaign --spec "$spec" --digest
+    done > "$ART_DIR/scenarios.sha256"
+    diff -u crates/bench/baselines/scenarios.sha256 "$ART_DIR/scenarios.sha256"
+    echo "scenario digests pinned"
+}
+
+stage_campaign() {
+    step "demo campaign (--quick): run twice, gate byte-identity + resume"
+    ensure_built
+    # camp1 exercises the heartbeat (progress on, the default); camp2
+    # the --no-progress path. campaign-telemetry.jsonl is wall-clock
+    # data and deliberately outside the determinism contract: byte-diffs
+    # compare campaign.md / campaign.json / campaign-stats.md only and
+    # never *-telemetry.jsonl.
+    ./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+        --quick --out "$ART_DIR/camp1" > /dev/null 2> /dev/null
+    ./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+        --quick --no-progress --out "$ART_DIR/camp2" > /dev/null
+    diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
+    diff -u "$ART_DIR/camp1/campaign.json" "$ART_DIR/camp2/campaign.json"
+    diff -u "$ART_DIR/camp1/campaign-stats.md" "$ART_DIR/camp2/campaign-stats.md"
+    # The heartbeat must have logged start + 6 cells + done for camp1.
+    [[ "$(wc -l < "$ART_DIR/camp1/campaign-telemetry.jsonl")" -eq 8 ]] \
+        || { echo "heartbeat telemetry FAILED"; exit 1; }
+    # Resume: a third run over camp1's checkpoints must simulate nothing
+    # and still emit the same bytes.
+    ./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+        --quick --out "$ART_DIR/camp1" 2>&1 > /dev/null \
+        | grep -q '0/6 cells run, 6 resumed' || { echo "resume FAILED"; exit 1; }
+    diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
+    echo "campaign deterministic + resumable (telemetry ignored by diffs)"
+}
+
+stage_stats() {
+    step "stats campaign (1000 seeds/cell): rerun + recompute byte-identity"
+    ensure_built
+    # The streaming reducer's contract at the scale it exists for:
+    # scenarios/stats-quick.toml runs 500 seeds per cell x 2 protocols
+    # in O(groups) memory, twice, and every statistics byte must match.
+    # (Worker-count invariance of the same bytes is enforced by the
+    # crates/bench integration tests, which pin the rayon thread limit.)
+    ./target/release/experiments campaign --spec scenarios/stats-quick.toml \
+        --no-progress --out "$ART_DIR/stats1" > /dev/null
+    ./target/release/experiments campaign --spec scenarios/stats-quick.toml \
+        --no-progress --out "$ART_DIR/stats2" > /dev/null
+    diff -u "$ART_DIR/stats1/campaign-stats.md" "$ART_DIR/stats2/campaign-stats.md"
+    diff -u "$ART_DIR/stats1/campaign.json" "$ART_DIR/stats2/campaign.json"
+    # `experiments stats` over the checkpoints must replay the exact
+    # fold: same campaign-stats.md bytes without simulating anything.
+    ./target/release/experiments stats --spec scenarios/stats-quick.toml \
+        --from "$ART_DIR/stats1" --out "$ART_DIR/stats-re" > /dev/null
+    diff -u "$ART_DIR/stats1/campaign-stats.md" "$ART_DIR/stats-re/campaign-stats.md"
+    echo "thousand-seed statistics byte-stable across rerun + recompute"
+}
+
+stage_service() {
+    step "campaign service smoke (serve → submit → fetch → dedupe → graceful shutdown)"
+    ensure_built
+    # The job server must hand back exactly the bytes a direct CLI run
+    # produces, dedupe a re-submitted spec, and exit 0 on SIGTERM with
+    # nothing torn. The EXIT trap owns cleanup: if any check below
+    # fails, the server is killed there instead of leaking.
+    ./target/release/experiments campaign --spec scenarios/demo-quick.toml \
+        --quick --no-progress --out "$ART_DIR/svc-ref" > /dev/null
+    SRV_DATA="$ART_DIR/service-data"
+    ./target/release/experiments serve --data "$SRV_DATA" --addr 127.0.0.1:0 \
+        --jobs 1 --no-progress 2> "$ART_DIR/serve.log" &
+    SRV_PID=$!
+    for _ in $(seq 1 100); do [[ -s "$SRV_DATA/endpoint" ]] && break; sleep 0.1; done
+    SRV_ADDR="$(cat "$SRV_DATA/endpoint")"
+    JOB_ID="$(./target/release/experiments submit --server "$SRV_ADDR" \
+        --spec scenarios/demo-quick.toml --quick --wait 2> /dev/null)"
+    ./target/release/experiments fetch --server "$SRV_ADDR" --id "$JOB_ID" \
+        --out "$ART_DIR/fetched" 2> /dev/null
+    diff -u "$ART_DIR/svc-ref/campaign.json" "$ART_DIR/fetched/campaign.json"
+    ./target/release/experiments submit --server "$SRV_ADDR" \
+        --spec scenarios/demo-quick.toml --quick 2>&1 > /dev/null \
+        | grep -q 'deduplicated' || { echo "dedupe FAILED"; exit 1; }
+    kill -TERM "$SRV_PID"
+    wait "$SRV_PID" || { echo "server did not exit 0 on SIGTERM"; exit 1; }
+    SRV_PID=""
+    echo "service smoke: byte-identical fetch + dedupe + graceful shutdown"
+}
+
+stage_bench_compile() {
+    step "criterion benches compile"
+    cargo bench --workspace --no-run
+}
+
+run_stage() {
+    local name="$1" fn start elapsed
+    fn="stage_${name//-/_}"
+    if ! declare -F "$fn" > /dev/null; then
+        echo "error: unknown stage '$name' (try: ./ci.sh list)" >&2
+        exit 2
+    fi
+    start=$SECONDS
+    "$fn"
+    elapsed=$((SECONDS - start))
+    TIMING_NAMES+=("$name")
+    TIMING_SECS+=("$elapsed")
+}
+
+report_timings() {
+    [[ ${#TIMING_NAMES[@]} -gt 0 ]] || return 0
+    {
+        printf '\nstage durations:\n'
+        for i in "${!TIMING_NAMES[@]}"; do
+            printf '  %-14s %4ss\n' "${TIMING_NAMES[$i]}" "${TIMING_SECS[$i]}"
+        done
+    } >&2
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        {
+            printf '### ci.sh stage durations\n\n'
+            printf '| stage | seconds |\n|---|---|\n'
+            for i in "${!TIMING_NAMES[@]}"; do
+                printf '| %s | %s |\n' "${TIMING_NAMES[$i]}" "${TIMING_SECS[$i]}"
+            done
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+
+TIMING_NAMES=()
+TIMING_SECS=()
+
+if [[ "${1:-}" == "list" ]]; then
+    printf '%s\n' "${STAGES[@]}"
+    exit 0
 fi
 
-step "cargo build --release"
-cargo build --workspace --release
+if [[ $# -eq 0 ]]; then
+    SELECTED=("${STAGES[@]}")
+elif [[ "$1" == "quick" && $# -eq 1 ]]; then
+    SELECTED=()
+    for s in "${STAGES[@]}"; do [[ "$s" == "clippy" ]] || SELECTED+=("$s"); done
+else
+    SELECTED=("$@")
+fi
 
-step "cargo test"
-cargo test -q --workspace
-
-step "regenerate fig9 + resilience (--quick, --profile) and gate byte-identity vs pinned baselines"
-ART_DIR="$(mktemp -d)"
-trap 'rm -rf "$ART_DIR"' EXIT
-# Run with the phase profiler ON: telemetry must be observational only,
-# so even instrumented runs reproduce every pinned byte.
-./target/release/experiments fig9 --quick --profile --out "$ART_DIR" \
-    --trace-events "$ART_DIR/traces" > /dev/null
-./target/release/experiments resilience --quick --profile --out "$ART_DIR" \
-    --trace-events "$ART_DIR/traces" > /dev/null
-# Performance work must not move a single byte of any artefact: tables
-# and event traces are diffed against crates/bench/baselines/quick/.
-# (Wall-clock telemetry — heartbeat *-telemetry.jsonl, profile reports —
-# is deliberately outside this contract and never diffed.)
-diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/fig9.md"
-diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/resilience.md"
-(cd "$ART_DIR/traces" \
-    && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
-echo "byte-identical (with profiling enabled)"
-
-step "event engine on the same pinned workloads (--engine event, gate byte-identity)"
-# The event-driven engine skips provably-dead slots; its artefacts must
-# still match every pinned byte the slot-stepped reference produced —
-# tables AND event traces — or the skip logic changed behaviour.
-./target/release/experiments fig9 --quick --engine event --out "$ART_DIR/event" \
-    --trace-events "$ART_DIR/event/traces" > /dev/null
-./target/release/experiments resilience --quick --engine event --out "$ART_DIR/event" \
-    --trace-events "$ART_DIR/event/traces" > /dev/null
-diff -u crates/bench/baselines/quick/fig9.md "$ART_DIR/event/fig9.md"
-diff -u crates/bench/baselines/quick/resilience.md "$ART_DIR/event/resilience.md"
-(cd "$ART_DIR/event/traces" \
-    && sha256sum --check --quiet "$OLDPWD/crates/bench/baselines/quick/traces.sha256")
-echo "event engine byte-identical to the slot-stepped reference"
-
-step "allocation gate (hot path must not touch the heap)"
-cargo test -q -p ldcf-bench --test alloc_gate
-
-step "flood forensics (fig9 --quick traces, fail on theory violations)"
-for trace in "$ART_DIR"/traces/*-s[0-9].events.jsonl; do
-    echo "forensics: $(basename "$trace")"
-    ./target/release/experiments forensics --trace "$trace" | grep -v '^  note:'
+for s in "${SELECTED[@]}"; do
+    run_stage "$s"
 done
-
-step "forensics over a burst+drift faulted trace"
-# The isolation table's burst+drift row keeps schedules static, so its
-# trace must replay cleanly through the forensics hard checks.
-FAULTED="$ART_DIR/traces/dbao-p100-a5-m30-s1-fbd.events.jsonl"
-echo "forensics: $(basename "$FAULTED")"
-./target/release/experiments forensics --trace "$FAULTED" | grep -v '^  note:'
-
-step "binary trace pipeline (fig9 --quick --trace-format bin: export identity, ratio, forensics)"
-# The same fig9 cases traced to the columnar binary container must
-# (a) export back to JSONL byte-identical to the pinned baselines,
-# (b) compress at least 4x over JSONL, and (c) feed forensics directly.
-./target/release/experiments fig9 --quick --out "$ART_DIR/bin-run" \
-    --trace-events "$ART_DIR/bin-run/traces" --trace-format bin > /dev/null
-for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
-    ./target/release/experiments trace info --trace "$bin" --min-ratio 4 > /dev/null
-    ./target/release/experiments trace export --trace "$bin" 2> /dev/null
-done
-(cd "$ART_DIR/bin-run/traces" \
-    && grep -E -- '-s[0-9]\.events\.jsonl$' \
-        "$OLDPWD/crates/bench/baselines/quick/traces.sha256" \
-    | sha256sum --check --quiet)
-for bin in "$ART_DIR"/bin-run/traces/*.events.bin; do
-    echo "forensics (bin): $(basename "$bin")"
-    ./target/release/experiments forensics --trace "$bin" > /dev/null
-done
-echo "binary traces export byte-identical, compress >= 4x, replay forensics"
-
-step "perf campaign (--quick, --profile) + schema validation + noise-aware regression gate"
-# Gate: each case's tolerated slowdown adapts to the measured rep noise
-# (MAD-based, clamped to 25–40%; policy in EXPERIMENTS.md; regenerate
-# the baseline with: experiments perf --quick --label baseline).
-# The gated set includes the rgg-100k scale case under both engines, so
-# a regression in either the slot dispatch loop or the event engine's
-# skip machinery fails here.
-# --profile additionally emits PROFILE_ci.json from a separate
-# instrumented pass — the timing reps themselves stay unprofiled.
-./target/release/experiments perf --quick --profile --label ci --out "$ART_DIR" \
-    --baseline BENCH_baseline.json \
-    | grep -E 'speedup|no case regressed' || { echo "perf gate FAILED"; exit 1; }
-./target/release/experiments perf --validate "$ART_DIR/BENCH_ci.json"
-./target/release/experiments perf --validate-profile "$ART_DIR/PROFILE_ci.json"
-
-step "scenario golden gates (generator digests vs scenarios.sha256)"
-# Any drift in a topology/link/schedule generator or its RNG stream
-# changes a spec's digest and fails this diff.
-for spec in scenarios/*.toml; do
-    ./target/release/experiments campaign --spec "$spec" --digest
-done > "$ART_DIR/scenarios.sha256"
-diff -u crates/bench/baselines/scenarios.sha256 "$ART_DIR/scenarios.sha256"
-echo "scenario digests pinned"
-
-step "demo campaign (--quick): run twice, gate byte-identity + resume"
-# camp1 exercises the heartbeat (progress on, the default); camp2 the
-# --no-progress path. campaign-telemetry.jsonl is wall-clock data and
-# deliberately outside the determinism contract: byte-diffs compare
-# campaign.md / campaign.json only and never *-telemetry.jsonl.
-./target/release/experiments campaign --spec scenarios/demo-quick.toml \
-    --quick --out "$ART_DIR/camp1" > /dev/null 2> /dev/null
-./target/release/experiments campaign --spec scenarios/demo-quick.toml \
-    --quick --no-progress --out "$ART_DIR/camp2" > /dev/null
-diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
-diff -u "$ART_DIR/camp1/campaign.json" "$ART_DIR/camp2/campaign.json"
-# The heartbeat must have logged start + 6 cells + done for camp1.
-[[ "$(wc -l < "$ART_DIR/camp1/campaign-telemetry.jsonl")" -eq 8 ]] \
-    || { echo "heartbeat telemetry FAILED"; exit 1; }
-# Resume: a third run over camp1's checkpoints must simulate nothing
-# and still emit the same bytes.
-./target/release/experiments campaign --spec scenarios/demo-quick.toml \
-    --quick --out "$ART_DIR/camp1" 2>&1 > /dev/null \
-    | grep -q '0/6 cells run, 6 resumed' || { echo "resume FAILED"; exit 1; }
-diff -u "$ART_DIR/camp1/campaign.md" "$ART_DIR/camp2/campaign.md"
-echo "campaign deterministic + resumable (telemetry ignored by diffs)"
-
-step "campaign service smoke (serve → submit → fetch → dedupe → graceful shutdown)"
-# The job server must hand back exactly the bytes a direct CLI run
-# produces (camp2 above is the reference), dedupe a re-submitted spec,
-# and exit 0 on SIGTERM with nothing torn.
-SRV_DATA="$ART_DIR/service-data"
-./target/release/experiments serve --data "$SRV_DATA" --addr 127.0.0.1:0 \
-    --jobs 1 --no-progress 2> "$ART_DIR/serve.log" &
-SRV_PID=$!
-trap 'kill "$SRV_PID" 2> /dev/null; rm -rf "$ART_DIR"' EXIT
-for _ in $(seq 1 100); do [[ -s "$SRV_DATA/endpoint" ]] && break; sleep 0.1; done
-SRV_ADDR="$(cat "$SRV_DATA/endpoint")"
-JOB_ID="$(./target/release/experiments submit --server "$SRV_ADDR" \
-    --spec scenarios/demo-quick.toml --quick --wait 2> /dev/null)"
-./target/release/experiments fetch --server "$SRV_ADDR" --id "$JOB_ID" \
-    --out "$ART_DIR/fetched" 2> /dev/null
-diff -u "$ART_DIR/camp2/campaign.json" "$ART_DIR/fetched/campaign.json"
-./target/release/experiments submit --server "$SRV_ADDR" \
-    --spec scenarios/demo-quick.toml --quick 2>&1 > /dev/null \
-    | grep -q 'deduplicated' || { echo "dedupe FAILED"; exit 1; }
-kill -TERM "$SRV_PID"
-wait "$SRV_PID" || { echo "server did not exit 0 on SIGTERM"; exit 1; }
-trap 'rm -rf "$ART_DIR"' EXIT
-echo "service smoke: byte-identical fetch + dedupe + graceful shutdown"
-
-step "criterion benches compile"
-cargo bench --workspace --no-run
+report_timings
 
 step "OK"

@@ -30,11 +30,13 @@ pub mod stats;
 pub mod sweep;
 
 pub use attribution::{attribute_hop, Cause, DelayAttribution};
-pub use campaign::{campaign_table, predicted_fdl, CampaignRow, CellSummary};
+pub use campaign::{
+    campaign_table, predicted_fdl, CampaignStats, CellSummary, GroupStats, PairedStats,
+};
 pub use events::{PacketReplay, ReplayBuilder, ReplayReport};
 pub use forensics::{ForensicsError, ForensicsReport, PacketForensics, Via, Violation};
 pub use plot::{ascii_chart, PlotOptions};
 pub use series::{Series, Table};
 pub use source::{EventSource, SourceError};
-pub use stats::{mad, median, Summary};
+pub use stats::{mad, median, sign_test_two_sided, OnlineStats, Summary};
 pub use sweep::{monte_carlo_mean, parallel_sweep};

@@ -1,0 +1,183 @@
+//! Property-based contract of the streaming statistics primitives the
+//! campaign reducer is built on: merging per-shard [`OnlineStats`]
+//! partials is equivalent to a single-pass fold over the whole sample
+//! (any partition, including empty shards), the Student-t 95% CI
+//! actually covers a known population mean at its nominal rate, and
+//! the exact sign test behaves like the textbook binomial it is.
+
+use ldcf_analysis::stats::{sign_test_two_sided, t_critical_975};
+use ldcf_analysis::OnlineStats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `a ≈ b` under mixed absolute/relative tolerance — Chan's merge is
+/// algebraically the single-pass fold but floating-point reassociation
+/// moves the low bits.
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn fold(xs: &[f64]) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for &x in xs {
+        s.record(x);
+    }
+    s
+}
+
+/// Split `data` into `n_cuts`-ish random chunks (some possibly empty)
+/// using a seeded RNG, so every partition is reproducible.
+fn random_partition(data: &[f64], seed: u64, n_cuts: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<usize> = (0..n_cuts)
+        .map(|_| rng.random_range(0..=data.len()))
+        .collect();
+    cuts.sort_unstable();
+    let mut chunks = Vec::with_capacity(n_cuts + 1);
+    let mut start = 0;
+    for &c in &cuts {
+        chunks.push(data[start..c].to_vec());
+        start = c;
+    }
+    chunks.push(data[start..].to_vec());
+    chunks
+}
+
+proptest! {
+    /// Merging shard partials in partition order reproduces the
+    /// single-pass fold: count/min/max exactly, mean and M2 within
+    /// float reassociation tolerance — under ANY partition, empty
+    /// shards included.
+    #[test]
+    fn merged_partials_equal_a_single_pass(
+        data in prop::collection::vec(-1.0e6f64..1.0e6, 1..200),
+        seed in any::<u64>(),
+        n_cuts in 0usize..12,
+    ) {
+        let whole = fold(&data);
+        let mut merged = OnlineStats::new();
+        for chunk in random_partition(&data, seed, n_cuts) {
+            merged.merge(&fold(&chunk));
+        }
+        prop_assert_eq!(merged.count, whole.count);
+        prop_assert_eq!(merged.min, whole.min);
+        prop_assert_eq!(merged.max, whole.max);
+        prop_assert!(
+            close(merged.mean, whole.mean, 1e-9),
+            "mean: merged {} vs single-pass {}",
+            merged.mean,
+            whole.mean
+        );
+        prop_assert!(
+            close(merged.m2, whole.m2, 1e-6),
+            "m2: merged {} vs single-pass {}",
+            merged.m2,
+            whole.m2
+        );
+    }
+
+    /// Merge is associative up to the same tolerance: left-heavy and
+    /// right-heavy merge trees over three chunks agree.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(-1.0e3f64..1.0e3, 0..40),
+        b in prop::collection::vec(-1.0e3f64..1.0e3, 0..40),
+        c in prop::collection::vec(-1.0e3f64..1.0e3, 1..40),
+    ) {
+        let (sa, sb, sc) = (fold(&a), fold(&b), fold(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert!(close(left.mean, right.mean, 1e-9));
+        prop_assert!(close(left.m2, right.m2, 1e-6));
+    }
+
+    /// The sign test is a probability, symmetric in its arguments, and
+    /// equal to 1 when the sides balance.
+    #[test]
+    fn sign_test_is_a_symmetric_p_value(pos in 0u64..400, neg in 0u64..400) {
+        prop_assume!(pos + neg > 0);
+        let p = sign_test_two_sided(pos, neg).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+        prop_assert_eq!(
+            p.to_bits(),
+            sign_test_two_sided(neg, pos).unwrap().to_bits(),
+            "two-sided test must not care which side is which"
+        );
+        if pos == neg {
+            prop_assert!((p - 1.0).abs() < 1e-12, "balanced split: p = {p}");
+        }
+    }
+}
+
+/// The 95% CI covers the true mean of a known synthetic population at
+/// (about) its nominal rate. 400 independent intervals of n = 25
+/// approximately-normal samples: the binomial 3σ band around 0.95
+/// is ~[0.917, 0.983]; we accept [0.90, 1.0] to keep the fixed-seed
+/// test comfortably deterministic while still catching a broken t
+/// table or SEM (which produce coverages far outside it).
+#[test]
+fn ci95_covers_a_known_mean_at_its_nominal_rate() {
+    const TRUE_MEAN: f64 = 42.0;
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    // Irwin–Hall(12) shifted: sum of 12 U(0,1) minus 6 is ~N(0,1).
+    let mut normal = move || {
+        let s: f64 = (0..12).map(|_| rng.random_range(0.0..1.0)).sum::<f64>();
+        TRUE_MEAN + 3.0 * (s - 6.0)
+    };
+    let trials = 400;
+    let covered = (0..trials)
+        .filter(|_| {
+            let mut s = OnlineStats::new();
+            for _ in 0..25 {
+                s.record(normal());
+            }
+            let (lo, hi) = s.ci95().expect("25 samples pin a CI");
+            lo <= TRUE_MEAN && TRUE_MEAN <= hi
+        })
+        .count();
+    let rate = covered as f64 / trials as f64;
+    assert!(
+        (0.90..=1.0).contains(&rate),
+        "95% CI covered the true mean in {covered}/{trials} trials ({rate:.3})"
+    );
+}
+
+/// Hand-checked sign-test values (exact binomial arithmetic).
+#[test]
+fn sign_test_matches_exact_binomial_arithmetic() {
+    assert_eq!(sign_test_two_sided(0, 0), None);
+    // n = 5, all one side: 2 · (1/2)^5 = 0.0625.
+    let p = sign_test_two_sided(5, 0).unwrap();
+    assert!((p - 0.0625).abs() < 1e-12, "got {p}");
+    // n = 6, 1/5 split: 2 · (C(6,0) + C(6,1)) / 64 = 14/64.
+    let p = sign_test_two_sided(1, 5).unwrap();
+    assert!((p - 14.0 / 64.0).abs() < 1e-12, "got {p}");
+    // Overwhelming asymmetry underflows toward 0 without panicking.
+    let p = sign_test_two_sided(900, 100).unwrap();
+    assert!(p < 1e-100, "got {p}");
+}
+
+/// The t table is monotone toward the normal quantile and the CI uses
+/// it: a 2-sample interval is far wider than a 1000-sample one on the
+/// same per-sample spread.
+#[test]
+fn t_table_tightens_the_interval_with_samples() {
+    assert!(t_critical_975(1) > t_critical_975(2));
+    assert!(t_critical_975(29) > t_critical_975(200));
+    assert!((t_critical_975(10_000) - 1.960).abs() < 1e-9);
+
+    let two = fold(&[10.0, 14.0]);
+    let (lo2, hi2) = two.ci95().unwrap();
+    let many: Vec<f64> = (0..1000)
+        .map(|i| if i % 2 == 0 { 10.0 } else { 14.0 })
+        .collect();
+    let (lo_n, hi_n) = fold(&many).ci95().unwrap();
+    assert!(hi2 - lo2 > 10.0 * (hi_n - lo_n));
+}

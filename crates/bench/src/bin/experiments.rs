@@ -116,6 +116,8 @@ struct Cli {
     artefact_name: Option<String>,
     wait: bool,
     allow_remote_shutdown: bool,
+    from: Option<PathBuf>,
+    gate: bool,
 }
 
 /// The flags each subcommand accepts. Everything not listed here is a
@@ -153,6 +155,7 @@ fn allowed_flags(artefact: &str) -> &'static [&'static str] {
             "--no-progress",
             "--engine",
         ],
+        "stats" => &["--spec", "--quick", "--from", "--out", "--gate"],
         "serve" => &[
             "--data",
             "--addr",
@@ -207,6 +210,8 @@ fn parse_args() -> Cli {
     let mut artefact_name = None;
     let mut wait = false;
     let mut allow_remote_shutdown = false;
+    let mut from = None;
+    let mut gate = false;
     let mut seen: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -283,6 +288,8 @@ fn parse_args() -> Cli {
             "--artefact" => artefact_name = Some(value("an artefact name")),
             "--wait" => wait = true,
             "--allow-remote-shutdown" => allow_remote_shutdown = true,
+            "--from" => from = Some(PathBuf::from(value("a directory"))),
+            "--gate" => gate = true,
             "--node" => {
                 let n = value("a node id");
                 node = Some(
@@ -364,6 +371,8 @@ fn parse_args() -> Cli {
         artefact_name,
         wait,
         allow_remote_shutdown,
+        from,
+        gate,
     }
 }
 
@@ -381,6 +390,7 @@ fn usage(err: &str) -> ! {
          \u{20}      experiments perf --validate FILE | --validate-profile FILE\n\
          \u{20}      experiments campaign --spec FILE [--quick] [--out DIR] [--no-progress]\n\
          \u{20}      experiments campaign --spec FILE --digest\n\
+         \u{20}      experiments stats --spec FILE --from DIR [--quick] [--out DIR] [--gate]\n\
          \u{20}      experiments serve --data DIR [--addr HOST:PORT] [--jobs N] [--allow-remote-shutdown] [--no-progress]\n\
          \u{20}      experiments submit --server ADDR --spec FILE [--quick] [--wait]\n\
          \u{20}      experiments status --server ADDR [--id JOB]\n\
@@ -389,7 +399,7 @@ fn usage(err: &str) -> ! {
          artefacts: table1 fig3 fig5 fig6 fig7 fig9 fig10 fig11\n\
          \u{20}          ablation-overhearing ablation-opportunistic ablation-policy\n\
          \u{20}          lifetime-gain theorem1-check cross-layer sync-error resilience\n\
-         \u{20}          forensics trace perf campaign analytical all\n\
+         \u{20}          forensics trace perf campaign stats analytical all\n\
          \u{20}          serve submit status fetch cancel"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -736,6 +746,68 @@ fn run_campaign_cmd(cli: &Cli) -> ! {
     std::process::exit(0);
 }
 
+/// The `stats` subcommand: recompute a campaign's statistics from an
+/// existing checkpoint directory (no simulation), print the tables,
+/// optionally write `campaign-stats.md` / `campaign-stats.json` to
+/// `--out`, and with `--gate` exit 1 when the theory-conformance gate
+/// (Theorem 2 band / hard worst case) is violated.
+fn run_stats_cmd(cli: &Cli) -> ! {
+    use ldcf_scenarios::ScenarioSpec;
+
+    let spec_path = cli
+        .spec
+        .as_ref()
+        .unwrap_or_else(|| usage("stats needs --spec FILE"));
+    let from = cli
+        .from
+        .as_ref()
+        .unwrap_or_else(|| usage("stats needs --from DIR (a campaign output directory)"));
+    let text = std::fs::read_to_string(spec_path)
+        .unwrap_or_else(|e| usage(&format!("--spec {}: {e}", spec_path.display())));
+    let spec = match ScenarioSpec::from_toml_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", spec_path.display());
+            std::process::exit(2);
+        }
+    };
+    let outcome = match ldcf_bench::campaign::recompute_stats(spec, cli.quick, from) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", outcome.markdown);
+    if let Some(dir) = &cli.out {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| usage(&format!("--out {}: {e}", dir.display())));
+        std::fs::write(dir.join("campaign-stats.md"), &outcome.markdown)
+            .expect("write campaign-stats.md");
+        std::fs::write(dir.join("campaign-stats.json"), outcome.to_json_pretty())
+            .expect("write campaign-stats.json");
+    }
+    if cli.gate {
+        let violations = outcome.stats.gate_violations();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("stats gate: {v}");
+            }
+            eprintln!(
+                "stats gate: {} theory-conformance violation(s) for {}",
+                violations.len(),
+                outcome.name
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "stats gate: all groups conform to the Theorem 2 band for {}",
+            outcome.name
+        );
+    }
+    std::process::exit(0);
+}
+
 /// The campaign-service subcommands (`serve` and its thin clients).
 /// Flag validation happens here — missing required flags exit 2 like
 /// every other usage error; server-side failures exit 1.
@@ -884,6 +956,9 @@ fn main() {
     }
     if cli.artefact == "campaign" {
         run_campaign_cmd(&cli);
+    }
+    if cli.artefact == "stats" {
+        run_stats_cmd(&cli);
     }
     if matches!(
         cli.artefact.as_str(),

@@ -11,7 +11,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "label": "baseline",
 //!   "git_rev": "abc1234",
 //!   "quick": true,
@@ -21,7 +21,8 @@
 //!                "wall_ms": 45, "wall_ms_reps": [46, 45, 44, 45, 47],
 //!                "slots_per_sec": 2733.3,
 //!                "slots_per_sec_reps": [2674.0, …],
-//!                "slots_per_sec_mad": 31.2 }, … ],
+//!                "slots_per_sec_mad": 31.2,
+//!                "slots_per_sec_ci95": [2650.1, 2799.7] }, … ],
 //!   "total": { "sims": 6, "slots": …, "wall_ms": …, "slots_per_sec": … }
 //! }
 //! ```
@@ -48,7 +49,8 @@ use crate::runner::{
     self, run_flood, run_flood_faulted, run_flood_faulted_profiled, run_flood_profiled,
     ProtocolKind,
 };
-use ldcf_analysis::{mad, median};
+use ldcf_analysis::stats::{combined_rel_sigma, noise_tolerance, rel_sigma};
+use ldcf_analysis::{mad, median, OnlineStats};
 use ldcf_net::{NeighborTable, NodeId, Topology};
 use ldcf_protocols::Opt;
 use ldcf_sim::{Engine, EngineKind, FaultConfig, Injection, Phase, PhaseProfiler, SimConfig};
@@ -66,8 +68,11 @@ const FAULT_INTENSITY: f64 = 0.5;
 /// BENCH file schema version (bump on incompatible layout changes).
 /// v2 added multi-repetition robust stats (`reps`, `wall_ms_reps`,
 /// `slots_per_sec_reps`, `slots_per_sec_mad`); `slots_per_sec` became
-/// the median over repetitions.
-pub const SCHEMA_VERSION: u64 = 2;
+/// the median over repetitions. v3 added `slots_per_sec_ci95` — the
+/// Student-t 95% confidence interval over the repetitions, from the
+/// same `ldcf_analysis::stats` machinery the campaign reducer uses
+/// (`null` when reps < 2 leave the interval undefined).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// PROFILE file schema version. v2 added the `idle_skip` phase (the
 /// event engine's batched settlement of jumped spans) to the per-case
@@ -106,6 +111,19 @@ pub struct PerfCase {
     /// Median absolute deviation of the per-repetition throughputs —
     /// the robust noise scale the regression gate adapts to.
     pub slots_per_sec_mad: f64,
+}
+
+impl PerfCase {
+    /// Student-t 95% confidence interval of the mean throughput over
+    /// this case's repetitions; `None` when fewer than two reps leave
+    /// the interval undefined.
+    pub fn slots_per_sec_ci95(&self) -> Option<(f64, f64)> {
+        let mut stats = OnlineStats::new();
+        for &x in &self.slots_per_sec_reps {
+            stats.record(x);
+        }
+        stats.ci95()
+    }
 }
 
 /// A full perf run: all cases plus totals and provenance.
@@ -507,6 +525,13 @@ impl PerfReport {
                     "slots_per_sec_mad".into(),
                     Value::Float(c.slots_per_sec_mad),
                 ),
+                (
+                    "slots_per_sec_ci95".into(),
+                    match c.slots_per_sec_ci95() {
+                        Some((lo, hi)) => Value::Array(vec![Value::Float(lo), Value::Float(hi)]),
+                        None => Value::Null,
+                    },
+                ),
             ])
         };
         let (sims, slots, wall_ms) = self.totals();
@@ -645,6 +670,24 @@ pub fn validate_bench_json(text: &str) -> Result<Vec<String>, String> {
         if !sps_mad.is_finite() || sps_mad < 0.0 {
             return Err(format!("case '{name}' slots_per_sec_mad {sps_mad} < 0"));
         }
+        match c.get("slots_per_sec_ci95") {
+            Some(Value::Array(ci)) if ci.len() == 2 => {
+                let lo = ci[0].as_f64().unwrap_or(f64::NAN);
+                let hi = ci[1].as_f64().unwrap_or(f64::NAN);
+                if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                    return Err(format!(
+                        "case '{name}' slots_per_sec_ci95 [{lo}, {hi}] is not a finite lo <= hi interval"
+                    ));
+                }
+            }
+            Some(Value::Null) if reps < 2 => {}
+            Some(Value::Null) => {
+                return Err(format!(
+                    "case '{name}' has {reps} reps but a null slots_per_sec_ci95"
+                ))
+            }
+            _ => return Err(format!("case '{name}' missing 'slots_per_sec_ci95'")),
+        }
         names.push(name.to_string());
     }
     let total_sps = v
@@ -678,9 +721,6 @@ pub const MIN_TOLERANCE: f64 = 0.25;
 /// Tolerance ceiling: whatever the measured noise claims, a case
 /// running ≥ 40 % slower than baseline always fails the gate.
 pub const MAX_TOLERANCE: f64 = 0.40;
-
-/// Scale factor turning a MAD into a Gaussian-consistent σ estimate.
-const MAD_TO_SIGMA: f64 = 1.4826;
 
 /// One case's verdict from [`gate_vs_baseline`].
 #[derive(Clone, Debug)]
@@ -725,7 +765,6 @@ pub fn gate_vs_baseline(
     let Some(Value::Array(base_cases)) = base.get("cases") else {
         return Err("baseline has no cases".into());
     };
-    let rel_sigma = |med: f64, mad: f64| MAD_TO_SIGMA * mad / med.max(1e-9);
     let mut out = Vec::new();
     for c in &report.cases {
         let Some(b) = base_cases
@@ -740,10 +779,11 @@ pub fn gate_vs_baseline(
         ) else {
             continue;
         };
-        let r = (rel_sigma(base_med, base_mad).powi(2)
-            + rel_sigma(c.slots_per_sec, c.slots_per_sec_mad).powi(2))
-        .sqrt();
-        let tolerance = (NOISE_MULTIPLIER * r).clamp(MIN_TOLERANCE, MAX_TOLERANCE);
+        let r = combined_rel_sigma(
+            rel_sigma(base_med, base_mad),
+            rel_sigma(c.slots_per_sec, c.slots_per_sec_mad),
+        );
+        let tolerance = noise_tolerance(r, NOISE_MULTIPLIER, MIN_TOLERANCE, MAX_TOLERANCE);
         let speedup = c.slots_per_sec / base_med;
         out.push(GateVerdict {
             name: c.name.clone(),
@@ -1070,6 +1110,30 @@ mod tests {
         r.cases[0].wall_ms_reps.pop();
         let err = validate_bench_json(&r.to_json_pretty()).unwrap_err();
         assert!(err.contains("reps says"), "got: {err}");
+    }
+
+    #[test]
+    fn reports_carry_a_ci95_and_validation_checks_it() {
+        let r = tiny_report();
+        let (lo, hi) = r.cases[0].slots_per_sec_ci95().expect("3 reps give a CI");
+        assert!(lo < r.cases[0].slots_per_sec && r.cases[0].slots_per_sec < hi);
+        let json = r.to_json_pretty();
+        assert!(json.contains("slots_per_sec_ci95"), "got: {json}");
+
+        // A single-rep case has no interval: ci95 is null and valid…
+        let mut single = tiny_report();
+        single.cases[0].reps = 1;
+        single.cases[0].wall_ms_reps = vec![10];
+        single.cases[0].slots_per_sec_reps = vec![100_000.0];
+        assert!(single.cases[0].slots_per_sec_ci95().is_none());
+        validate_bench_json(&single.to_json_pretty()).expect("null ci95 valid at 1 rep");
+
+        // …but a multi-rep case with a null interval is rejected.
+        let broken = tiny_report()
+            .to_json_pretty()
+            .replace(&format!("[\n        {lo},\n        {hi}\n      ]"), "null");
+        let err = validate_bench_json(&broken).unwrap_err();
+        assert!(err.contains("null slots_per_sec_ci95"), "got: {err}");
     }
 
     #[test]

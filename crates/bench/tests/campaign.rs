@@ -1,8 +1,8 @@
 //! Determinism and resume contract of the campaign runner, on the
 //! committed demo spec: same spec → byte-identical `campaign.md` /
-//! `campaign.json`, whatever the rayon worker count, and a resumed run
-//! over existing checkpoints reproduces the same bytes while
-//! simulating only the missing cells.
+//! `campaign.json` / `campaign-stats.md`, whatever the rayon worker
+//! count, and a resumed run over existing checkpoints reproduces the
+//! same bytes while simulating only the missing cells.
 
 use ldcf_bench::campaign::run_campaign;
 use ldcf_scenarios::ScenarioSpec;
@@ -24,10 +24,11 @@ fn fresh_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn artefacts(dir: &Path) -> (String, String) {
+fn artefacts(dir: &Path) -> (String, String, String) {
     (
         std::fs::read_to_string(dir.join("campaign.md")).unwrap(),
         std::fs::read_to_string(dir.join("campaign.json")).unwrap(),
+        std::fs::read_to_string(dir.join("campaign-stats.md")).unwrap(),
     )
 }
 
@@ -67,7 +68,7 @@ fn resume_after_partial_loss_reruns_only_missing_cells_same_bytes() {
     let first = run_campaign(demo_spec(), true, &dir, false).unwrap();
     assert_eq!(first.cells_total, 6);
     assert_eq!(first.cells_run, 6);
-    let (md, json) = artefacts(&dir);
+    let baseline = artefacts(&dir);
 
     // The heartbeat streamed telemetry beside the artefacts: one start
     // record, one per simulated cell, one summary. (Its contents are
@@ -87,11 +88,12 @@ fn resume_after_partial_loss_reruns_only_missing_cells_same_bytes() {
     std::fs::remove_file(&cells[3]).unwrap();
     std::fs::remove_file(dir.join("campaign.md")).unwrap();
     std::fs::remove_file(dir.join("campaign.json")).unwrap();
+    std::fs::remove_file(dir.join("campaign-stats.md")).unwrap();
 
     let second = run_campaign(demo_spec(), true, &dir, false).unwrap();
     assert_eq!(second.cells_resumed, 4, "four checkpoints survived");
     assert_eq!(second.cells_run, 2, "only the lost cells re-simulate");
-    assert_eq!(artefacts(&dir), (md, json), "resumed run, same bytes");
+    assert_eq!(artefacts(&dir), baseline, "resumed run, same bytes");
 
     let _ = std::fs::remove_dir_all(dir);
 }

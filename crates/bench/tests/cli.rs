@@ -217,6 +217,44 @@ fn client_subcommands_fail_cleanly_without_a_server() {
 }
 
 #[test]
+fn stats_subcommand_validates_its_flags() {
+    // --from and --gate belong to stats only.
+    let out = run(&["campaign", "--from", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--from' is not valid for 'campaign'"));
+    let out = run(&["perf", "--gate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--gate' is not valid for 'perf'"));
+
+    // stats requires both --spec and --from.
+    let out = run(&["stats"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("stats needs --spec"));
+    let spec = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/stats-quick.toml"
+    );
+    let out = run(&["stats", "--spec", spec]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("stats needs --from"));
+
+    // Foreign flags are rejected on stats too.
+    let out = run(&["stats", "--spec", spec, "--from", "/tmp/x", "--digest"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("'--digest' is not valid for 'stats'"));
+
+    // An empty checkpoint directory is a runtime error (exit 1) that
+    // names the missing cell.
+    let out = run(&["stats", "--spec", spec, "--from", "/tmp/ldcf-no-such-dir"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("no valid checkpoint"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn campaign_digest_prints_sha256_and_name() {
     let spec = concat!(
         env!("CARGO_MANIFEST_DIR"),

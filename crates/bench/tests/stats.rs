@@ -1,0 +1,152 @@
+//! The statistics layer's end-to-end contract: the `statistics` block
+//! a campaign embeds in `campaign.json`, the `campaign-stats.md` it
+//! writes, and what `experiments stats` recomputes from the checkpoint
+//! directory are all the *same fold* — byte-identical, whatever the
+//! rayon worker count. Uses a seed-heavy spec (the shape the streaming
+//! reducer exists for) shrunk to stay test-fast.
+
+use ldcf_bench::campaign::{recompute_stats, run_campaign, validate_campaign_json};
+use ldcf_scenarios::ScenarioSpec;
+use serde::Value;
+use std::path::PathBuf;
+
+/// A miniature seeds_per_cell spec: 2 protocols × 1 duty × 60 seeds —
+/// enough to span several shards of the fixed partition.
+fn seedy_spec() -> ScenarioSpec {
+    ScenarioSpec::from_toml_str(
+        r#"
+        [scenario]
+        name = "stats-it"
+
+        [topology]
+        kind = "grid"
+        rows = 3
+        cols = 3
+        prr = 0.9
+
+        [schedule]
+        model = "homogeneous"
+        period = 20
+
+        [workload]
+        kind = "single-flood"
+        packets = 4
+
+        [matrix]
+        protocols = ["opt", "of"]
+        duties = [0.05]
+        seeds_per_cell = 60
+        "#,
+    )
+    .expect("inline spec parses")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldcf-stats-it-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn recomputed_stats_equal_the_campaign_embedded_block() {
+    let dir = fresh_dir("recompute");
+    let outcome = run_campaign(seedy_spec(), false, &dir, false).unwrap();
+    assert_eq!(outcome.cells_total, 120);
+
+    // The embedded statistics block validates and matches the fold the
+    // runner returned.
+    let json = std::fs::read_to_string(dir.join("campaign.json")).unwrap();
+    assert_eq!(validate_campaign_json(&json), Ok(2), "two groups");
+    let doc: Value = serde_json::from_str(&json).unwrap();
+    let embedded = serde_json::to_string_pretty(doc.get("statistics").unwrap()).unwrap();
+    let returned = serde_json::to_string_pretty(&outcome.stats.to_value()).unwrap();
+    assert_eq!(embedded, returned);
+
+    // Replaying the checkpoints through `recompute_stats` reproduces
+    // the identical statistics — same value bytes, same markdown bytes.
+    let re = recompute_stats(seedy_spec(), false, &dir).unwrap();
+    assert_eq!(re.digest, outcome.digest);
+    assert_eq!(
+        serde_json::to_string_pretty(&re.stats.to_value()).unwrap(),
+        embedded
+    );
+    assert_eq!(
+        re.markdown,
+        std::fs::read_to_string(dir.join("campaign-stats.md")).unwrap()
+    );
+
+    // A missing checkpoint is a named error, not a silent hole.
+    let mut cells: Vec<PathBuf> = std::fs::read_dir(dir.join("cells"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    cells.sort();
+    std::fs::remove_file(&cells[7]).unwrap();
+    let err = recompute_stats(seedy_spec(), false, &dir).unwrap_err();
+    assert!(err.contains("no valid checkpoint"), "got: {err}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn statistics_bytes_are_worker_count_invariant() {
+    let d1 = fresh_dir("threads-default");
+    let d2 = fresh_dir("threads-one");
+
+    let o1 = run_campaign(seedy_spec(), false, &d1, false).unwrap();
+    rayon::set_thread_limit(Some(1));
+    let o2 = run_campaign(seedy_spec(), false, &d2, false);
+    rayon::set_thread_limit(None);
+    let o2 = o2.unwrap();
+
+    assert_eq!(o1.digest, o2.digest);
+    for name in ["campaign.md", "campaign.json", "campaign-stats.md"] {
+        assert_eq!(
+            std::fs::read_to_string(d1.join(name)).unwrap(),
+            std::fs::read_to_string(d2.join(name)).unwrap(),
+            "{name} must not depend on the worker count"
+        );
+    }
+    // The folded accumulators themselves agree bit-for-bit, not just
+    // their renderings.
+    assert_eq!(o1.stats, o2.stats);
+
+    for d in [d1, d2] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn paired_comparison_and_conformance_surface_in_the_artefacts() {
+    let dir = fresh_dir("surface");
+    let outcome = run_campaign(seedy_spec(), false, &dir, false).unwrap();
+
+    // Two protocols over common seeds → exactly one paired comparison,
+    // fed by every seed both sides covered.
+    assert_eq!(outcome.stats.pairs.len(), 1);
+    let pair = &outcome.stats.pairs[0];
+    assert_eq!(
+        (pair.protocol_a.as_str(), pair.protocol_b.as_str()),
+        ("opt", "of")
+    );
+    assert!(pair.diff.count > 0 && pair.diff.count <= 60);
+    assert!(pair.sign_p().is_some());
+
+    // The markdown carries all three sections.
+    let md = std::fs::read_to_string(dir.join("campaign-stats.md")).unwrap();
+    for section in [
+        "## Per-group statistics",
+        "## Per-group resources",
+        "## Paired protocol comparisons",
+    ] {
+        assert!(md.contains(section), "missing {section:?} in:\n{md}");
+    }
+
+    // Every group saw all 60 seeds and captured energy.
+    for g in &outcome.stats.groups {
+        assert_eq!(g.cells, 60);
+        assert!(g.energy.count > 0 && g.energy.mean > 0.0);
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,19 +1,23 @@
-//! Dry-parse of the committed GitHub Actions workflows. There is no
-//! YAML parser in the tree, so this is a structural lint: the files
-//! must exist, contain no tab indentation (YAML rejects tabs), keep
-//! even two-space indentation, and carry the load-bearing stanzas the
-//! CI story depends on (lock-keyed caching, the nightly trigger, the
-//! artefact upload). A malformed or gutted workflow fails here instead
-//! of silently never running on the forge.
+//! Dry-parse of the committed GitHub Actions workflows and the staged
+//! ci.sh they delegate to. There is no YAML parser in the tree, so the
+//! workflow checks are a structural lint: the files must exist,
+//! contain no tab indentation (YAML rejects tabs), keep even two-space
+//! indentation, and carry the load-bearing stanzas the CI story
+//! depends on (lock-keyed caching, parallel stage jobs, the nightly
+//! trigger and conformance gate, the artefact upload). The ci.sh
+//! checks pin the gate commands themselves: since every workflow job is
+//! a thin `./ci.sh <stage>…` wrapper, the script is where a gutted
+//! check would hide.
 
 use std::path::PathBuf;
 
+fn repo_file(rel: &str) -> String {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "../..", rel].iter().collect();
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{} must exist: {e}", path.display()))
+}
+
 fn workflow(name: &str) -> String {
-    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "../../.github/workflows", name]
-        .iter()
-        .collect();
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("workflow {} must exist: {e}", path.display()))
+    repo_file(&format!(".github/workflows/{name}"))
 }
 
 /// The structural subset of YAML both workflows must satisfy.
@@ -41,26 +45,88 @@ fn lint_yaml(name: &str, text: &str) {
 }
 
 #[test]
-fn ci_workflow_parses_and_caches_on_the_lockfile() {
+fn ci_workflow_parses_and_fans_out_over_the_stages() {
     let text = workflow("ci.yml");
     lint_yaml("ci.yml", &text);
-    // Main CI stays fast through cargo caching keyed on Cargo.lock.
+    // Main CI stays fast through cargo caching keyed on Cargo.lock —
+    // in every rust job, under a job-specific key.
     assert!(text.contains("actions/cache@v4"));
     assert!(text.contains("hashFiles('**/Cargo.lock')"));
     assert!(text.contains("restore-keys:"));
-    // The gates this PR adds must be wired in, not just in ci.sh.
+    for key in ["lint-", "test-", "artefacts-", "perf-", "campaign-"] {
+        assert!(
+            text.contains(&format!("key: {key}")),
+            "ci.yml: cache key prefix `{key}` missing"
+        );
+    }
+    // The parallel jobs each own their ci.sh stages; nothing bypasses
+    // the script.
+    for invocation in [
+        "./ci.sh fmt clippy",
+        "./ci.sh shellcheck",
+        "./ci.sh build test alloc-gate bench-compile",
+        "./ci.sh build artefacts event-engine forensics bintrace",
+        "./ci.sh build perf digests",
+        "./ci.sh build campaign stats service",
+    ] {
+        assert!(
+            text.contains(invocation),
+            "ci.yml: stage invocation `{invocation}` missing"
+        );
+    }
+}
+
+#[test]
+fn ci_script_carries_the_load_bearing_gates() {
+    let text = repo_file("ci.sh");
+    // Stage interface: list + one function per advertised stage.
+    assert!(text.contains("STAGES=("), "ci.sh: stage registry missing");
+    for stage in [
+        "fmt",
+        "clippy",
+        "shellcheck",
+        "build",
+        "test",
+        "alloc-gate",
+        "artefacts",
+        "event-engine",
+        "forensics",
+        "bintrace",
+        "perf",
+        "digests",
+        "campaign",
+        "stats",
+        "service",
+        "bench-compile",
+    ] {
+        let fn_name = format!("stage_{}()", stage.replace('-', "_"));
+        assert!(text.contains(&fn_name), "ci.sh: {fn_name} missing");
+    }
+    // Per-stage durations reach the Actions job summary.
+    assert!(text.contains("GITHUB_STEP_SUMMARY"));
+    // The gate commands themselves (every workflow job is a thin
+    // `./ci.sh <stage>` wrapper, so a gutted check would hide here).
     assert!(text.contains("--baseline BENCH_baseline.json"));
     assert!(text.contains("baselines/scenarios.sha256"));
     assert!(text.contains("campaign --spec scenarios/demo-quick.toml"));
     assert!(text.contains("0/6 cells run, 6 resumed"));
-    // Telemetry gates: byte-identity is proven with the profiler ON,
-    // the PROFILE artefact is schema-validated, the allocation gate
-    // runs as its own step, and the heartbeat paths are exercised.
     assert!(text.contains("fig9 --quick --profile"));
     assert!(text.contains("--validate-profile"));
     assert!(text.contains("--test alloc_gate"));
     assert!(text.contains("--no-progress"));
     assert!(text.contains("campaign-telemetry.jsonl"));
+    // The statistics stage: thousand-seed rerun + checkpoint recompute
+    // byte-identity over campaign-stats.md / campaign.json.
+    assert!(text.contains("--spec scenarios/stats-quick.toml"));
+    assert!(text.contains("campaign-stats.md"));
+    assert!(
+        text.contains("stats --spec scenarios/stats-quick.toml"),
+        "ci.sh: checkpoint-recompute path missing"
+    );
+    // Service cleanup is owned by the EXIT trap — a failed diff must
+    // not leak the server process.
+    assert!(text.contains("trap cleanup EXIT"));
+    assert!(text.contains("kill -0 \"$SRV_PID\""));
 }
 
 #[test]
@@ -83,6 +149,13 @@ fn nightly_workflow_parses_and_covers_the_long_campaigns() {
         text.contains("--spec scenarios/campaign-nightly.toml"),
         "mid-size scenario campaign"
     );
+    // The thousand-seed conformance cell: campaign + recompute with
+    // --gate, failing the build on theory violations.
+    assert!(
+        text.contains("--spec scenarios/stats-nightly.toml"),
+        "thousand-seed statistics campaign"
+    );
+    assert!(text.contains("--gate"), "theory-conformance gate missing");
     assert!(
         !text.contains("--quick\n") || text.contains("perf --quick"),
         "nightly artefacts run the full matrices (only perf may be quick)"

@@ -262,6 +262,50 @@ impl StreamingHistogram {
             ),
         ])
     }
+
+    /// Rebuild a histogram from its [`to_value`](Self::to_value)
+    /// rendering. The quantile fields are recomputed from the bucket
+    /// counters, not trusted; the summary counters must be internally
+    /// consistent (bucket counts summing to `count`) or the document is
+    /// rejected.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram missing integer '{name}'"))
+        };
+        let mut h = Self::new();
+        h.count = field("count")?;
+        h.sum = field("sum")?;
+        h.max = field("max")?;
+        let Some(Value::Array(buckets)) = v.get("buckets") else {
+            return Err("histogram missing 'buckets' array".into());
+        };
+        let mut total = 0u64;
+        for (n, pair) in buckets.iter().enumerate() {
+            let Value::Array(pair) = pair else {
+                return Err(format!("buckets[{n}] is not an [index, count] pair"));
+            };
+            let (Some(i), Some(c)) = (
+                pair.first().and_then(Value::as_u64),
+                pair.get(1).and_then(Value::as_u64),
+            ) else {
+                return Err(format!("buckets[{n}] is not an [index, count] pair"));
+            };
+            if (i as usize) >= N_BUCKETS {
+                return Err(format!("buckets[{n}] index {i} out of range"));
+            }
+            h.counts[i as usize] += c;
+            total += c;
+        }
+        if total != h.count {
+            return Err(format!(
+                "bucket counts sum to {total} but count says {}",
+                h.count
+            ));
+        }
+        Ok(h)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -579,6 +623,57 @@ mod tests {
         merged.merge(&right);
         merged.merge(&left);
         assert_eq!(merged, whole, "merge is exact and order-independent");
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_value() {
+        let mut h = StreamingHistogram::new();
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000_000, u64::MAX / 2] {
+            h.record(v);
+        }
+        let back = StreamingHistogram::from_value(&h.to_value()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.p95(), h.p95());
+
+        let empty = StreamingHistogram::new();
+        assert_eq!(
+            StreamingHistogram::from_value(&empty.to_value()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn histogram_from_value_rejects_inconsistent_documents() {
+        let mut h = StreamingHistogram::new();
+        h.record(42);
+        // Tamper: claim two samples while the buckets hold one.
+        let Value::Object(mut fields) = h.to_value() else {
+            unreachable!()
+        };
+        for (k, v) in &mut fields {
+            if k == "count" {
+                *v = Value::UInt(2);
+            }
+        }
+        let err = StreamingHistogram::from_value(&Value::Object(fields)).unwrap_err();
+        assert!(err.contains("sum to 1"), "err: {err}");
+        assert!(StreamingHistogram::from_value(&Value::Null).is_err());
+        // Out-of-range bucket index.
+        let bad = Value::Object(vec![
+            ("count".into(), Value::UInt(1)),
+            ("sum".into(), Value::UInt(1)),
+            ("max".into(), Value::UInt(1)),
+            (
+                "buckets".into(),
+                Value::Array(vec![Value::Array(vec![
+                    Value::UInt(10_000),
+                    Value::UInt(1),
+                ])]),
+            ),
+        ]);
+        assert!(StreamingHistogram::from_value(&bad)
+            .unwrap_err()
+            .contains("out of range"));
     }
 
     #[test]

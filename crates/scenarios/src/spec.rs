@@ -522,7 +522,11 @@ fn parse_workload(t: &Value) -> Result<Workload, String> {
 }
 
 fn parse_matrix(t: &Value) -> Result<MatrixSpec, String> {
-    check_keys(t, "matrix", &["protocols", "duties", "seeds"])?;
+    check_keys(
+        t,
+        "matrix",
+        &["protocols", "duties", "seeds", "seeds_per_cell"],
+    )?;
     let protocols = req_str_array(t, "matrix", "protocols")?;
     if protocols.is_empty() {
         return Err("matrix.protocols must be non-empty".into());
@@ -531,10 +535,28 @@ fn parse_matrix(t: &Value) -> Result<MatrixSpec, String> {
     if duties.is_empty() || duties.iter().any(|&d| !(d > 0.0 && d <= 1.0)) {
         return Err("matrix.duties must be a non-empty list in (0, 1]".into());
     }
-    let seeds = req_u64_array(t, "matrix", "seeds")?;
-    if seeds.is_empty() {
-        return Err("matrix.seeds must be non-empty".into());
-    }
+    // Seed axis: either an explicit list, or `seeds_per_cell = N` as
+    // shorthand for `[1, 2, …, N]` — the ergonomic spelling for
+    // statistics-heavy thousand-seed campaigns.
+    let seeds = match (t.get("seeds"), opt_u64(t, "matrix", "seeds_per_cell")?) {
+        (Some(_), Some(_)) => {
+            return Err("matrix.seeds and matrix.seeds_per_cell are mutually exclusive".into())
+        }
+        (Some(_), None) => {
+            let seeds = req_u64_array(t, "matrix", "seeds")?;
+            if seeds.is_empty() {
+                return Err("matrix.seeds must be non-empty".into());
+            }
+            seeds
+        }
+        (None, Some(n)) => {
+            if n == 0 {
+                return Err("matrix.seeds_per_cell must be >= 1".into());
+            }
+            (1..=n).collect()
+        }
+        (None, None) => return Err("missing required key matrix.seeds".into()),
+    };
     Ok(MatrixSpec {
         protocols,
         duties,
@@ -748,6 +770,49 @@ mod tests {
         );
         let spec = ScenarioSpec::from_toml_str(&text).unwrap();
         assert_eq!(spec.links, LinkModel::FromTopology);
+    }
+
+    #[test]
+    fn seeds_per_cell_expands_to_a_seed_range() {
+        let text = demo_text().replace("seeds = [1, 2]", "seeds_per_cell = 5");
+        let spec = ScenarioSpec::from_toml_str(&text).unwrap();
+        assert_eq!(spec.matrix.seeds, vec![1, 2, 3, 4, 5]);
+        assert_eq!(spec.n_cells(), 30);
+
+        // The two spellings are mutually exclusive, zero is rejected,
+        // and at least one must be present.
+        let both = demo_text().replace("seeds = [1, 2]", "seeds = [1]\n        seeds_per_cell = 5");
+        assert!(ScenarioSpec::from_toml_str(&both)
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        let zero = demo_text().replace("seeds = [1, 2]", "seeds_per_cell = 0");
+        assert!(ScenarioSpec::from_toml_str(&zero)
+            .unwrap_err()
+            .contains(">= 1"));
+        let neither = demo_text().replace("seeds = [1, 2]", "");
+        assert!(ScenarioSpec::from_toml_str(&neither)
+            .unwrap_err()
+            .contains("matrix.seeds"));
+    }
+
+    #[test]
+    fn seeds_per_cell_spec_quickens_and_digests_like_a_seed_list() {
+        let text = demo_text().replace("seeds = [1, 2]", "seeds_per_cell = 100");
+        let spec = ScenarioSpec::from_toml_str(&text).unwrap();
+        let q = spec.clone().quicken();
+        assert_eq!(q.matrix.seeds, vec![1], "quick truncates the expansion");
+        let explicit = demo_text().replace(
+            "seeds = [1, 2]",
+            &format!(
+                "seeds = [{}]",
+                (1..=100u64)
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        let spec2 = ScenarioSpec::from_toml_str(&explicit).unwrap();
+        assert_eq!(spec.matrix, spec2.matrix, "same expanded matrix");
     }
 
     #[test]
